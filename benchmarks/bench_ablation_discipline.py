@@ -1,0 +1,52 @@
+"""Ablation: the out-queue send discipline (DESIGN.md call-out).
+
+The paper's node model is delay-first ("outgoing messages are stored in
+an output queue until the MRAI timer for that queue expires"), which is
+what suppresses path exploration under NO-WRATE.  Real routers are
+typically send-first.  This ablation quantifies how much of the paper's
+clean e ≈ 2 behaviour depends on that modelling choice: send-first leaks
+alternate-path announcements ahead of the withdrawal wave, inflating
+churn even without WRATE.
+"""
+
+import pytest
+
+from repro.bgp.config import BGPConfig, SendDiscipline
+from repro.core.cevent import run_c_event_experiment
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+from repro.topology.types import NodeType, Relationship
+
+FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+
+
+@pytest.mark.parametrize("discipline", list(SendDiscipline), ids=lambda d: d.value)
+def test_discipline_churn(benchmark, discipline):
+    graph = generate_topology(baseline_params(300), seed=6)
+    config = FAST.replace(discipline=discipline)
+    stats = benchmark.pedantic(
+        lambda: run_c_event_experiment(graph, config, num_origins=4, seed=6),
+        rounds=1,
+        iterations=1,
+    )
+    e_d_m = stats.factors(NodeType.M).e(Relationship.PROVIDER)
+    print(
+        f"\n[{discipline.value}] U(T)={stats.u(NodeType.T):.2f} "
+        f"ed,M={e_d_m:.2f} down-convergence={stats.mean_down_convergence:.1f}s"
+    )
+    if discipline is SendDiscipline.DELAY_FIRST:
+        assert e_d_m == pytest.approx(2.0, abs=0.3)
+
+
+def test_send_first_inflates_churn():
+    """Direct comparison: send-first produces at least as many updates."""
+    graph = generate_topology(baseline_params(300), seed=6)
+    delay = run_c_event_experiment(
+        graph, FAST.replace(discipline=SendDiscipline.DELAY_FIRST),
+        num_origins=4, seed=6,
+    )
+    send = run_c_event_experiment(
+        graph, FAST.replace(discipline=SendDiscipline.SEND_FIRST),
+        num_origins=4, seed=6,
+    )
+    assert send.measured_messages >= delay.measured_messages

@@ -1,0 +1,37 @@
+"""Ablation: per-interface vs per-prefix MRAI timers.
+
+RFC 4271 specifies per-prefix ("per destination") rate limiting; vendors
+— and the paper — implement per-interface timers for efficiency.  With
+the paper's single-prefix C-event workload the two must agree almost
+exactly, which justifies the paper's modelling choice.
+"""
+
+import pytest
+
+from repro.bgp.config import BGPConfig, MRAIMode
+from repro.core.cevent import run_c_event_experiment
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+from repro.topology.types import NodeType
+
+FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+
+
+@pytest.mark.parametrize("mode", list(MRAIMode), ids=lambda m: m.value)
+def test_mrai_mode_churn(benchmark, mode):
+    graph = generate_topology(baseline_params(300), seed=5)
+    config = FAST.replace(mrai_mode=mode)
+    stats = benchmark.pedantic(
+        lambda: run_c_event_experiment(graph, config, num_origins=4, seed=5),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\n[{mode.value}] U(T)={stats.u(NodeType.T):.2f} "
+        f"U(M)={stats.u(NodeType.M):.2f} messages={stats.measured_messages}"
+    )
+    # single-prefix workload: the two modes must agree exactly
+    reference = run_c_event_experiment(
+        graph, FAST.replace(mrai_mode=MRAIMode.PER_INTERFACE), num_origins=4, seed=5
+    )
+    assert stats.u(NodeType.T) == pytest.approx(reference.u(NodeType.T), rel=1e-9)

@@ -1,0 +1,54 @@
+"""Ablation: the MRAI timer value itself (Griffin–Premore, paper ref [13]).
+
+Sweeps the timer from 0 (no rate limiting) past the standard 30 s on a
+fixed topology and reports churn and convergence per value, under both
+withdrawal treatments.  Expected shapes in the paper's delay-first model:
+
+* UP-phase (announcement) convergence grows ~linearly with the timer;
+* under NO-WRATE the DOWN phase stays fast at any value (withdrawals
+  bypass the timer) while under WRATE it slows with the timer;
+* churn under NO-WRATE is nearly flat in the timer (out-queue coalescing
+  replaces messages that a smaller timer would have sent).
+"""
+
+import pytest
+
+from repro.bgp.config import BGPConfig
+from repro.core.mrai_sweep import run_mrai_sweep
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+from repro.topology.types import NodeType
+
+BASE = BGPConfig(link_delay=0.001, processing_time_max=0.01)
+VALUES = (0.0, 2.0, 8.0, 30.0)
+
+
+@pytest.mark.parametrize("wrate", [False, True], ids=["no-wrate", "wrate"])
+def test_mrai_value_sweep(benchmark, wrate):
+    graph = generate_topology(baseline_params(250), seed=51)
+    sweep = benchmark.pedantic(
+        lambda: run_mrai_sweep(
+            graph,
+            values=VALUES,
+            base_config=BASE.replace(wrate=wrate),
+            num_origins=4,
+            seed=51,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    label = "WRATE" if wrate else "NO-WRATE"
+    print(f"\n[{label}] MRAI sweep on n=250:")
+    print(f"  mrai values:        {list(sweep.values)}")
+    print(f"  U(T):               {[round(v, 2) for v in sweep.u_series(NodeType.T)]}")
+    print(f"  down convergence s: {[round(v, 1) for v in sweep.down_convergence_series()]}")
+    print(f"  up convergence s:   {[round(v, 1) for v in sweep.up_convergence_series()]}")
+
+    up = sweep.up_convergence_series()
+    assert up[-1] > up[0]  # more rate limiting, slower announcements
+    down = sweep.down_convergence_series()
+    if wrate:
+        assert down[-1] > 10.0 * max(down[0], 0.05)
+    else:
+        # withdrawals bypass the timer: DOWN stays far below UP
+        assert down[-1] < up[-1]

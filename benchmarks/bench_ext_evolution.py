@@ -1,0 +1,39 @@
+"""Extension bench: churn trajectory on an *evolving* topology.
+
+The paper regenerates an independent topology per size, which adds
+instance-to-instance variance (its stated reason for plotting confidence
+intervals).  With :func:`repro.topology.evolve.evolve_topology` the same
+network is grown through the sweep, so the U(T) trajectory is a true
+longitudinal measurement.  The Baseline conclusion must survive: tier-1
+churn per C-event increases as the network grows.
+"""
+
+from repro.bgp.config import BGPConfig
+from repro.core.cevent import run_c_event_experiment
+from repro.topology.evolve import evolve_topology
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+from repro.topology.types import NodeType
+from repro.topology.validation import find_violations
+
+FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+SIZES = (200, 400, 600)
+
+
+def _trajectory():
+    graph = generate_topology(baseline_params(SIZES[0]), seed=31)
+    n_t = graph.type_counts()[NodeType.T]
+    series = []
+    for n in SIZES:
+        if len(graph) < n:
+            evolve_topology(graph, baseline_params(n, n_t=n_t), seed=n)
+        assert find_violations(graph) == []
+        stats = run_c_event_experiment(graph, FAST, num_origins=6, seed=31)
+        series.append(stats.u(NodeType.T))
+    return series
+
+
+def test_evolving_topology_churn_trajectory(benchmark):
+    series = benchmark.pedantic(_trajectory, rounds=1, iterations=1)
+    print("\nU(T) on the evolving network:", [round(v, 2) for v in series])
+    assert series[-1] > series[0]

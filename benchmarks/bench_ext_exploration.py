@@ -1,0 +1,42 @@
+"""Extension bench: decision-level path exploration (Sec. 6 mechanism).
+
+Measures best-route changes per C-event directly at the decision process,
+complementing the message-level e-factors of Fig. 12: WRATE must explore
+strictly more than NO-WRATE, and the exploration excess must be larger at
+the network edge (longer paths → more alternatives), matching both the
+paper and the Oliveira et al. measurement it cites.
+"""
+
+from repro.bgp.config import BGPConfig
+from repro.core.exploration import exploration_comparison
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+from repro.topology.types import NodeType
+
+FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+
+
+def test_wrate_path_exploration(benchmark):
+    graph = generate_topology(baseline_params(300), seed=41)
+    results = benchmark.pedantic(
+        lambda: exploration_comparison(graph, FAST, num_origins=6, seed=41),
+        rounds=1,
+        iterations=1,
+    )
+    no_wrate = results["NO-WRATE"]
+    wrate = results["WRATE"]
+    print("\nbest-route changes per C-event (NO-WRATE vs WRATE):")
+    for node_type in no_wrate.changes_per_type:
+        print(
+            f"  {node_type.value:2s}: {no_wrate.changes_per_type[node_type]:.2f} "
+            f"-> {wrate.changes_per_type[node_type]:.2f}"
+        )
+    for node_type in (NodeType.M, NodeType.CP, NodeType.C):
+        assert (
+            wrate.changes_per_type[node_type]
+            > no_wrate.changes_per_type[node_type]
+        )
+    # exploration excess larger at the edge than in the tier-1 core
+    assert wrate.exploration_excess(NodeType.C) + 1.0 >= wrate.exploration_excess(
+        NodeType.T
+    )

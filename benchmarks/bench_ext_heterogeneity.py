@@ -1,0 +1,37 @@
+"""Extension bench: churn concentration across nodes.
+
+Quantifies two observations from the paper and its ref [5] (Broido et
+al.): churn varies strongly across nodes of the same type (heavy-tailed
+degrees), and a small fraction of ASes carries a disproportionate share
+of all updates.
+"""
+
+from repro.bgp.config import BGPConfig
+from repro.core.cevent import run_c_event_experiment
+from repro.core.heterogeneity import churn_heterogeneity
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+from repro.topology.types import NodeType
+
+FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+
+
+def test_churn_concentration(benchmark):
+    graph = generate_topology(baseline_params(400), seed=61)
+    stats = benchmark.pedantic(
+        lambda: run_c_event_experiment(graph, FAST, num_origins=8, seed=61),
+        rounds=1,
+        iterations=1,
+    )
+    reports = churn_heterogeneity(stats)
+    print("\nchurn concentration per node type:")
+    for node_type, report in reports.items():
+        print(
+            f"  {node_type.value:2s}: gini={report.gini:.2f}  "
+            f"top-10% share={report.top_10_percent_share * 100:.0f}%  "
+            f"max/mean={report.max_to_mean:.1f}"
+        )
+    m_report = reports[NodeType.M]
+    # heavy-tailed attachment concentrates churn well beyond uniform
+    assert m_report.gini > 0.15
+    assert m_report.top_10_percent_share > 0.15

@@ -1,0 +1,51 @@
+"""Extension bench: continuous workload and monitor burstiness (Sec. 1).
+
+The paper motivates churn scalability with two monitor-side facts: update
+rates grow with the network, and the stream is extremely bursty ("peak
+update rates up to 1000 times higher than the daily averages").  This
+bench drives a Poisson C-event stream with intensity proportional to the
+stub population across two network sizes and checks both directions:
+the monitor's mean update rate grows with n, and the binned rate series
+is peaky (peak ≫ mean).
+"""
+
+from repro.bgp.config import BGPConfig
+from repro.core.workload import WorkloadSpec, run_workload
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+from repro.topology.types import NodeType
+
+FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.005)
+SIZES = (200, 400)
+#: per-stub flap intensity: events/second = RATE_PER_STUB * n_C
+RATE_PER_STUB = 2.5e-4
+
+
+def _run(n: int):
+    graph = generate_topology(baseline_params(n), seed=21)
+    c_count = len(graph.nodes_of_type(NodeType.C))
+    spec = WorkloadSpec(
+        duration=600.0,
+        event_rate=RATE_PER_STUB * c_count,
+        mean_downtime=30.0,
+    )
+    return run_workload(graph, spec, FAST, seed=21)
+
+
+def test_monitor_rate_grows_with_network(benchmark):
+    results = benchmark.pedantic(
+        lambda: [_run(n) for n in SIZES], rounds=1, iterations=1
+    )
+    rates = []
+    for result in results:
+        monitor = result.monitors[0]
+        rate = result.monitor_rate(monitor)
+        report = result.burstiness(monitor, bin_width=30.0)
+        rates.append(rate)
+        print(
+            f"\nn={result.n}: monitor {monitor} mean {rate:.3f} upd/s, "
+            f"peak {report.peak_rate:.2f} upd/s ({report.peak_to_mean:.1f}x mean), "
+            f"{result.events_executed} events"
+        )
+        assert report.peak_to_mean > 2.0  # bursty, as in Sec. 1
+    assert rates[-1] > rates[0]  # churn rate grows with the network

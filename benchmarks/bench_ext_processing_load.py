@@ -1,0 +1,55 @@
+"""Extension bench: router processing load across network sizes.
+
+The paper's Sec.-1 concern is that churn growth translates into
+processing load on core routers.  This bench measures the simulator's
+native queueing metrics (messages processed, busy time, in-queue peaks)
+across two network sizes and checks the load gradient: tier-1 routers
+process more per node than stubs, and their per-node load grows with the
+network.
+"""
+
+from repro.bgp.config import BGPConfig
+from repro.core.load import run_load_probe
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+from repro.topology.types import NodeType
+
+FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+SIZES = (200, 400)
+
+
+def test_processing_load_scaling(benchmark):
+    reports = benchmark.pedantic(
+        lambda: [
+            run_load_probe(
+                generate_topology(baseline_params(n), seed=71),
+                FAST,
+                num_origins=6,
+                seed=71,
+            )
+            for n in SIZES
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print("\nprocessing load per node (mean messages / busy s / peak queue):")
+    for report in reports:
+        for node_type in (NodeType.T, NodeType.M, NodeType.C):
+            load = report.per_type[node_type]
+            print(
+                f"  n={report.n} {node_type.value:2s}: "
+                f"{load.mean_processed:7.1f} msgs  "
+                f"{load.mean_busy_time:6.2f}s busy  "
+                f"queue<= {load.max_queue_length}"
+            )
+    for report in reports:
+        assert (
+            report.per_type[NodeType.T].mean_processed
+            > report.per_type[NodeType.C].mean_processed
+        )
+    # per-node tier-1 load grows with the network (the upgrade treadmill);
+    # note origins are constant, so this is per-event load growth
+    assert (
+        reports[1].per_type[NodeType.T].mean_processed
+        > reports[0].per_type[NodeType.T].mean_processed
+    )

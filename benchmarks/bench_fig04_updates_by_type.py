@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 4 — U(X) per C-event by node type.
+
+Paper shape: U(T) > U(M) ≥ U(CP) > U(C) at every size, all growing with
+n, with tier-1 nodes growing fastest.
+"""
+
+
+def test_fig04_updates_by_type(run_figure):
+    result = run_figure("fig04")
+    assert result.passed, result.to_text()
+    # the paper's ordering at the largest size, re-checked here directly
+    last = -1
+    assert result.series["U(T)"][last] > result.series["U(C)"][last]

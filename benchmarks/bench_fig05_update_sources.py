@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 5 — update sources Uc(T)/Up(T) and U*(M).
+
+Paper shape: at T nodes both customer and peer terms matter, with Uc(T)
+growing quadratically and overtaking; M nodes get the large majority of
+updates from their providers (U(M) ≈ Ud(M)).
+"""
+
+
+def test_fig05_update_sources(run_figure):
+    result = run_figure("fig05")
+    assert result.passed, result.to_text()
+    assert result.series["Ud(M)"][-1] > result.series["Uc(M)"][-1]
+    assert result.series["Ud(M)"][-1] > result.series["Up(M)"][-1]

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 6 — relative increase of Uc(T), Up(T), Ud(M).
+
+Paper shape (n=1000→10000): Uc(T) grows 18.5×, far ahead of Up(T) and of
+Ud(M) (2.6×).  At reduced spans the ratios shrink proportionally but the
+ordering Uc(T) first must hold.
+"""
+
+
+def test_fig06_relative_increase(run_figure):
+    result = run_figure("fig06")
+    assert result.passed, result.to_text()
+    assert result.series["Uc(T) rel"][-1] >= result.series["Ud(M) rel"][-1]

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 7 — the m/e/q factors behind churn growth.
+
+Paper shape: mc,T grows much faster than mp,T and md,M; the e factors sit
+near the NO-WRATE minimum of 2 and barely grow; qd,M ≈ 1 while qp,T ≫
+qc,T and both rise with n.
+"""
+
+
+def test_fig07_factor_decomposition(run_figure):
+    result = run_figure("fig07")
+    assert result.passed, result.to_text()
+    assert max(result.series["ed,M"]) < 3.0  # no path exploration

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 8 — the AS population mix and T-node churn.
+
+Paper shape: RICH-MIDDLE > BASELINE > STATIC-MIDDLE (M nodes are
+crucial); NO-MIDDLE ≈ TRANSIT-CLIQUE and both nearly flat (the number of
+T nodes is irrelevant by itself; a flat Internet scales far better).
+"""
+
+
+def test_fig08_population_mix(run_figure):
+    result = run_figure("fig08")
+    assert result.passed, result.to_text()
+    assert result.series["RICH-MIDDLE"][-1] > result.series["NO-MIDDLE"][-1]

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 9 — the multihoming degree and T-node churn.
+
+Paper shape: DENSE-CORE ≫ DENSE-EDGE > BASELINE; TREE pinned at exactly
+2 updates per C-event; CONSTANT-MHD roughly flat; core multihoming
+inflates qc,T more than edge multihoming.
+"""
+
+
+def test_fig09_multihoming(run_figure):
+    result = run_figure("fig09")
+    assert result.passed, result.to_text()
+    assert result.series["U(T) DENSE-CORE"][-1] > result.series["U(T) BASELINE"][-1]

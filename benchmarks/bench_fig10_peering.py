@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 10 — peering relations and M-node churn.
+
+Paper shape: the peering degree does not cause a significant change in
+churn; NO-PEERING, BASELINE, STRONG-CORE-PEERING and STRONG-EDGE-PEERING
+all coincide (updates cross peering links only for customer routes, with
+customer-only export scope).
+"""
+
+
+def test_fig10_peering(run_figure):
+    result = run_figure("fig10")
+    assert result.passed, result.to_text()

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 11 — provider preference and T-node churn.
+
+Paper shape: buying transit from mid-tier providers (PREFER-MIDDLE)
+maximizes tier-1 churn; direct-to-T attachment (PREFER-TOP) hands T
+nodes far more customers (mc,T) but qc,T collapses and offsets the gain.
+The strict U(T) ordering needs paper-scale multihoming; the mechanism
+checks hold at every scale (see EXPERIMENTS.md).
+"""
+
+
+def test_fig11_provider_preference(run_figure):
+    result = run_figure("fig11")
+    assert result.passed, result.to_text()
+    assert result.series["mc,T PREFER-TOP"][-1] > result.series["mc,T PREFER-MIDDLE"][-1]
+    assert result.series["qc,T PREFER-TOP"][-1] < result.series["qc,T PREFER-MIDDLE"][-1]

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 12 — the effect of WRATE.
+
+Paper shape: rate-limiting explicit withdrawals (RFC 4271) inflates churn
+for every node type; the WRATE/NO-WRATE ratio grows with network size
+(≈ 2× for T at n=10000), is larger at the periphery, and is amplified in
+a dense core (DENSE-CORE ≈ 3.6×).  The mechanism is path exploration,
+visible as e factors well above the NO-WRATE minimum of 2.
+"""
+
+
+def test_fig12_wrate(run_figure):
+    result = run_figure("fig12")
+    assert result.passed, result.to_text()
+    for node_type in ("T", "M", "CP", "C"):
+        assert result.series[f"ratio {node_type}"][-1] > 1.0

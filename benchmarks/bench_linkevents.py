@@ -1,0 +1,53 @@
+"""Bench: link-failure events (the paper's "more complex events").
+
+Fails and restores provider links of a multihomed stub and measures the
+churn reaching each node class.  Compared with a full C-event, a failure
+with a backup path must churn the tier-1 core less: the prefix never
+disappears globally, so only the affected subtree re-routes.
+"""
+
+from repro.bgp.config import BGPConfig
+from repro.core.cevent import run_c_event_experiment
+from repro.core.linkevent import run_link_event_experiment
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+from repro.topology.types import NodeType
+
+FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+
+
+def _multihomed_origin(graph):
+    for origin in graph.nodes_of_type(NodeType.C):
+        if len(graph.providers_of(origin)) >= 2:
+            return origin
+    raise AssertionError("no multihomed C stub in this instance")
+
+
+def test_link_event_churn(benchmark):
+    graph = generate_topology(baseline_params(300), seed=8)
+    origin = _multihomed_origin(graph)
+    stats = benchmark.pedantic(
+        lambda: run_link_event_experiment(
+            graph, FAST, origin=origin, num_links=2, seed=8
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        "\nlink-event churn: "
+        + ", ".join(
+            f"U({t.value})={stats.u(t):.2f}" for t in stats.per_type
+        )
+    )
+    assert stats.mean_down_convergence > 0
+
+
+def test_backup_path_failure_churns_core_less_than_c_event():
+    graph = generate_topology(baseline_params(300), seed=8)
+    origin = _multihomed_origin(graph)
+    provider = graph.providers_of(origin)[0]
+    link_stats = run_link_event_experiment(
+        graph, FAST, origin=origin, links=[(origin, provider)], seed=8
+    )
+    c_stats = run_c_event_experiment(graph, FAST, origins=[origin], seed=8)
+    assert link_stats.u(NodeType.T) <= c_stats.u(NodeType.T)

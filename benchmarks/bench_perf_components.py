@@ -1,0 +1,77 @@
+"""Performance benchmarks of the library's building blocks.
+
+Not paper artifacts — these track the cost of the topology generator, the
+event kernel and a full C-event, so regressions in the hot paths show up
+in ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.bgp.config import BGPConfig
+from repro.core.cevent import run_c_event_experiment
+from repro.core.reference import steady_state_routes
+from repro.sim.engine import Engine
+from repro.sim.network import SimNetwork
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+from repro.topology.types import NodeType
+
+FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+
+
+def test_topology_generation_n1000(benchmark):
+    """Generator throughput at n=1000 (Table-1 Baseline)."""
+    graph = benchmark(lambda: generate_topology(baseline_params(1000), seed=1))
+    assert len(graph) == 1000
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw kernel: schedule+execute 50k chained events."""
+
+    def run():
+        engine = Engine()
+        remaining = [50_000]
+
+        def tick():
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                engine.schedule(0.001, tick)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+        return engine.executed_events
+
+    executed = benchmark(run)
+    assert executed == 50_001
+
+
+def test_single_c_event_n400(benchmark):
+    """One full C-event (warm-up + DOWN + UP) on a 400-node Baseline."""
+    graph = generate_topology(baseline_params(400), seed=2)
+
+    def run():
+        return run_c_event_experiment(graph, FAST, num_origins=1, seed=2)
+
+    stats = benchmark(run)
+    assert stats.measured_messages > 0
+
+
+def test_announcement_flood_n400(benchmark):
+    """Initial announcement convergence on a fresh 400-node network."""
+    graph = generate_topology(baseline_params(400), seed=3)
+    origin = graph.nodes_of_type(NodeType.C)[0]
+
+    def run():
+        network = SimNetwork(graph, FAST, seed=3)
+        network.originate(origin, 0)
+        network.run_to_convergence()
+        return network.delivered_messages
+
+    delivered = benchmark(run)
+    assert delivered > 400
+
+
+def test_oracle_n1000(benchmark):
+    """Steady-state oracle on a 1000-node topology."""
+    graph = generate_topology(baseline_params(1000), seed=4)
+    origin = graph.nodes_of_type(NodeType.C)[0]
+    routes = benchmark(lambda: steady_state_routes(graph, origin))
+    assert len(routes) > 900

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 1 — Baseline parameters, specified vs realized.
+
+Paper: Table 1 defines the Baseline growth model (node mix and degree
+averages as functions of n).  The bench generates one topology per sweep
+size and verifies the realized node mix and multihoming degrees track the
+specification.
+"""
+
+
+def test_table1_parameters(run_figure):
+    result = run_figure("table1")
+    assert result.passed, result.to_text()
+    assert "spec dM" in result.series and "real dM" in result.series

@@ -1,0 +1,65 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each figure benchmark regenerates one paper artifact: it runs the
+registered experiment, prints the same rows/series the paper reports,
+records the rendered result under ``benchmark_results/`` and asserts the
+paper's shape checks.
+
+Scale is controlled by ``REPRO_SCALE`` (default ``smoke`` here, so the
+whole harness runs in minutes; use ``REPRO_SCALE=default`` or ``full``
+for higher-fidelity sweeps — see EXPERIMENTS.md for recorded campaigns).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+from repro.experiments.report import ExperimentResult
+from repro.experiments.scale import get_scale
+
+#: Seed shared by all figure benchmarks (recorded in EXPERIMENTS.md).
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """The scale preset for this benchmark session."""
+    return get_scale(os.environ.get("REPRO_SCALE", "smoke"))
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory where rendered experiment reports are collected."""
+    path = Path(__file__).resolve().parent.parent / "benchmark_results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture
+def run_figure(bench_scale, results_dir, benchmark):
+    """Run one registered figure experiment exactly once, timed.
+
+    Returns the :class:`ExperimentResult`; also prints the report and
+    writes it (text + markdown) under ``benchmark_results/``.
+    """
+
+    def runner(experiment_id: str, **kwargs) -> ExperimentResult:
+        spec = get_experiment(experiment_id)
+        result = benchmark.pedantic(
+            lambda: spec.run(bench_scale, seed=BENCH_SEED, **kwargs),
+            rounds=1,
+            iterations=1,
+        )
+        text = result.to_text()
+        print()
+        print(text)
+        stem = results_dir / f"{experiment_id}_{bench_scale.name}"
+        stem.with_suffix(".txt").write_text(text + "\n", encoding="utf-8")
+        stem.with_suffix(".md").write_text(result.to_markdown(), encoding="utf-8")
+        return result
+
+    return runner

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Churn trend analysis (the Fig. 1 pipeline).
+
+Synthesizes a three-year daily BGP update series with the statistical
+character of the paper's France Telecom RIS monitor (trend + weekly
+rhythm + heavy-tailed burst days), then shows why the paper reaches for
+the Mann-Kendall test: a naive least-squares line is dominated by the
+bursts, while the robust estimate recovers the configured trend.
+
+Run:  python examples/churn_trend_analysis.py [target_growth]
+"""
+
+import sys
+
+from repro.core import fit_linear
+from repro.stats import (
+    ChurnSeriesSpec,
+    mann_kendall,
+    summarize,
+    synthesize_churn_series,
+    trend_total_growth,
+)
+
+
+def main() -> None:
+    target = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
+    spec = ChurnSeriesSpec(days=1095, total_growth=target)
+    series = synthesize_churn_series(spec, seed=4)
+
+    stats = summarize(series)
+    print("Synthetic monitor series (updates/day over 3 years):")
+    print(
+        f"  mean {stats.mean:,.0f}, median {stats.median:,.0f}, "
+        f"p95 {stats.p95:,.0f}, max {stats.maximum:,.0f} "
+        f"({stats.maximum / stats.mean:.0f}x the mean)"
+    )
+
+    mk = mann_kendall(series)
+    print("\nMann-Kendall trend test:")
+    print(f"  S = {mk.s}, z = {mk.z:.1f}, p = {mk.p_value:.2g}")
+    print(f"  verdict: {mk.trend} (tau = {mk.tau:.2f})")
+    print(f"  Sen-slope total growth: {trend_total_growth(series) * 100:+.0f}%")
+
+    naive = fit_linear(list(range(len(series))), series)
+    naive_growth = naive.predict(len(series) - 1) / max(naive.predict(0), 1.0) - 1.0
+    print("\nNaive least-squares line, for contrast:")
+    print(
+        f"  implied growth {naive_growth * 100:+.0f}%  "
+        f"(R2 = {naive.r_squared:.2f} - the bursts dominate the fit)"
+    )
+    print(
+        f"\nConfigured ground truth: {target * 100:+.0f}% — the robust "
+        "estimator should be close, the naive one need not be."
+    )
+
+
+if __name__ == "__main__":
+    main()

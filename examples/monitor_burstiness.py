@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""What a monitor sees: update rates and burstiness on a growing network.
+
+Combines three library extensions: the network *evolves* through
+increasing sizes (same ASes, new attachments), a Poisson C-event
+workload flaps stub prefixes continuously, and monitor tracing reports
+the update stream at a tier-1 vantage point — the simulated counterpart
+of the paper's Fig. 1 monitor, including the Sec.-1 burstiness claim
+(peaks far above the mean rate).
+
+Run:  python examples/monitor_burstiness.py [--quick]
+"""
+
+import sys
+
+from repro import BGPConfig, NodeType, baseline_params, generate_topology
+from repro.core import WorkloadSpec, run_workload
+from repro.experiments.report import format_table
+from repro.topology.evolve import evolve_topology
+
+#: per-C-stub flap intensity (events per second per stub)
+RATE_PER_STUB = 2.5e-4
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    sizes = (200, 350) if quick else (300, 600, 900)
+    duration = 300.0 if quick else 900.0
+    config = BGPConfig(mrai=5.0)
+
+    graph = generate_topology(baseline_params(sizes[0]), seed=3)
+    n_t = graph.type_counts()[NodeType.T]
+    rows = []
+    for n in sizes:
+        if len(graph) < n:
+            evolve_topology(graph, baseline_params(n, n_t=n_t), seed=n)
+        stub_count = len(graph.nodes_of_type(NodeType.C))
+        spec = WorkloadSpec(
+            duration=duration,
+            event_rate=RATE_PER_STUB * stub_count,
+            mean_downtime=30.0,
+        )
+        print(
+            f"n={n}: injecting ~{spec.event_rate * duration:.0f} C-events "
+            f"over {duration:.0f}s of simulated time ..."
+        )
+        result = run_workload(graph, spec, config, seed=3)
+        monitor = result.monitors[0]
+        report = result.burstiness(monitor, bin_width=30.0)
+        rows.append(
+            [
+                str(n),
+                str(result.events_executed),
+                f"{result.monitor_rate(monitor):.3f}",
+                f"{report.peak_rate:.2f}",
+                f"{report.peak_to_mean:.1f}x",
+                f"{report.quiet_fraction * 100:.0f}%",
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["n", "events", "mean upd/s", "peak upd/s", "peak/mean", "quiet bins"],
+            rows,
+            title="Tier-1 monitor view as the same network evolves",
+        )
+    )
+    print(
+        "\nBoth Fig.-1 motifs appear: the mean update rate climbs as the "
+        "network grows,\nand the stream is bursty — short bins far above "
+        "the average, many bins silent."
+    )
+
+
+if __name__ == "__main__":
+    main()

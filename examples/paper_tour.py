@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""A guided tour of the paper, reproduced live at laptop scale.
+
+Walks the reader through the paper's storyline — motivation, model,
+factor analysis, what-if scenarios, and the WRATE verdict — running a
+miniature version of each experiment and printing the claim next to the
+measurement.  Takes a couple of minutes.
+
+Run:  python examples/paper_tour.py
+"""
+
+from repro import (
+    BGPConfig,
+    NodeType,
+    Relationship,
+    baseline_params,
+    generate_topology,
+    scenario_params,
+)
+from repro.core import run_c_event_experiment
+from repro.stats import mann_kendall, synthesize_churn_series, trend_total_growth
+from repro.topology.metrics import (
+    average_valley_free_path_length,
+    clustering_coefficient,
+)
+
+SIZES = (300, 600, 900)
+ORIGINS = 8
+CONFIG = BGPConfig(mrai=10.0)
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main() -> None:
+    banner("Sec. 1 — Motivation: churn grows fast and is hard to eyeball")
+    series = synthesize_churn_series(seed=0)
+    mk = mann_kendall(series)
+    print(
+        "A three-year daily-update series (synthetic stand-in for the "
+        "paper's RIS monitor)\nlooks like noise, but Mann-Kendall finds: "
+        f"trend={mk.trend}, total growth {trend_total_growth(series) * 100:+.0f}%."
+    )
+
+    banner("Sec. 3 — A controllable topology generator")
+    graphs = {n: generate_topology(baseline_params(n), seed=1) for n in SIZES}
+    for n, graph in graphs.items():
+        print(
+            f"  n={n}: clustering {clustering_coefficient(graph):.2f}, "
+            f"avg path length "
+            f"{average_valley_free_path_length(graph, sources=30):.2f} hops"
+        )
+    print("Hierarchy, clustering and ~4-hop paths persist at every size.")
+
+    banner("Sec. 4 — Who suffers as the network grows?")
+    stats = {
+        n: run_c_event_experiment(graph, CONFIG, num_origins=ORIGINS, seed=1)
+        for n, graph in graphs.items()
+    }
+    print(f"{'n':>6} " + " ".join(f"U({t.value:2s})" for t in NodeType))
+    for n in SIZES:
+        print(
+            f"{n:>6} "
+            + " ".join(f"{stats[n].u(t):5.2f}" for t in NodeType)
+        )
+    print("Tier-1 (T) nodes see the most churn, and the fastest growth.")
+
+    banner("Sec. 4 — Why: the Eq. (1) factors U = m * q * e")
+    small, large = stats[SIZES[0]], stats[SIZES[-1]]
+    for label, node_type, rel in (
+        ("customers of T", NodeType.T, Relationship.CUSTOMER),
+        ("providers of M", NodeType.M, Relationship.PROVIDER),
+    ):
+        f_small, f_large = small.factors(node_type), large.factors(node_type)
+        print(
+            f"  {label}: m {f_small.m(rel):.1f}->{f_large.m(rel):.1f}, "
+            f"q {f_small.q(rel):.3f}->{f_large.q(rel):.3f}, "
+            f"e {f_small.e(rel):.2f}->{f_large.e(rel):.2f}"
+        )
+    print(
+        "The m-factors (neighbour counts) do the growing; e stays pinned "
+        "near 2 under NO-WRATE."
+    )
+
+    banner("Sec. 5 — What-if: two corner cases")
+    tree = generate_topology(scenario_params("TREE", 600), seed=1)
+    tree_stats = run_c_event_experiment(tree, CONFIG, num_origins=ORIGINS, seed=1)
+    print(f"  TREE (single-homing): U(T) = {tree_stats.u(NodeType.T):.2f} "
+          "(paper: exactly 2 - one withdrawal, one announcement)")
+    dense = generate_topology(scenario_params("DENSE-CORE", 600), seed=1)
+    dense_stats = run_c_event_experiment(dense, CONFIG, num_origins=ORIGINS, seed=1)
+    print(
+        f"  DENSE-CORE (3x core multihoming): U(T) = "
+        f"{dense_stats.u(NodeType.T):.2f} vs Baseline "
+        f"{stats[600].u(NodeType.T):.2f} - core meshing multiplies churn"
+    )
+
+    banner("Sec. 6 — The WRATE verdict")
+    wrate_stats = run_c_event_experiment(
+        graphs[600], CONFIG.replace(wrate=True), num_origins=ORIGINS, seed=1
+    )
+    for node_type in (NodeType.T, NodeType.C):
+        ratio = wrate_stats.u(node_type) / stats[600].u(node_type)
+        print(
+            f"  U({node_type.value}) with rate-limited withdrawals: "
+            f"{ratio:.2f}x NO-WRATE"
+        )
+    print(
+        f"  convergence after withdrawal: {stats[600].mean_down_convergence:.0f}s "
+        f"-> {wrate_stats.mean_down_convergence:.0f}s"
+    )
+    print(
+        "\nConclusion (Sec. 8): topology growth concentrated in the transit "
+        "core drives churn;\nrate-limiting explicit withdrawals (RFC 4271) "
+        "makes everything worse. Don't."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""What-if growth scenarios: how does tier-1 churn scale when the
+Internet grows differently? (Sec. 5 of the paper, Figs. 8-11.)
+
+Sweeps a handful of named scenarios over increasing network sizes and
+prints the U(T) growth table plus a verdict per scenario.
+
+Run:  python examples/whatif_growth_scenarios.py [--quick]
+"""
+
+import sys
+
+from repro import NodeType
+from repro.core import run_scenario_comparison
+from repro.experiments.report import format_table, series_ratio
+
+SCENARIOS = [
+    "BASELINE",
+    "RICH-MIDDLE",
+    "NO-MIDDLE",
+    "DENSE-CORE",
+    "CONSTANT-MHD",
+    "TREE",
+    "NO-PEERING",
+]
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    sizes = (200, 400) if quick else (300, 600, 900, 1200)
+    origins = 4 if quick else 10
+
+    print(f"Sweeping {len(SCENARIOS)} growth scenarios over n={sizes} ...")
+    results = run_scenario_comparison(
+        SCENARIOS, sizes=sizes, num_origins=origins, seed=0,
+        progress=lambda s, n, _: print(f"  done: {s} n={n}"),
+    )
+
+    headers = ["scenario"] + [f"U(T) n={n}" for n in sizes] + ["growth"]
+    rows = []
+    for name in SCENARIOS:
+        series = results[name].u_series(NodeType.T)
+        rows.append(
+            [name]
+            + [f"{value:.2f}" for value in series]
+            + [f"{series_ratio(series):.2f}x"]
+        )
+    print()
+    print(format_table(headers, rows, title="Updates per C-event at tier-1 (T) nodes"))
+
+    base_level = results["BASELINE"].u_series(NodeType.T)[-1]
+    print("\nReadings (paper Sec. 5), at the largest size in the sweep:")
+    for name in SCENARIOS:
+        level = results[name].u_series(NodeType.T)[-1]
+        growth = series_ratio(results[name].u_series(NodeType.T))
+        if name == "BASELINE":
+            verdict = "reference growth pattern"
+        elif level > 1.3 * base_level:
+            verdict = "MORE tier-1 churn than the Baseline"
+        elif level < 0.7 * base_level:
+            verdict = "LESS tier-1 churn than the Baseline"
+        else:
+            verdict = "churn comparable to the Baseline"
+        print(f"  {name:16s} U(T)={level:6.2f} ({growth:.2f}x over the sweep)  {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""WRATE vs NO-WRATE: should explicit withdrawals be rate-limited?
+
+Reproduces the Sec. 6 analysis: the same topology is simulated under
+RFC 1771 semantics (withdrawals bypass the MRAI timer, NO-WRATE) and
+RFC 4271 semantics (withdrawals rate-limited, WRATE), and the script
+reports the churn inflation, the e-factor growth that explains it, and
+the convergence-time cost.
+
+Run:  python examples/wrate_vs_nowrate.py [n] [origins]
+"""
+
+import sys
+
+from repro import NO_WRATE_CONFIG, WRATE_CONFIG, NodeType, Relationship
+from repro import baseline_params, generate_topology
+from repro.core import run_c_event_experiment
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    origins = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    print(f"Simulating n={n}, {origins} C-events under both MRAI variants ...")
+    graph = generate_topology(baseline_params(n), seed=2)
+    no_wrate = run_c_event_experiment(graph, NO_WRATE_CONFIG, num_origins=origins, seed=2)
+    wrate = run_c_event_experiment(graph, WRATE_CONFIG, num_origins=origins, seed=2)
+
+    headers = ["node type", "U no-wrate", "U wrate", "ratio"]
+    rows = []
+    for node_type in (NodeType.T, NodeType.M, NodeType.CP, NodeType.C):
+        u_nw = no_wrate.u(node_type)
+        u_w = wrate.u(node_type)
+        ratio = u_w / u_nw if u_nw else float("nan")
+        rows.append([node_type.value, f"{u_nw:.2f}", f"{u_w:.2f}", f"{ratio:.2f}x"])
+    print()
+    print(format_table(headers, rows, title="Churn per C-event (Fig. 12 top)"))
+
+    print("\nWhy: rate-limited withdrawals enable path exploration,")
+    print("inflating the per-neighbour update counts (e factors):")
+    headers = ["e factor", "no-wrate", "wrate"]
+    rows = []
+    for label, node_type, rel in (
+        ("ec,T", NodeType.T, Relationship.CUSTOMER),
+        ("ep,T", NodeType.T, Relationship.PEER),
+        ("ed,M", NodeType.M, Relationship.PROVIDER),
+        ("ed,C", NodeType.C, Relationship.PROVIDER),
+    ):
+        rows.append(
+            [
+                label,
+                f"{no_wrate.factors(node_type).e(rel):.2f}",
+                f"{wrate.factors(node_type).e(rel):.2f}",
+            ]
+        )
+    print(format_table(headers, rows))
+
+    print(
+        f"\nConvergence after withdrawal: "
+        f"{no_wrate.mean_down_convergence:.0f}s (NO-WRATE) vs "
+        f"{wrate.mean_down_convergence:.0f}s (WRATE) of simulated time."
+    )
+    print(
+        "Conclusion (paper Sec. 6/8): rate-limiting explicit withdrawals, "
+        "as RFC 4271 now requires,\nsignificantly increases churn and slows "
+        "convergence - and the penalty grows with network size."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so editable installs work on environments
+whose setuptools predates PEP 660 wheel-less editable support
+(``python setup.py develop`` / ``pip install -e .`` both work).
+"""
+
+from setuptools import setup
+
+setup()

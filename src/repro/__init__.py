@@ -1,0 +1,86 @@
+"""repro — a reproduction of "On the scalability of BGP: the roles of
+topology growth and update rate-limiting" (Elmokashfi, Kvalbein, Dovrolis;
+CoNEXT 2008).
+
+The package provides:
+
+* :mod:`repro.topology` — the paper's parameterized AS-level topology
+  generator (Table 1) and all Sec. 5 growth-scenario deviations;
+* :mod:`repro.bgp` — the BGP speaker model (policies, decision process,
+  MRAI with the WRATE / NO-WRATE variants, route-flap damping);
+* :mod:`repro.sim` — the discrete-event simulator;
+* :mod:`repro.core` — C-event / link-event experiments, the m·q·e factor
+  decomposition of Eq. (1), growth sweeps and regression tools;
+* :mod:`repro.stats` — Mann–Kendall trend test, confidence intervals,
+  synthetic churn series;
+* :mod:`repro.experiments` — one runnable experiment per paper figure.
+
+Quickstart::
+
+    from repro import baseline_params, generate_topology, run_c_event_experiment
+
+    graph = generate_topology(baseline_params(1000), seed=1)
+    stats = run_c_event_experiment(graph, num_origins=10, seed=1)
+    print({t.value: stats.u(t) for t in stats.per_type})
+"""
+
+from repro._version import __version__
+from repro.bgp import BGPConfig, MRAIMode, NO_WRATE_CONFIG, WRATE_CONFIG
+from repro.core import (
+    CEventStats,
+    SweepResult,
+    run_c_event_experiment,
+    run_growth_sweep,
+    run_link_event_experiment,
+    run_scenario_comparison,
+)
+from repro.errors import (
+    ConvergenceError,
+    ExperimentError,
+    ParameterError,
+    ReproError,
+    SerializationError,
+    SimulationError,
+    TopologyError,
+)
+from repro.sim import SimNetwork
+from repro.topology import (
+    ASGraph,
+    NodeType,
+    Relationship,
+    TopologyParams,
+    baseline_params,
+    generate_topology,
+    scenario_names,
+    scenario_params,
+)
+
+__all__ = [
+    "ASGraph",
+    "BGPConfig",
+    "CEventStats",
+    "ConvergenceError",
+    "ExperimentError",
+    "MRAIMode",
+    "NO_WRATE_CONFIG",
+    "NodeType",
+    "ParameterError",
+    "Relationship",
+    "ReproError",
+    "SerializationError",
+    "SimNetwork",
+    "SimulationError",
+    "SweepResult",
+    "TopologyError",
+    "TopologyParams",
+    "WRATE_CONFIG",
+    "__version__",
+    "baseline_params",
+    "generate_topology",
+    "run_c_event_experiment",
+    "run_growth_sweep",
+    "run_link_event_experiment",
+    "run_scenario_comparison",
+    "scenario_names",
+    "scenario_params",
+]

@@ -1,0 +1,31 @@
+"""BGP protocol model: routes, policies, decision process, MRAI, damping."""
+
+from repro.bgp.config import (
+    NO_WRATE_CONFIG,
+    WRATE_CONFIG,
+    BGPConfig,
+    DampingConfig,
+    MRAIMode,
+    SendDiscipline,
+)
+from repro.bgp.messages import UpdateMessage, announcement, withdrawal
+from repro.bgp.node import BGPNode
+from repro.bgp.route import Route, best_route, import_route, local_route, stable_hash
+
+__all__ = [
+    "BGPConfig",
+    "BGPNode",
+    "DampingConfig",
+    "MRAIMode",
+    "NO_WRATE_CONFIG",
+    "Route",
+    "SendDiscipline",
+    "UpdateMessage",
+    "WRATE_CONFIG",
+    "announcement",
+    "best_route",
+    "import_route",
+    "local_route",
+    "stable_hash",
+    "withdrawal",
+]

@@ -1,0 +1,113 @@
+"""Route-flap damping (RFC 2439) — a paper future-work extension.
+
+The paper lists Route Flap Dampening among the BGP mechanisms it plans to
+study next; we implement the standard penalty model so the simulator can
+ablate its interaction with MRAI churn.
+
+Per (neighbour, prefix) the receiver keeps a *figure of merit* (penalty)
+that is incremented on each flap and decays exponentially with a
+configurable half-life.  While the penalty is at or above the suppress
+threshold the route is excluded from the decision process; it becomes
+usable again once the penalty decays below the reuse threshold.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.bgp.config import DampingConfig
+
+
+class FlapKind(enum.Enum):
+    """The RFC 2439 events that add penalty."""
+
+    WITHDRAWAL = "withdrawal"
+    READVERTISEMENT = "readvertisement"
+    ATTRIBUTE_CHANGE = "attribute-change"
+
+
+class PenaltyRecord:
+    """Decaying penalty for one (neighbour, prefix)."""
+
+    __slots__ = ("penalty", "last_update", "suppressed")
+
+    def __init__(self) -> None:
+        self.penalty = 0.0
+        self.last_update = 0.0
+        self.suppressed = False
+
+    def decayed_penalty(self, now: float, half_life: float) -> float:
+        """Penalty after exponential decay up to ``now``."""
+        elapsed = max(0.0, now - self.last_update)
+        return self.penalty * math.pow(2.0, -elapsed / half_life)
+
+
+class RouteFlapDamper:
+    """All damping state of one receiving node."""
+
+    def __init__(self, config: DampingConfig) -> None:
+        self._config = config
+        self._records: Dict[Tuple[int, int], PenaltyRecord] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether damping participates in the decision process."""
+        return self._config.enabled
+
+    def _penalty_for(self, kind: FlapKind) -> float:
+        if kind is FlapKind.WITHDRAWAL:
+            return self._config.withdrawal_penalty
+        if kind is FlapKind.READVERTISEMENT:
+            return self._config.readvertisement_penalty
+        return self._config.attribute_change_penalty
+
+    def record_flap(self, neighbor: int, prefix: int, kind: FlapKind, now: float) -> float:
+        """Register a flap; returns the updated penalty."""
+        record = self._records.setdefault((neighbor, prefix), PenaltyRecord())
+        record.penalty = record.decayed_penalty(now, self._config.half_life)
+        record.penalty += self._penalty_for(kind)
+        record.last_update = now
+        if record.penalty >= self._config.suppress_threshold:
+            record.suppressed = True
+        return record.penalty
+
+    def is_suppressed(self, neighbor: int, prefix: int, now: float) -> bool:
+        """Whether routes from ``neighbor`` for ``prefix`` are unusable now."""
+        if not self._config.enabled:
+            return False
+        record = self._records.get((neighbor, prefix))
+        if record is None or not record.suppressed:
+            return False
+        penalty = record.decayed_penalty(now, self._config.half_life)
+        if penalty < self._config.reuse_threshold:
+            record.suppressed = False
+            record.penalty = penalty
+            record.last_update = now
+            return False
+        if now - record.last_update >= self._config.max_suppress_time:
+            record.suppressed = False
+            return False
+        return True
+
+    def time_until_reuse(self, neighbor: int, prefix: int, now: float) -> Optional[float]:
+        """Seconds until the record decays to the reuse threshold.
+
+        Returns None when the route is not currently suppressed.
+        """
+        record = self._records.get((neighbor, prefix))
+        if record is None or not record.suppressed:
+            return None
+        penalty = record.decayed_penalty(now, self._config.half_life)
+        if penalty < self._config.reuse_threshold:
+            return 0.0
+        wait = self._config.half_life * math.log2(penalty / self._config.reuse_threshold)
+        return min(wait, max(0.0, self._config.max_suppress_time - (now - record.last_update)))
+
+    def penalty(self, neighbor: int, prefix: int, now: float) -> float:
+        """Current decayed penalty (0 when no record exists)."""
+        record = self._records.get((neighbor, prefix))
+        if record is None:
+            return 0.0
+        return record.decayed_penalty(now, self._config.half_life)

@@ -1,0 +1,34 @@
+"""The BGP decision process (Sec. 2 of the paper).
+
+Selection order among candidate routes for a prefix:
+
+1. highest local preference (customer > peer > provider, set at import),
+2. shortest AS path,
+3. stable hash of the node ids (deterministic, receiver-salted).
+
+Locally originated routes carry a local preference above customer routes
+and therefore always win at the origin.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.bgp.route import Route
+
+
+def select_best(receiver_id: int, candidates: List[Route]) -> Optional[Route]:
+    """Pick the most preferred route, or None when no candidate exists."""
+    best: Optional[Route] = None
+    best_key: Optional[Tuple[int, int, int]] = None
+    for route in candidates:
+        key = route.preference_key(receiver_id)
+        if best_key is None or key < best_key:
+            best = route
+            best_key = key
+    return best
+
+
+def rank(receiver_id: int, candidates: List[Route]) -> List[Route]:
+    """All candidates ordered from most to least preferred."""
+    return sorted(candidates, key=lambda route: route.preference_key(receiver_id))

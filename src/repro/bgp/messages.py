@@ -1,0 +1,55 @@
+"""BGP update messages exchanged between neighbouring ASes.
+
+A message is either an **announcement** (carries an AS path) or an explicit
+**withdrawal** (no path).  The distinction matters for the MRAI variants:
+NO-WRATE lets withdrawals bypass the rate-limiting timer, WRATE does not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class UpdateMessage:
+    """One BGP UPDATE for a single prefix.
+
+    ``path`` is the AS path as sent on the wire (sender prepended);
+    ``None`` marks an explicit withdrawal.
+    """
+
+    sender: int
+    receiver: int
+    prefix: int
+    path: Optional[Tuple[int, ...]]
+
+    @property
+    def is_withdrawal(self) -> bool:
+        """Whether this update withdraws the prefix."""
+        return self.path is None
+
+    @property
+    def is_announcement(self) -> bool:
+        """Whether this update announces a path."""
+        return self.path is not None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_withdrawal:
+            return f"W({self.sender}->{self.receiver} pfx={self.prefix})"
+        return (
+            f"A({self.sender}->{self.receiver} pfx={self.prefix} "
+            f"path={'-'.join(map(str, self.path))})"
+        )
+
+
+def announcement(sender: int, receiver: int, prefix: int, path: Tuple[int, ...]) -> UpdateMessage:
+    """Build an announcement message (path must be non-empty)."""
+    if not path:
+        raise ValueError("announcement requires a non-empty AS path")
+    return UpdateMessage(sender=sender, receiver=receiver, prefix=prefix, path=tuple(path))
+
+
+def withdrawal(sender: int, receiver: int, prefix: int) -> UpdateMessage:
+    """Build an explicit withdrawal message."""
+    return UpdateMessage(sender=sender, receiver=receiver, prefix=prefix, path=None)

@@ -1,0 +1,173 @@
+"""Per-neighbour output queue gated by the MRAI rate-limiting timer.
+
+This module implements the out-queue + timer box of the paper's node model
+(Fig. 2) with both specification variants:
+
+* **NO-WRATE** (RFC 1771 / Quagga): explicit withdrawals bypass the timer
+  and are sent immediately; only announcements are rate limited.
+* **WRATE** (RFC 4271): withdrawals are rate limited like any other update.
+
+and both deployment granularities:
+
+* **per-interface** (vendor practice, used in the paper): one timer gates
+  the whole neighbour session; when it expires, all pending updates are
+  flushed in one batch and the timer restarts;
+* **per-prefix** (the letter of RFC 4271): independent gates per prefix.
+
+Timer semantics: when the gate is open, an update is sent immediately and
+the gate closes for one jittered MRAI interval; while closed, the newest
+desired state per prefix waits in the queue, replacing anything older
+("if a queued update becomes invalid by a new update, the former is
+removed from the output queue").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.bgp.config import BGPConfig, MRAIMode, SendDiscipline
+from repro.bgp.messages import UpdateMessage, announcement, withdrawal
+
+#: A target state for a prefix at a neighbour: the AS path to advertise,
+#: or None meaning "withdrawn / no route".
+TargetState = Optional[Tuple[int, ...]]
+
+
+class OutputChannel:
+    """Out-queue and MRAI state for one directed (node → neighbour) session."""
+
+    def __init__(
+        self, owner: int, neighbor: int, config: BGPConfig, rng: random.Random
+    ) -> None:
+        self.owner = owner
+        self.neighbor = neighbor
+        self._config = config
+        self._rng = rng
+        #: What the neighbour currently believes, per prefix (None/absent =
+        #: no route).  Only explicitly advertised-then-withdrawn prefixes
+        #: keep a None entry; never-advertised prefixes are absent.
+        self._sent: Dict[int, TargetState] = {}
+        #: Updates waiting for the timer, newest target per prefix.
+        self._pending: Dict[int, TargetState] = {}
+        #: Gate(s): time at which the next rate-limited send is allowed.
+        self._interface_gate = 0.0
+        self._prefix_gates: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests and the node)
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Number of prefixes with an update waiting in the out-queue."""
+        return len(self._pending)
+
+    def advertised(self, prefix: int) -> TargetState:
+        """The state last sent to the neighbour for ``prefix``."""
+        return self._sent.get(prefix)
+
+    def has_advertised(self, prefix: int) -> bool:
+        """Whether an announcement for ``prefix`` is currently outstanding."""
+        return self._sent.get(prefix) is not None
+
+    def reset(self) -> None:
+        """Forget all session state (used when the BGP session goes down)."""
+        self._sent.clear()
+        self._pending.clear()
+        self._interface_gate = 0.0
+        self._prefix_gates.clear()
+
+    # ------------------------------------------------------------------
+    # Main entry points
+    # ------------------------------------------------------------------
+    def set_target(
+        self, prefix: int, target: TargetState, now: float
+    ) -> Tuple[List[UpdateMessage], Optional[float]]:
+        """Declare the state the neighbour *should* have for ``prefix``.
+
+        Returns ``(messages_to_send_now, wakeup_time)``; ``wakeup_time`` is
+        the absolute time at which :meth:`wakeup` must be called to flush a
+        queued update (None when nothing is queued by this call).
+        """
+        if prefix in self._pending:
+            if self._pending[prefix] == target:
+                return [], None
+            # Output-queue invalidation: the newer update replaces the old.
+            del self._pending[prefix]
+        if self._sent.get(prefix) == target:
+            # Converged back to what the neighbour already knows.
+            return [], None
+        if target is None and self._sent.get(prefix) is None:
+            # Withdrawal for a prefix the neighbour never had: suppress.
+            return [], None
+
+        is_withdrawal = target is None
+        bypass = is_withdrawal and not self._config.wrate
+        if bypass or not self._config.rate_limiting_enabled:
+            return [self._send(prefix, target, now, arm_timer=not bypass)], None
+
+        gate = self._gate_for(prefix)
+        if self._config.discipline is SendDiscipline.SEND_FIRST and now >= gate:
+            return [self._send(prefix, target, now, arm_timer=True)], None
+        # Delay-first (the paper's model): the update always waits in the
+        # out-queue for a timer expiry; an idle timer is armed now.
+        if now >= gate:
+            gate = self._arm(prefix, now)
+        self._pending[prefix] = target
+        return [], gate
+
+    def wakeup(self, now: float) -> Tuple[List[UpdateMessage], Optional[float]]:
+        """Timer callback: flush whatever the expired gate(s) allow.
+
+        Returns ``(messages, next_wakeup)`` where ``next_wakeup`` is the
+        earliest still-pending gate (None when the queue drained).
+        """
+        messages: List[UpdateMessage] = []
+        if self._config.mrai_mode is MRAIMode.PER_INTERFACE:
+            if self._pending and now >= self._interface_gate:
+                # One expiry flushes the whole interface queue as a batch,
+                # and the timer is re-armed once for the batch.
+                batch = sorted(self._pending.items())
+                self._pending = {}
+                armed = False
+                for prefix, target in batch:
+                    messages.append(self._send(prefix, target, now, arm_timer=not armed))
+                    armed = True
+            next_wakeup = self._interface_gate if self._pending else None
+            return messages, next_wakeup
+
+        due = [p for p, gate in self._prefix_gates.items() if p in self._pending and now >= gate]
+        for prefix in sorted(due):
+            target = self._pending.pop(prefix)
+            messages.append(self._send(prefix, target, now, arm_timer=True))
+        remaining = [self._prefix_gates[p] for p in self._pending]
+        return messages, (min(remaining) if remaining else None)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _gate_for(self, prefix: int) -> float:
+        if self._config.mrai_mode is MRAIMode.PER_INTERFACE:
+            return self._interface_gate
+        return self._prefix_gates.get(prefix, 0.0)
+
+    def _arm(self, prefix: int, now: float) -> float:
+        interval = self._config.mrai * self._rng.uniform(
+            self._config.jitter_low, self._config.jitter_high
+        )
+        gate = now + interval
+        if self._config.mrai_mode is MRAIMode.PER_INTERFACE:
+            self._interface_gate = gate
+        else:
+            self._prefix_gates[prefix] = gate
+        return gate
+
+    def _send(
+        self, prefix: int, target: TargetState, now: float, *, arm_timer: bool
+    ) -> UpdateMessage:
+        self._sent[prefix] = target
+        if arm_timer and self._config.rate_limiting_enabled:
+            self._arm(prefix, now)
+        if target is None:
+            return withdrawal(self.owner, self.neighbor, prefix)
+        return announcement(self.owner, self.neighbor, prefix, (self.owner,) + target)

@@ -1,0 +1,315 @@
+"""The simulated BGP speaker (the node model of Fig. 2).
+
+Each AS is one :class:`BGPNode` holding:
+
+* a FIFO **in-queue** drained by a single processor whose per-message
+  service time is uniform in [0, 100 ms];
+* an **Adj-RIB-In** per neighbour and a **Loc-RIB** with the selected
+  best route;
+* per-neighbour **output channels** (export filter + MRAI-gated out-queue,
+  see :mod:`repro.bgp.mrai`).
+
+The node is transport-agnostic: it emits outgoing messages through a
+``transmit`` callback supplied by the network layer, and schedules its own
+processing/timer events on the discrete-event engine.
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+from typing import Callable, Deque, Dict, Optional
+
+from repro.bgp.config import BGPConfig
+from repro.bgp.damping import FlapKind, RouteFlapDamper
+from repro.bgp.decision import select_best
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.mrai import OutputChannel
+from repro.bgp.policy import exportable
+from repro.bgp.rib import AdjRIBIn, LocRIB
+from repro.bgp.route import Route, import_route, local_route
+from repro.errors import SimulationError
+from repro.topology.types import NodeType, Relationship
+
+TransmitFn = Callable[[UpdateMessage, float], None]
+
+
+class BGPNode:
+    """One AS in the simulation."""
+
+    def __init__(
+        self,
+        node_id: int,
+        node_type: NodeType,
+        neighbors: Dict[int, Relationship],
+        engine: "EngineProtocol",
+        config: BGPConfig,
+        rng: random.Random,
+        transmit: TransmitFn,
+    ) -> None:
+        self.node_id = node_id
+        self.node_type = node_type
+        self.neighbors = dict(neighbors)
+        self._engine = engine
+        self._config = config
+        self._rng = rng
+        self._transmit = transmit
+        self._in_queue: Deque[UpdateMessage] = collections.deque()
+        self._busy = False
+        self.adj_rib_in = AdjRIBIn()
+        self.loc_rib = LocRIB()
+        self._local_routes: Dict[int, Route] = {}
+        self._channels: Dict[int, OutputChannel] = {
+            neighbor: OutputChannel(node_id, neighbor, config, rng)
+            for neighbor in neighbors
+        }
+        self._wakeup_at: Dict[int, Optional[float]] = {n: None for n in neighbors}
+        self._down_neighbors: set[int] = set()
+        self._damper = RouteFlapDamper(config.damping)
+        #: Messages processed by this node (for queue/occupancy statistics).
+        self.processed_count = 0
+        #: Total seconds the processor has spent servicing updates.
+        self.busy_time = 0.0
+        #: High-water mark of the in-queue (including the job in service).
+        self.max_queue_length = 0
+        #: Number of times the best route changed, per prefix.  The diff
+        #: between two snapshots measures path exploration depth.
+        self.best_change_count: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Origin operations
+    # ------------------------------------------------------------------
+    def originate(self, prefix: int) -> None:
+        """Start announcing ``prefix`` as its origin AS."""
+        self._local_routes[prefix] = local_route(prefix)
+        self._run_decision(prefix, self._engine.now)
+
+    def withdraw_origin(self, prefix: int) -> None:
+        """Stop originating ``prefix`` (the DOWN half of a C-event)."""
+        if prefix not in self._local_routes:
+            raise SimulationError(
+                f"node {self.node_id} does not originate prefix {prefix}"
+            )
+        del self._local_routes[prefix]
+        self._run_decision(prefix, self._engine.now)
+
+    def originates(self, prefix: int) -> bool:
+        """Whether this node currently originates ``prefix``."""
+        return prefix in self._local_routes
+
+    # ------------------------------------------------------------------
+    # Message intake (called by the network at delivery time)
+    # ------------------------------------------------------------------
+    def receive(self, message: UpdateMessage) -> None:
+        """Place an incoming update in the FIFO in-queue."""
+        if message.receiver != self.node_id:
+            raise SimulationError(
+                f"node {self.node_id} received message addressed to {message.receiver}"
+            )
+        if message.sender not in self.neighbors:
+            raise SimulationError(
+                f"node {self.node_id} received update from non-neighbor {message.sender}"
+            )
+        if message.sender in self._down_neighbors:
+            return  # in-flight message on a failed link: dropped
+        self._in_queue.append(message)
+        if len(self._in_queue) > self.max_queue_length:
+            self.max_queue_length = len(self._in_queue)
+        if not self._busy:
+            self._start_service()
+
+    @property
+    def queue_length(self) -> int:
+        """Current in-queue occupancy (including the message in service)."""
+        return len(self._in_queue)
+
+    def _start_service(self) -> None:
+        self._busy = True
+        delay = self._rng.uniform(0.0, self._config.processing_time_max)
+        self.busy_time += delay
+        self._engine.schedule(delay, self._complete_service)
+
+    def _complete_service(self) -> None:
+        now = self._engine.now
+        message = self._in_queue.popleft()
+        self.processed_count += 1
+        self._process(message, now)
+        if self._in_queue:
+            self._start_service()
+        else:
+            self._busy = False
+
+    # ------------------------------------------------------------------
+    # Update processing, decision and export
+    # ------------------------------------------------------------------
+    def _process(self, message: UpdateMessage, now: float) -> None:
+        prefix = message.prefix
+        sender = message.sender
+        previous = self.adj_rib_in.route_from(prefix, sender)
+        if message.is_withdrawal:
+            route: Optional[Route] = None
+        elif message.path is not None and self.node_id in message.path:
+            # Receiver-side AS-path loop detection: treat as unreachable.
+            route = None
+        else:
+            route = import_route(prefix, message.path, self.neighbors[sender])
+        if self._damper.enabled:
+            self._record_flap(previous, route, sender, prefix, now)
+        self.adj_rib_in.update(prefix, sender, route)
+        self._run_decision(prefix, now)
+
+    def _record_flap(
+        self,
+        previous: Optional[Route],
+        route: Optional[Route],
+        sender: int,
+        prefix: int,
+        now: float,
+    ) -> None:
+        if previous is not None and route is None:
+            kind = FlapKind.WITHDRAWAL
+        elif previous is None and route is not None:
+            kind = FlapKind.READVERTISEMENT
+        elif previous is not None and route is not None and previous != route:
+            kind = FlapKind.ATTRIBUTE_CHANGE
+        else:
+            return
+        self._damper.record_flap(sender, prefix, kind, now)
+        if self._damper.is_suppressed(sender, prefix, now):
+            wait = self._damper.time_until_reuse(sender, prefix, now)
+            if wait is not None and wait > 0:
+                self._engine.schedule(wait, lambda: self._reuse_check(prefix))
+
+    def _reuse_check(self, prefix: int) -> None:
+        """Re-run the decision once a damped route may be reusable."""
+        self._run_decision(prefix, self._engine.now)
+
+    def _candidates(self, prefix: int, now: float) -> list[Route]:
+        candidates: list[Route] = []
+        local = self._local_routes.get(prefix)
+        if local is not None:
+            candidates.append(local)
+        for neighbor, route in self.adj_rib_in.candidates(prefix):
+            if self._damper.enabled and self._damper.is_suppressed(neighbor, prefix, now):
+                continue
+            candidates.append(route)
+        return candidates
+
+    def _run_decision(self, prefix: int, now: float) -> None:
+        best = select_best(self.node_id, self._candidates(prefix, now))
+        changed = self.loc_rib.install(prefix, best)
+        if changed:
+            self.best_change_count[prefix] = self.best_change_count.get(prefix, 0) + 1
+            self._export(prefix, best, now)
+
+    def _export(self, prefix: int, best: Optional[Route], now: float) -> None:
+        for neighbor, relationship in self.neighbors.items():
+            if neighbor in self._down_neighbors:
+                continue
+            if best is not None and exportable(best, neighbor, relationship):
+                target = best.path
+            else:
+                target = None
+            messages, wakeup = self._channels[neighbor].set_target(prefix, target, now)
+            for message in messages:
+                self._transmit(message, now)
+            if wakeup is not None:
+                self._schedule_wakeup(neighbor, wakeup)
+
+    # ------------------------------------------------------------------
+    # Link state (link-failure event extension)
+    # ------------------------------------------------------------------
+    def set_link_down(self, neighbor: int) -> None:
+        """Take the session to ``neighbor`` down.
+
+        All routes learned from the neighbour are flushed (triggering a
+        new decision per affected prefix) and the output channel forgets
+        its session state.
+        """
+        if neighbor not in self.neighbors:
+            raise SimulationError(
+                f"node {self.node_id} has no link to {neighbor}"
+            )
+        if neighbor in self._down_neighbors:
+            return
+        self._down_neighbors.add(neighbor)
+        self._channels[neighbor].reset()
+        self._wakeup_at[neighbor] = None
+        now = self._engine.now
+        for prefix in self.adj_rib_in.prefixes_from(neighbor):
+            self.adj_rib_in.update(prefix, neighbor, None)
+            self._run_decision(prefix, now)
+
+    def set_link_up(self, neighbor: int) -> None:
+        """Restore the session to ``neighbor`` and re-advertise best routes."""
+        if neighbor not in self.neighbors:
+            raise SimulationError(
+                f"node {self.node_id} has no link to {neighbor}"
+            )
+        if neighbor not in self._down_neighbors:
+            return
+        self._down_neighbors.discard(neighbor)
+        now = self._engine.now
+        relationship = self.neighbors[neighbor]
+        for prefix in self.loc_rib.prefixes():
+            best = self.loc_rib.best(prefix)
+            if best is not None and exportable(best, neighbor, relationship):
+                messages, wakeup = self._channels[neighbor].set_target(
+                    prefix, best.path, now
+                )
+                for message in messages:
+                    self._transmit(message, now)
+                if wakeup is not None:
+                    self._schedule_wakeup(neighbor, wakeup)
+
+    def link_is_down(self, neighbor: int) -> bool:
+        """Whether the session to ``neighbor`` is currently down."""
+        return neighbor in self._down_neighbors
+
+    # ------------------------------------------------------------------
+    # MRAI wakeups
+    # ------------------------------------------------------------------
+    def _schedule_wakeup(self, neighbor: int, at: float) -> None:
+        scheduled = self._wakeup_at[neighbor]
+        if scheduled is not None and scheduled <= at:
+            return
+        self._wakeup_at[neighbor] = at
+        self._engine.schedule_at(at, lambda: self._mrai_wakeup(neighbor, at))
+
+    def _mrai_wakeup(self, neighbor: int, at: float) -> None:
+        if self._wakeup_at[neighbor] != at:
+            return  # superseded by an earlier wakeup
+        self._wakeup_at[neighbor] = None
+        now = self._engine.now
+        messages, next_wakeup = self._channels[neighbor].wakeup(now)
+        for message in messages:
+            self._transmit(message, now)
+        if next_wakeup is not None:
+            self._schedule_wakeup(neighbor, next_wakeup)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def best_route(self, prefix: int) -> Optional[Route]:
+        """The currently selected route for ``prefix``."""
+        return self.loc_rib.best(prefix)
+
+    def advertised_to(self, neighbor: int, prefix: int):
+        """The state last sent to ``neighbor`` for ``prefix`` (path or None)."""
+        return self._channels[neighbor].advertised(prefix)
+
+    def channel(self, neighbor: int) -> OutputChannel:
+        """The output channel towards ``neighbor`` (tests / diagnostics)."""
+        return self._channels[neighbor]
+
+
+class EngineProtocol:
+    """Structural interface the node expects from the event engine."""
+
+    now: float
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        raise NotImplementedError

@@ -1,0 +1,91 @@
+"""Routing information bases.
+
+Each simulated AS keeps, per the node model of Fig. 2:
+
+* an **Adj-RIB-In** per neighbour ("neighbor routing tables"): the latest
+  route each neighbour advertised for each prefix;
+* a **Loc-RIB** ("forwarding table"): the currently selected best route
+  per prefix.
+
+Both are tiny wrappers over dicts, kept as classes so invariants (a
+withdrawal removes state, announcements replace) live in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.bgp.route import Route
+
+
+class AdjRIBIn:
+    """Latest routes learned from neighbours, keyed (prefix, neighbour)."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[Tuple[int, int], Route] = {}
+
+    def update(self, prefix: int, neighbor: int, route: Optional[Route]) -> Optional[Route]:
+        """Install ``route`` (or remove on ``None``); returns the previous route."""
+        key = (prefix, neighbor)
+        previous = self._routes.get(key)
+        if route is None:
+            self._routes.pop(key, None)
+        else:
+            self._routes[key] = route
+        return previous
+
+    def route_from(self, prefix: int, neighbor: int) -> Optional[Route]:
+        """The route ``neighbor`` currently advertises for ``prefix``."""
+        return self._routes.get((prefix, neighbor))
+
+    def candidates(self, prefix: int) -> List[Tuple[int, Route]]:
+        """All (neighbour, route) pairs for ``prefix``."""
+        return [
+            (neighbor, route)
+            for (pfx, neighbor), route in self._routes.items()
+            if pfx == prefix
+        ]
+
+    def prefixes(self) -> Iterator[int]:
+        """All prefixes with at least one learned route (repeat-free)."""
+        seen = set()
+        for prefix, _neighbor in self._routes:
+            if prefix not in seen:
+                seen.add(prefix)
+                yield prefix
+
+    def prefixes_from(self, neighbor: int) -> List[int]:
+        """All prefixes for which ``neighbor`` currently advertises a route."""
+        return [pfx for (pfx, nbr) in self._routes if nbr == neighbor]
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+
+class LocRIB:
+    """Selected best route per prefix."""
+
+    def __init__(self) -> None:
+        self._best: Dict[int, Route] = {}
+
+    def best(self, prefix: int) -> Optional[Route]:
+        """The currently selected route for ``prefix`` (None if unreachable)."""
+        return self._best.get(prefix)
+
+    def install(self, prefix: int, route: Optional[Route]) -> bool:
+        """Set the best route; returns True if it changed."""
+        previous = self._best.get(prefix)
+        if route == previous:
+            return False
+        if route is None:
+            self._best.pop(prefix, None)
+        else:
+            self._best[prefix] = route
+        return True
+
+    def prefixes(self) -> List[int]:
+        """All prefixes with an installed route."""
+        return list(self._best)
+
+    def __len__(self) -> int:
+        return len(self._best)

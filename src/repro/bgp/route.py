@@ -1,0 +1,99 @@
+"""Routes and the attributes the decision process compares.
+
+A :class:`Route` is an AS path to a prefix together with the local
+preference the receiving AS assigned on import.  Paths are tuples of node
+ids ordered most-recent-first: ``path[0]`` is the neighbour that advertised
+the route, ``path[-1]`` the origin AS.  The origin's own route to its
+prefix is represented with an empty path and :data:`LOCAL_ROUTE_PREF`,
+which outranks anything learned from a neighbour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.topology.types import LOCAL_PREFERENCE, Relationship
+
+#: Local preference of a locally-originated route — above customer routes.
+LOCAL_ROUTE_PREF = max(LOCAL_PREFERENCE.values()) + 1
+
+_HASH_MASK = (1 << 64) - 1
+
+
+def stable_hash(*values: int) -> int:
+    """Deterministic 64-bit mix of integers (SplitMix64 chain).
+
+    Python's builtin ``hash`` is salted per process for strings and not
+    guaranteed stable across versions for composite values; the decision
+    tie-break (Sec. 2: "based on a hashed value of the node IDs") must be
+    reproducible, so we use our own mixer.
+    """
+    state = 0x9E3779B97F4A7C15
+    for value in values:
+        state = (state + (value & _HASH_MASK) + 0x9E3779B97F4A7C15) & _HASH_MASK
+        z = state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _HASH_MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _HASH_MASK
+        state = z ^ (z >> 31)
+    return state
+
+
+@dataclasses.dataclass(frozen=True)
+class Route:
+    """An imported route for one prefix."""
+
+    prefix: int
+    path: Tuple[int, ...]
+    local_pref: int
+
+    @property
+    def next_hop(self) -> Optional[int]:
+        """The neighbour the route was learned from (None for local routes)."""
+        return self.path[0] if self.path else None
+
+    @property
+    def origin(self) -> Optional[int]:
+        """The AS that originated the prefix (None for local routes)."""
+        return self.path[-1] if self.path else None
+
+    @property
+    def is_local(self) -> bool:
+        """Whether this is the origin's own route to its prefix."""
+        return not self.path
+
+    def contains(self, node_id: int) -> bool:
+        """Whether ``node_id`` appears on the AS path (loop check)."""
+        return node_id in self.path
+
+    def preference_key(self, receiver_id: int) -> Tuple[int, int, int]:
+        """Sort key: lower is better.
+
+        Ordering per Sec. 2: highest local preference, then shortest AS
+        path, then a stable hash of the node ids on the path (and the
+        receiver, so different receivers break ties independently).
+        """
+        return (-self.local_pref, len(self.path), stable_hash(receiver_id, *self.path))
+
+
+def local_route(prefix: int) -> Route:
+    """The origin's own route to ``prefix``."""
+    return Route(prefix=prefix, path=(), local_pref=LOCAL_ROUTE_PREF)
+
+
+def import_route(
+    prefix: int, path: Tuple[int, ...], learned_from_relationship: Relationship
+) -> Route:
+    """Build the imported :class:`Route` for an announcement from a neighbour."""
+    return Route(
+        prefix=prefix,
+        path=path,
+        local_pref=LOCAL_PREFERENCE[learned_from_relationship],
+    )
+
+
+def best_route(routes: "list[Route]", receiver_id: int) -> Optional[Route]:
+    """The most preferred route among ``routes`` (None if empty)."""
+    if not routes:
+        return None
+    return min(routes, key=lambda route: route.preference_key(receiver_id))

@@ -1,0 +1,175 @@
+"""The C-event experiment (Sec. 4): the paper's core measurement.
+
+A *C-event* withdraws a prefix at a C-type stub, lets the network
+converge, then re-announces the prefix and converges again.  The number of
+update messages each node receives over the two phases is the churn metric
+every figure of the paper is built from.
+
+:func:`run_c_event_experiment` repeats the event for a sample of C-node
+origins on one topology and returns per-type averages plus the full m/q/e
+factor decomposition.
+
+Phases per origin:
+
+1. **warm-up** — the origin announces its prefix; convergence is simulated
+   but not counted;
+2. **settle** — the clock advances so all MRAI gates expire (each event
+   starts from an idle-timer steady state);
+3. **DOWN** — withdraw, converge, counted;
+4. **UP** — re-announce, converge, counted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time as _time
+from typing import Dict, List, Optional, Sequence
+
+from repro.bgp.config import BGPConfig
+from repro.core.factors import FactorAccumulator, TypeFactors
+from repro.errors import ExperimentError
+from repro.sim.engine import DEFAULT_MAX_EVENTS
+from repro.sim.network import SimNetwork
+from repro.sim.rng import derive_rng
+from repro.topology.graph import ASGraph
+from repro.topology.types import NodeType
+
+
+@dataclasses.dataclass(frozen=True)
+class CEventStats:
+    """Everything measured on one topology instance."""
+
+    n: int
+    scenario: str
+    seed: int
+    config: BGPConfig
+    origins: List[int]
+    per_type: Dict[NodeType, TypeFactors]
+    #: average updates received per node per event, split by phase
+    down_updates_per_type: Dict[NodeType, float]
+    up_updates_per_type: Dict[NodeType, float]
+    #: mean simulated seconds from event to convergence, per phase
+    mean_down_convergence: float
+    mean_up_convergence: float
+    #: total messages delivered during measured phases
+    measured_messages: int
+    wall_clock_seconds: float
+
+    def u(self, node_type: NodeType) -> float:
+        """U(X): average updates per C-event at nodes of ``node_type``."""
+        factors = self.per_type.get(node_type)
+        return factors.u_total if factors is not None else 0.0
+
+    def factors(self, node_type: NodeType) -> TypeFactors:
+        """The full m/q/e decomposition for ``node_type``."""
+        try:
+            return self.per_type[node_type]
+        except KeyError as exc:
+            raise ExperimentError(f"no {node_type} nodes in this topology") from exc
+
+
+def pick_origins(graph: ASGraph, how_many: int, seed: int) -> List[int]:
+    """Sample C-node origins (falls back to CP nodes in C-less topologies)."""
+    pool = graph.nodes_of_type(NodeType.C)
+    if not pool:
+        pool = graph.nodes_of_type(NodeType.CP)
+    if not pool:
+        raise ExperimentError("topology has no stub nodes to originate events")
+    rng = derive_rng(seed, 0xC0FFEE)
+    if how_many >= len(pool):
+        return list(pool)
+    return sorted(rng.sample(pool, how_many))
+
+
+def run_c_event_experiment(
+    graph: ASGraph,
+    config: Optional[BGPConfig] = None,
+    *,
+    origins: Optional[Sequence[int]] = None,
+    num_origins: int = 100,
+    seed: int = 0,
+    settle_factor: float = 2.0,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> CEventStats:
+    """Run the paper's C-event measurement on one topology.
+
+    ``origins`` overrides the sampled origin set; ``settle_factor`` scales
+    the inter-phase idle gap in units of the MRAI interval (2 × MRAI lets
+    every jittered gate expire before the next phase starts).
+    """
+    config = config if config is not None else BGPConfig()
+    if origins is None:
+        origin_list = pick_origins(graph, num_origins, seed)
+    else:
+        origin_list = list(origins)
+        for origin in origin_list:
+            if origin not in graph:
+                raise ExperimentError(f"origin {origin} not in topology")
+    if not origin_list:
+        raise ExperimentError("no origins to run")
+
+    started = _time.monotonic()
+    network = SimNetwork(graph, config, seed=seed)
+    accumulator = FactorAccumulator(graph)
+    settle = settle_factor * config.mrai if config.mrai > 0 else 1.0
+    down_totals: Dict[NodeType, float] = {t: 0.0 for t in NodeType}
+    up_totals: Dict[NodeType, float] = {t: 0.0 for t in NodeType}
+    down_convergence = 0.0
+    up_convergence = 0.0
+    measured_messages = 0
+    node_types = {node.node_id: node.node_type for node in graph.nodes()}
+
+    for index, origin in enumerate(origin_list):
+        prefix = index  # one fresh prefix per origin keeps state disjoint
+        # Warm-up: announce the prefix, converge, let MRAI gates expire.
+        network.stop_counting()
+        network.originate(origin, prefix)
+        network.run_to_convergence(max_events=max_events)
+        network.engine.run(until=network.engine.now + settle)
+
+        # DOWN: withdraw and converge, counted.
+        network.start_counting()
+        event_start = network.engine.now
+        network.withdraw(origin, prefix)
+        network.run_to_convergence(max_events=max_events)
+        down_convergence += network.engine.now - event_start
+        down_snapshot = dict(network.counter.received)
+        for node_id, count in down_snapshot.items():
+            down_totals[node_types[node_id]] += count
+        network.engine.run(until=network.engine.now + settle)
+
+        # UP: re-announce and converge, still counted (same counter run).
+        event_start = network.engine.now
+        network.originate(origin, prefix)
+        network.run_to_convergence(max_events=max_events)
+        up_convergence += network.engine.now - event_start
+        for node_id, count in network.counter.received.items():
+            up_totals[node_types[node_id]] += count - down_snapshot.get(node_id, 0)
+        measured_messages += network.counter.total
+
+        accumulator.add_event(network.counter)
+        network.stop_counting()
+
+    events = len(origin_list)
+    per_type = accumulator.all_type_factors()
+    type_counts = graph.type_counts()
+    return CEventStats(
+        n=len(graph),
+        scenario=graph.scenario,
+        seed=seed,
+        config=config,
+        origins=origin_list,
+        per_type=per_type,
+        down_updates_per_type={
+            t: down_totals[t] / (events * type_counts[t]) if type_counts[t] else 0.0
+            for t in NodeType
+        },
+        up_updates_per_type={
+            t: up_totals[t] / (events * type_counts[t]) if type_counts[t] else 0.0
+            for t in NodeType
+        },
+        mean_down_convergence=down_convergence / events,
+        mean_up_convergence=up_convergence / events,
+        measured_messages=measured_messages,
+        wall_clock_seconds=_time.monotonic() - started,
+    )

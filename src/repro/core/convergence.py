@@ -1,0 +1,90 @@
+"""Convergence-time profiles.
+
+The paper reports churn; its companion quantity is convergence *delay*
+(Labovitz et al.: exploration stretches convergence with the length of
+the longest backup path).  :func:`convergence_profile` runs C-events and
+returns the full per-event DOWN/UP convergence-time distributions, not
+just means — the spread matters because rate-limiting quantizes delays
+into MRAI-sized steps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.bgp.config import BGPConfig
+from repro.core.cevent import pick_origins
+from repro.errors import ExperimentError
+from repro.sim.engine import DEFAULT_MAX_EVENTS
+from repro.sim.network import SimNetwork
+from repro.stats.descriptive import Summary, summarize
+from repro.topology.graph import ASGraph
+
+
+@dataclasses.dataclass(frozen=True)
+class ConvergenceProfile:
+    """Per-event convergence times for one topology/config."""
+
+    n: int
+    scenario: str
+    config: BGPConfig
+    origins: List[int]
+    #: seconds from withdrawal to a drained network, per event
+    down_times: List[float]
+    #: seconds from re-announcement to a drained network, per event
+    up_times: List[float]
+
+    def down_summary(self) -> Summary:
+        """Distribution summary of the DOWN-phase convergence times."""
+        return summarize(self.down_times)
+
+    def up_summary(self) -> Summary:
+        """Distribution summary of the UP-phase convergence times."""
+        return summarize(self.up_times)
+
+
+def convergence_profile(
+    graph: ASGraph,
+    config: Optional[BGPConfig] = None,
+    *,
+    num_origins: int = 20,
+    seed: int = 0,
+    settle_factor: float = 2.0,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> ConvergenceProfile:
+    """Measure per-event convergence times over a set of C-events."""
+    config = config if config is not None else BGPConfig()
+    origins = pick_origins(graph, num_origins, seed)
+    if not origins:
+        raise ExperimentError("no origins available")
+    network = SimNetwork(graph, config, seed=seed)
+    network.stop_counting()
+    settle = settle_factor * config.mrai if config.mrai > 0 else 1.0
+    down_times: List[float] = []
+    up_times: List[float] = []
+    for index, origin in enumerate(origins):
+        prefix = index
+        network.originate(origin, prefix)
+        network.run_to_convergence(max_events=max_events)
+        network.engine.run(until=network.engine.now + settle)
+
+        start = network.engine.now
+        network.withdraw(origin, prefix)
+        network.run_to_convergence(max_events=max_events)
+        down_times.append(network.engine.now - start)
+        network.engine.run(until=network.engine.now + settle)
+
+        start = network.engine.now
+        network.originate(origin, prefix)
+        network.run_to_convergence(max_events=max_events)
+        up_times.append(network.engine.now - start)
+        network.engine.run(until=network.engine.now + settle)
+    return ConvergenceProfile(
+        n=len(graph),
+        scenario=graph.scenario,
+        config=config,
+        origins=origins,
+        down_times=down_times,
+        up_times=up_times,
+    )

@@ -1,0 +1,170 @@
+"""The update-factor decomposition of Sec. 4 (Eq. 1).
+
+The paper models the updates a node of type X receives after a C-event as
+
+    U(X) = m_c q_c e_c + m_p q_p e_p + m_d q_d e_d
+
+where, per relationship class y ∈ {customer, peer, provider}:
+
+* ``m_y`` — number of direct neighbours of that class (topological),
+* ``q_y`` — fraction of those neighbours that send at least one update
+  during convergence,
+* ``e_y`` — average number of updates contributed by each active
+  neighbour.
+
+:class:`FactorAccumulator` consumes the relationship-classified counters
+of one measured C-event at a time and aggregates them so that the identity
+``U_y = m_y · q_y · e_y`` holds *exactly* for the aggregated estimates
+(sums over nodes and events are combined before the ratios are taken).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.errors import ExperimentError
+from repro.sim.counters import UpdateCounter
+from repro.topology.graph import ASGraph
+from repro.topology.types import NODE_TYPE_ORDER, NodeType, Relationship
+
+_RELS = (Relationship.CUSTOMER, Relationship.PEER, Relationship.PROVIDER)
+
+
+@dataclasses.dataclass(frozen=True)
+class TypeFactors:
+    """Aggregated churn factors for one node type."""
+
+    node_type: NodeType
+    node_count: int
+    events: int
+    #: average updates received per node per C-event, total and per class
+    u_total: float
+    u_by_rel: Dict[Relationship, float]
+    m_by_rel: Dict[Relationship, float]
+    q_by_rel: Dict[Relationship, float]
+    e_by_rel: Dict[Relationship, float]
+    #: per-node mean updates per event (basis for confidence intervals)
+    per_node_updates: List[float]
+
+    def u(self, relationship: Relationship) -> float:
+        """U_y — average updates from neighbours of one class."""
+        return self.u_by_rel[relationship]
+
+    def m(self, relationship: Relationship) -> float:
+        """m_y — average number of neighbours of one class."""
+        return self.m_by_rel[relationship]
+
+    def q(self, relationship: Relationship) -> float:
+        """q_y — fraction of those neighbours active during convergence."""
+        return self.q_by_rel[relationship]
+
+    def e(self, relationship: Relationship) -> float:
+        """e_y — average updates per active neighbour."""
+        return self.e_by_rel[relationship]
+
+
+class FactorAccumulator:
+    """Aggregates per-event update counters into :class:`TypeFactors`."""
+
+    def __init__(self, graph: ASGraph) -> None:
+        self._graph = graph
+        self._events = 0
+        node_ids = graph.node_ids
+        #: static m values per node
+        self._m: Dict[int, Dict[Relationship, int]] = {}
+        for node_id in node_ids:
+            counts = {rel: 0 for rel in _RELS}
+            for rel in graph.neighbors(node_id).values():
+                counts[rel] += 1
+            self._m[node_id] = counts
+        self._updates: Dict[int, Dict[Relationship, int]] = {
+            node_id: {rel: 0 for rel in _RELS} for node_id in node_ids
+        }
+        self._active: Dict[int, Dict[Relationship, int]] = {
+            node_id: {rel: 0 for rel in _RELS} for node_id in node_ids
+        }
+        self._total_updates: Dict[int, int] = {node_id: 0 for node_id in node_ids}
+
+    @property
+    def events(self) -> int:
+        """Number of C-events accumulated so far."""
+        return self._events
+
+    def add_event(self, counter: UpdateCounter) -> None:
+        """Fold one measured C-event's counters into the aggregate."""
+        self._events += 1
+        for (receiver, rel), count in counter.received_by_relationship.items():
+            self._updates[receiver][rel] += count
+            self._total_updates[receiver] += count
+        # Active neighbours: distinct senders with >= 1 delivered update.
+        for (receiver, sender), count in counter.received_by_pair.items():
+            if count > 0:
+                rel = self._graph.relationship(receiver, sender)
+                self._active[receiver][rel] += 1
+
+    def type_factors(self, node_type: NodeType) -> TypeFactors:
+        """Aggregate factors over all nodes of ``node_type``."""
+        if self._events == 0:
+            raise ExperimentError("no events accumulated")
+        nodes = self._graph.nodes_of_type(node_type)
+        count = len(nodes)
+        events = self._events
+        u_by_rel: Dict[Relationship, float] = {}
+        m_by_rel: Dict[Relationship, float] = {}
+        q_by_rel: Dict[Relationship, float] = {}
+        e_by_rel: Dict[Relationship, float] = {}
+        for rel in _RELS:
+            sum_updates = sum(self._updates[node][rel] for node in nodes)
+            sum_active = sum(self._active[node][rel] for node in nodes)
+            sum_m = sum(self._m[node][rel] for node in nodes)
+            u_by_rel[rel] = sum_updates / (count * events) if count else 0.0
+            m_by_rel[rel] = sum_m / count if count else 0.0
+            q_by_rel[rel] = sum_active / (sum_m * events) if sum_m else 0.0
+            e_by_rel[rel] = sum_updates / sum_active if sum_active else 0.0
+        per_node = [self._total_updates[node] / events for node in nodes]
+        return TypeFactors(
+            node_type=node_type,
+            node_count=count,
+            events=events,
+            u_total=sum(u_by_rel.values()),
+            u_by_rel=u_by_rel,
+            m_by_rel=m_by_rel,
+            q_by_rel=q_by_rel,
+            e_by_rel=e_by_rel,
+            per_node_updates=per_node,
+        )
+
+    def all_type_factors(self) -> Dict[NodeType, TypeFactors]:
+        """Factors for every node type present in the graph."""
+        return {
+            node_type: self.type_factors(node_type)
+            for node_type in NODE_TYPE_ORDER
+            if self._graph.nodes_of_type(node_type)
+        }
+
+    def node_updates(self, node_id: int) -> float:
+        """Mean updates per event at one specific node."""
+        if self._events == 0:
+            raise ExperimentError("no events accumulated")
+        return self._total_updates[node_id] / self._events
+
+
+def predicted_u(factors: TypeFactors, relationship: Optional[Relationship] = None) -> float:
+    """Eq. (1): U from the m·q·e product.
+
+    With ``relationship`` given, returns the single term
+    ``m_y · q_y · e_y``; otherwise the full sum over classes.  By
+    construction of the aggregation this matches the measured U exactly;
+    the analytical-model module uses it to extrapolate *hypothetical*
+    factor changes.
+    """
+    if relationship is not None:
+        return (
+            factors.m(relationship)
+            * factors.q(relationship)
+            * factors.e(relationship)
+        )
+    return sum(
+        factors.m(rel) * factors.q(rel) * factors.e(rel) for rel in _RELS
+    )

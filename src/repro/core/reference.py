@@ -1,0 +1,109 @@
+"""Reference steady-state route computation (simulation oracle).
+
+Under Gao–Rexford policies with shortest-AS-path tie-breaking, the stable
+routing outcome for a single origin is unique up to equal-preference ties
+and can be computed *without* simulating message exchange:
+
+1. **customer routes** — paths that descend customer links all the way to
+   the origin; computed by a BFS from the origin along provider edges
+   (a node's providers learn a customer route one hop longer);
+2. **peer routes** — one peering hop into a node that has a customer
+   route (peers only export customer routes);
+3. **provider routes** — learned from a provider's best route of *any*
+   category; computed by a Dijkstra-style expansion in increasing path
+   length over provider→customer edges.
+
+Every node prefers customer > peer > provider regardless of length, and
+the shortest path within the winning category.  The simulator's converged
+Loc-RIB must agree with this oracle on both the category and the path
+length at every node — the strongest correctness check we have, used by
+the integration tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Dict, Optional
+
+from repro.errors import ExperimentError
+from repro.topology.graph import ASGraph
+from repro.topology.types import Relationship
+
+
+@dataclasses.dataclass(frozen=True)
+class RouteSummary:
+    """Category and hop count of a node's best route to the origin.
+
+    ``category`` is ``None`` for the origin itself (local route).
+    ``length`` counts AS-path entries (origin's own route has length 0,
+    a direct customer of the origin has length 1, ...).
+    """
+
+    category: Optional[Relationship]
+    length: int
+
+
+def steady_state_routes(graph: ASGraph, origin: int) -> Dict[int, RouteSummary]:
+    """Best-route category and length for every node that has a route."""
+    if origin not in graph:
+        raise ExperimentError(f"origin {origin} not in topology")
+
+    # Stage 1: customer routes, BFS from the origin along provider links.
+    cust_len: Dict[int, int] = {origin: 0}
+    frontier = [origin]
+    while frontier:
+        next_frontier = []
+        for node in frontier:
+            for provider in graph.providers_of(node):
+                if provider not in cust_len:
+                    cust_len[provider] = cust_len[node] + 1
+                    next_frontier.append(provider)
+        frontier = next_frontier
+
+    # Stage 2: peer routes — one peering hop onto a customer route.
+    peer_len: Dict[int, int] = {}
+    for node in graph.node_ids:
+        if node in cust_len:
+            continue
+        best = None
+        for peer in graph.peers_of(node):
+            if peer in cust_len:
+                candidate = cust_len[peer] + 1
+                if best is None or candidate < best:
+                    best = candidate
+        if best is not None:
+            peer_len[node] = best
+
+    # Stage 3: provider routes — Dijkstra over provider→customer edges,
+    # seeded with every node that already has a (customer or peer) route.
+    best_len: Dict[int, int] = {}
+    category: Dict[int, Optional[Relationship]] = {}
+    heap: list[tuple[int, int]] = []
+    for node, length in cust_len.items():
+        best_len[node] = length
+        category[node] = None if node == origin else Relationship.CUSTOMER
+        heapq.heappush(heap, (length, node))
+    for node, length in peer_len.items():
+        best_len[node] = length
+        category[node] = Relationship.PEER
+        heapq.heappush(heap, (length, node))
+    while heap:
+        length, node = heapq.heappop(heap)
+        if length > best_len.get(node, float("inf")):
+            continue
+        for customer in graph.customers_of(node):
+            # A provider exports its best route (any category) to customers,
+            # but customer/peer routes always outrank provider routes.
+            if customer in cust_len or customer in peer_len:
+                continue
+            candidate = length + 1
+            if candidate < best_len.get(customer, float("inf")):
+                best_len[customer] = candidate
+                category[customer] = Relationship.PROVIDER
+                heapq.heappush(heap, (candidate, customer))
+
+    return {
+        node: RouteSummary(category=category[node], length=best_len[node])
+        for node in best_len
+    }

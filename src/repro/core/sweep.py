@@ -1,0 +1,140 @@
+"""Growth sweeps: run the C-event experiment across network sizes.
+
+Every figure in the paper is a sweep of some metric over the network size
+``n`` (1000 → 10000 in the original; scaled down by default here).
+:func:`run_growth_sweep` handles topology generation, simulation and
+aggregation; the returned :class:`SweepResult` offers the series
+extractors the figures need (U(X) vs n, factor curves, relative
+increases).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bgp.config import BGPConfig
+from repro.core.cevent import CEventStats, run_c_event_experiment
+from repro.core.regression import relative_increase
+from repro.errors import ExperimentError
+from repro.sim.rng import derive_seed
+from repro.topology.generator import generate_topology
+from repro.topology.scenarios import scenario_params
+from repro.topology.types import NodeType, Relationship
+
+#: Default size grid: same spirit as the paper's 1000..10000 at laptop scale.
+DEFAULT_SIZES = (400, 800, 1200, 1600, 2000)
+
+#: Signature of a progress callback: (scenario, n, stats).
+ProgressFn = Callable[[str, int, CEventStats], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """C-event statistics across a size sweep for one scenario."""
+
+    scenario: str
+    sizes: List[int]
+    stats: List[CEventStats]
+    config: BGPConfig
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.stats):
+            raise ExperimentError("sizes and stats length mismatch")
+
+    def u_series(self, node_type: NodeType) -> List[float]:
+        """U(X) for each size in the sweep."""
+        return [s.u(node_type) for s in self.stats]
+
+    def u_rel_series(self, node_type: NodeType, relationship: Relationship) -> List[float]:
+        """U_y(X) — updates from one neighbour class — per size."""
+        return [s.factors(node_type).u(relationship) for s in self.stats]
+
+    def m_series(self, node_type: NodeType, relationship: Relationship) -> List[float]:
+        """m_y(X) per size."""
+        return [s.factors(node_type).m(relationship) for s in self.stats]
+
+    def q_series(self, node_type: NodeType, relationship: Relationship) -> List[float]:
+        """q_y(X) per size."""
+        return [s.factors(node_type).q(relationship) for s in self.stats]
+
+    def e_series(self, node_type: NodeType, relationship: Relationship) -> List[float]:
+        """e_y(X) per size."""
+        return [s.factors(node_type).e(relationship) for s in self.stats]
+
+    def relative_u_series(self, node_type: NodeType) -> List[float]:
+        """U(X) normalized to 1 at the smallest size (Fig. 6/8 style)."""
+        return relative_increase(self.u_series(node_type))
+
+    def stats_at(self, n: int) -> CEventStats:
+        """The stats for one specific size."""
+        for size, stat in zip(self.sizes, self.stats):
+            if size == n:
+                return stat
+        raise ExperimentError(f"size {n} not in sweep {self.sizes}")
+
+
+def run_growth_sweep(
+    scenario: str,
+    *,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    config: Optional[BGPConfig] = None,
+    num_origins: int = 20,
+    seed: int = 0,
+    scenario_kwargs: Optional[Dict[str, object]] = None,
+    progress: Optional[ProgressFn] = None,
+) -> SweepResult:
+    """Run a full size sweep for one named growth scenario.
+
+    Topology and simulation seeds are derived per size from ``seed`` so
+    different scenarios at the same (seed, size) share nothing but remain
+    individually reproducible.
+    """
+    if not sizes:
+        raise ExperimentError("empty size grid")
+    config = config if config is not None else BGPConfig()
+    scenario_kwargs = dict(scenario_kwargs or {})
+    stats: List[CEventStats] = []
+    for n in sizes:
+        params = scenario_params(scenario, n, **scenario_kwargs)
+        topo_seed = derive_seed(seed, n, 1)
+        sim_seed = derive_seed(seed, n, 2)
+        graph = generate_topology(params, seed=topo_seed)
+        result = run_c_event_experiment(
+            graph,
+            config,
+            num_origins=num_origins,
+            seed=sim_seed,
+        )
+        stats.append(result)
+        if progress is not None:
+            progress(scenario, n, result)
+    return SweepResult(
+        scenario=scenario.upper(),
+        sizes=list(sizes),
+        stats=stats,
+        config=config,
+    )
+
+
+def run_scenario_comparison(
+    scenarios: Sequence[str],
+    *,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    config: Optional[BGPConfig] = None,
+    num_origins: int = 20,
+    seed: int = 0,
+    progress: Optional[ProgressFn] = None,
+) -> Dict[str, SweepResult]:
+    """Sweep several scenarios over the same size grid (Fig. 8–11 style)."""
+    results: Dict[str, SweepResult] = {}
+    for scenario in scenarios:
+        results[scenario.upper()] = run_growth_sweep(
+            scenario,
+            sizes=sizes,
+            config=config,
+            num_origins=num_origins,
+            seed=seed,
+            progress=progress,
+        )
+    return results

@@ -1,0 +1,259 @@
+"""Continuous churn workloads: streams of C-events over simulated time.
+
+The per-event measurements of :mod:`repro.core.cevent` answer "how many
+updates does one event cause"; this module answers the operational
+question behind the paper's Fig. 1 and burstiness motivation: "what
+update *rate* does a monitor see when events keep arriving".
+
+A workload is a Poisson stream of C-events (withdraw, exponential
+downtime, re-announce) over the C-stub population.  The runner announces
+every origin's prefix once, lets the network settle, then injects the
+event stream while tracing arrivals at designated monitor nodes, from
+which rate series and peak-to-mean burstiness are derived
+(:mod:`repro.sim.trace`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.bgp.config import BGPConfig
+from repro.errors import ExperimentError, ParameterError
+from repro.sim.engine import DEFAULT_MAX_EVENTS
+from repro.sim.network import SimNetwork
+from repro.sim.rng import derive_rng
+from repro.sim.trace import BurstinessReport, MonitorTrace
+from repro.topology.graph import ASGraph
+from repro.topology.types import NodeType
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadEvent:
+    """One scheduled C-event: withdraw at ``time``, restore after ``downtime``."""
+
+    time: float
+    origin: int
+    prefix: int
+    downtime: float
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a (possibly clustered) Poisson C-event stream.
+
+    Real BGP churn is not a smooth Poisson process: a misbehaving session
+    flaps its prefix repeatedly in a short window (the paper's Sec.-1
+    burstiness, Labovitz's pathologies).  Each Poisson arrival therefore
+    triggers, with probability ``storm_probability``, a *storm*: a
+    geometric number of extra flaps of the same prefix in quick
+    succession.
+    """
+
+    #: length of the injection window, in simulated seconds
+    duration: float = 3600.0
+    #: mean C-events per simulated second (Poisson arrivals)
+    event_rate: float = 0.05
+    #: mean prefix downtime before re-announcement (exponential)
+    mean_downtime: float = 120.0
+    #: number of distinct origin stubs participating (0 = all C nodes)
+    origin_pool: int = 0
+    #: probability that an arrival escalates into a flap storm
+    storm_probability: float = 0.1
+    #: mean number of *extra* flaps in a storm (geometric)
+    storm_size_mean: float = 8.0
+    #: mean gap between storm flaps (exponential; short = bursty)
+    storm_gap: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ParameterError(f"duration must be positive, got {self.duration}")
+        if self.event_rate <= 0:
+            raise ParameterError(f"event_rate must be positive, got {self.event_rate}")
+        if self.mean_downtime <= 0:
+            raise ParameterError(
+                f"mean_downtime must be positive, got {self.mean_downtime}"
+            )
+        if self.origin_pool < 0:
+            raise ParameterError("origin_pool must be >= 0")
+        if not 0.0 <= self.storm_probability <= 1.0:
+            raise ParameterError("storm_probability must be in [0, 1]")
+        if self.storm_size_mean < 0:
+            raise ParameterError("storm_size_mean must be >= 0")
+        if self.storm_gap <= 0:
+            raise ParameterError("storm_gap must be positive")
+
+
+def generate_poisson_workload(
+    graph: ASGraph, spec: WorkloadSpec, *, seed: int = 0
+) -> List[WorkloadEvent]:
+    """Draw the event stream (deterministic for a given seed).
+
+    Origins are sampled uniformly from the participating stub pool; each
+    origin keeps a single prefix for the whole workload, so two events on
+    the same origin are a repeated flap of the same prefix.
+    """
+    pool = graph.nodes_of_type(NodeType.C) or graph.nodes_of_type(NodeType.CP)
+    if not pool:
+        raise ExperimentError("topology has no stub nodes to flap")
+    rng = derive_rng(seed, 0x3070AD)
+    if spec.origin_pool and spec.origin_pool < len(pool):
+        pool = sorted(rng.sample(pool, spec.origin_pool))
+    prefix_of = {origin: index for index, origin in enumerate(pool)}
+    events: List[WorkloadEvent] = []
+
+    def add_event(at: float, origin: int, downtime: float) -> None:
+        events.append(
+            WorkloadEvent(
+                time=at,
+                origin=origin,
+                prefix=prefix_of[origin],
+                downtime=downtime,
+            )
+        )
+
+    clock = 0.0
+    while True:
+        clock += rng.expovariate(spec.event_rate)
+        if clock >= spec.duration:
+            break
+        origin = pool[rng.randrange(len(pool))]
+        add_event(clock, origin, rng.expovariate(1.0 / spec.mean_downtime))
+        if spec.storm_probability > 0 and rng.random() < spec.storm_probability:
+            # a flap storm: the same prefix keeps flapping in quick
+            # succession with short downtimes
+            extra = _geometric(spec.storm_size_mean, rng)
+            at = clock
+            for _ in range(extra):
+                at += rng.expovariate(1.0 / spec.storm_gap)
+                if at >= spec.duration:
+                    break
+                add_event(
+                    at, origin, rng.expovariate(2.0 / spec.storm_gap)
+                )
+    events.sort(key=lambda event: event.time)
+    return events
+
+
+def _geometric(mean: float, rng) -> int:
+    """Geometric draw with the given mean (0 allowed)."""
+    if mean <= 0:
+        return 0
+    p = 1.0 / (1.0 + mean)
+    count = 0
+    while rng.random() > p:
+        count += 1
+    return count
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadResult:
+    """Outcome of one workload run."""
+
+    n: int
+    scenario: str
+    spec: WorkloadSpec
+    monitors: List[int]
+    #: events whose withdrawal actually fired (prefix was up)
+    events_executed: int
+    #: events skipped because the prefix was still down when they fired
+    events_skipped: int
+    #: total updates delivered network-wide during the measurement window
+    total_updates: int
+    #: simulated time spent in the measurement window
+    measured_duration: float
+    trace: MonitorTrace
+
+    def monitor_rate(self, node_id: int) -> float:
+        """Mean updates/second seen by one monitor."""
+        if self.measured_duration <= 0:
+            return 0.0
+        return len(self.trace.updates(node_id)) / self.measured_duration
+
+    def burstiness(self, node_id: int, bin_width: float = 60.0) -> BurstinessReport:
+        """Peak-to-mean report for one monitor."""
+        return self.trace.burstiness(bin_width, node_id=node_id)
+
+
+def default_monitors(graph: ASGraph) -> List[int]:
+    """A T-node and an M-node vantage point (highest-degree of each)."""
+    monitors: List[int] = []
+    for node_type in (NodeType.T, NodeType.M):
+        nodes = graph.nodes_of_type(node_type)
+        if nodes:
+            monitors.append(max(nodes, key=graph.degree))
+    if not monitors:
+        raise ExperimentError("topology has no transit nodes to monitor")
+    return monitors
+
+
+def run_workload(
+    graph: ASGraph,
+    spec: Optional[WorkloadSpec] = None,
+    config: Optional[BGPConfig] = None,
+    *,
+    monitors: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> WorkloadResult:
+    """Run a Poisson C-event workload and measure monitor-side churn."""
+    spec = spec if spec is not None else WorkloadSpec()
+    config = config if config is not None else BGPConfig()
+    monitor_list = list(monitors) if monitors is not None else default_monitors(graph)
+
+    network = SimNetwork(graph, config, seed=seed)
+    events = generate_poisson_workload(graph, spec, seed=seed)
+    origins = sorted({event.origin for event in events})
+    prefix_of = {event.origin: event.prefix for event in events}
+
+    # Warm-up: announce every participating prefix, converge, settle.
+    network.stop_counting()
+    for origin in origins:
+        network.originate(origin, prefix_of[origin])
+    network.run_to_convergence(max_events=max_events)
+    settle = 2.0 * config.mrai if config.mrai > 0 else 1.0
+    network.engine.run(until=network.engine.now + settle)
+
+    # Measurement window.
+    network.start_counting()
+    network.attach_monitors(monitor_list)
+    start = network.engine.now
+    executed = 0
+    skipped = 0
+
+    def fire(event: WorkloadEvent) -> None:
+        nonlocal executed, skipped
+        node = network.node(event.origin)
+        if not node.originates(event.prefix):
+            skipped += 1  # still down from an earlier flap
+            return
+        executed += 1
+        node.withdraw_origin(event.prefix)
+        network.engine.schedule(
+            event.downtime, lambda: _restore(event.origin, event.prefix)
+        )
+
+    def _restore(origin: int, prefix: int) -> None:
+        node = network.node(origin)
+        if not node.originates(prefix):
+            node.originate(prefix)
+
+    for event in events:
+        network.engine.schedule_at(start + event.time, lambda e=event: fire(e))
+    network.run_to_convergence(max_events=max_events)
+    measured_duration = network.engine.now - start
+    network.stop_counting()
+    trace = network.trace if network.trace is not None else MonitorTrace(monitor_list)
+    network.detach_monitors()
+
+    return WorkloadResult(
+        n=len(graph),
+        scenario=graph.scenario,
+        spec=spec,
+        monitors=monitor_list,
+        events_executed=executed,
+        events_skipped=skipped,
+        total_updates=network.counter.total,
+        measured_duration=measured_duration,
+        trace=trace,
+    )

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """A topology could not be built or fails a structural invariant."""
+
+
+class ParameterError(ReproError):
+    """An input parameter is outside its valid domain."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ConvergenceError(SimulationError):
+    """The network failed to converge within the configured event budget."""
+
+
+class ExperimentError(ReproError):
+    """An experiment specification is invalid or produced no data."""
+
+
+class SerializationError(ReproError):
+    """A topology or result file could not be read or written."""

@@ -1,0 +1,25 @@
+"""Experiment harness: one runnable reproduction per paper table/figure.
+
+Import :func:`repro.experiments.registry.run_experiment` (or use the
+``repro-bgp`` CLI) to regenerate any figure.  Heavy sweeps are memoized
+per process so the full campaign simulates each (scenario, config, size)
+exactly once.
+"""
+
+from repro.experiments.report import ExperimentResult, ShapeCheck
+from repro.experiments.results_io import load_results, save_results
+from repro.experiments.scale import PRESETS, Scale, get_scale
+
+__all__ = [
+    "ExperimentResult",
+    "PRESETS",
+    "Scale",
+    "ShapeCheck",
+    "get_scale",
+    "load_results",
+    "save_results",
+]
+
+# campaign imports the registry (and thus every figure module); import it
+# lazily via repro.experiments.campaign to keep plain report/scale usage
+# light-weight.

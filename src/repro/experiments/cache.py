@@ -1,0 +1,56 @@
+"""In-process memoization of expensive sweeps.
+
+Figures 4–7 are different projections of the *same* Baseline growth sweep;
+Fig. 12 reuses the Baseline NO-WRATE sweep as its denominator.  Caching by
+(scenario, sizes, origins, config, seed) lets a full figure campaign run
+each simulation exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.bgp.config import BGPConfig
+from repro.core.sweep import ProgressFn, SweepResult, run_growth_sweep
+from repro.experiments.scale import Scale
+
+_CACHE: Dict[Tuple, SweepResult] = {}
+
+
+def cached_sweep(
+    scenario: str,
+    scale: Scale,
+    *,
+    config: Optional[BGPConfig] = None,
+    seed: int = 0,
+    scenario_kwargs: Optional[Dict[str, object]] = None,
+    progress: Optional[ProgressFn] = None,
+) -> SweepResult:
+    """A growth sweep, memoized for the lifetime of the process."""
+    config = config if config is not None else BGPConfig()
+    kwargs_key = tuple(sorted((scenario_kwargs or {}).items()))
+    key = (scenario.upper(), scale.sizes, scale.origins, config, seed, kwargs_key)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = run_growth_sweep(
+        scenario,
+        sizes=scale.sizes,
+        config=config,
+        num_origins=scale.origins,
+        seed=seed,
+        scenario_kwargs=scenario_kwargs,
+        progress=progress,
+    )
+    _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    """Drop all memoized sweeps (tests use this for isolation)."""
+    _CACHE.clear()
+
+
+def cache_size() -> int:
+    """Number of memoized sweeps."""
+    return len(_CACHE)

@@ -1,0 +1,102 @@
+"""Campaign orchestration: run a full artifact set and persist everything.
+
+A *campaign* is one reproducibility run: every registered experiment at a
+given scale and seed, with the rendered reports, the raw series (JSON)
+and a pass/fail summary written to an output directory.  EXPERIMENTS.md's
+recorded section is one campaign's markdown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.experiments.registry import experiment_ids, run_experiment
+from repro.experiments.report import ExperimentResult
+from repro.experiments.results_io import save_results
+from repro.experiments.scale import Scale, get_scale
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSummary:
+    """Outcome of one campaign."""
+
+    scale: str
+    seed: int
+    results: List[ExperimentResult]
+    wall_clock_seconds: float
+    output_dir: Optional[Path]
+
+    @property
+    def passed(self) -> bool:
+        """Whether every shape check of every experiment passed."""
+        return all(result.passed for result in self.results)
+
+    @property
+    def check_counts(self) -> tuple[int, int]:
+        """(passed, total) shape checks across the campaign."""
+        total = sum(len(result.checks) for result in self.results)
+        passed = sum(
+            sum(1 for check in result.checks if check.passed)
+            for result in self.results
+        )
+        return passed, total
+
+    def to_text(self) -> str:
+        """One-line-per-experiment summary."""
+        passed, total = self.check_counts
+        lines = [
+            f"campaign scale={self.scale} seed={self.seed}: "
+            f"{passed}/{total} checks passed "
+            f"in {self.wall_clock_seconds:.0f}s"
+        ]
+        for result in self.results:
+            status = "PASS" if result.passed else "FAIL"
+            lines.append(f"  [{status}] {result.experiment_id}: {result.title}")
+        return "\n".join(lines)
+
+
+def run_campaign(
+    scale: Optional[Scale] = None,
+    *,
+    seed: int = 0,
+    include_extensions: bool = False,
+    output_dir: Optional[Union[str, Path]] = None,
+    echo=None,
+) -> CampaignSummary:
+    """Run all registered experiments; optionally persist the artifacts.
+
+    With ``output_dir`` the campaign writes ``campaign.md`` (markdown of
+    every result), ``campaign.json`` (raw series + checks, reloadable via
+    :func:`repro.experiments.results_io.load_results`) and
+    ``summary.txt``.
+    """
+    scale = scale if scale is not None else get_scale()
+    started = time.monotonic()
+    results: List[ExperimentResult] = []
+    for experiment_id in experiment_ids(include_extensions=include_extensions):
+        result = run_experiment(experiment_id, scale, seed=seed)
+        results.append(result)
+        if echo is not None:
+            echo(result.to_text())
+            echo("")
+    summary = CampaignSummary(
+        scale=scale.name,
+        seed=seed,
+        results=results,
+        wall_clock_seconds=time.monotonic() - started,
+        output_dir=Path(output_dir) if output_dir is not None else None,
+    )
+    if summary.output_dir is not None:
+        summary.output_dir.mkdir(parents=True, exist_ok=True)
+        (summary.output_dir / "campaign.md").write_text(
+            "\n".join(result.to_markdown() for result in results),
+            encoding="utf-8",
+        )
+        save_results(results, summary.output_dir / "campaign.json")
+        (summary.output_dir / "summary.txt").write_text(
+            summary.to_text() + "\n", encoding="utf-8"
+        )
+    return summary

@@ -1,0 +1,338 @@
+"""Command-line entry point: ``repro-bgp``.
+
+Subcommands:
+
+* ``list`` / ``run`` — the paper's tables and figures (see
+  :mod:`repro.experiments.registry`);
+* ``topology generate | metrics | validate`` — create, inspect and check
+  AS-level topologies on disk (JSON or CAIDA as-rel format);
+* ``simulate`` — run a C-event experiment on a stored topology and print
+  the per-type churn and factor decomposition;
+* ``workload`` — run a Poisson C-event stream and report what a monitor
+  sees (rates, burstiness).
+
+Examples::
+
+    repro-bgp run fig04 --scale default
+    repro-bgp topology generate -n 1000 --scenario DENSE-CORE -o dense.json
+    repro-bgp topology metrics dense.json
+    repro-bgp simulate dense.json --origins 10 --wrate
+    repro-bgp workload dense.json --duration 600 --rate 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.bgp.config import BGPConfig
+from repro.core.cevent import run_c_event_experiment
+from repro.core.workload import WorkloadSpec, run_workload
+from repro.errors import ReproError
+from repro.experiments.registry import experiment_ids, run_all, run_experiment
+from repro.experiments.report import format_table
+from repro.experiments.scale import PRESETS, get_scale
+from repro.topology.dot import save_dot
+from repro.topology.generator import generate_topology
+from repro.topology.metrics import summarize
+from repro.topology.scenarios import scenario_names, scenario_params
+from repro.topology.serialization import load_as_rel, load_json, save_as_rel, save_json
+from repro.topology.types import NODE_TYPE_ORDER, RELATIONSHIP_ORDER
+from repro.topology.validation import find_violations
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bgp",
+        description=(
+            "Reproduce 'On the scalability of BGP' (CoNEXT 2008): paper "
+            "figures, topology tooling, and ad-hoc churn simulations."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id, e.g. fig04, or 'all'")
+    run_parser.add_argument(
+        "--scale",
+        choices=sorted(PRESETS),
+        default=None,
+        help="scale preset (default: REPRO_SCALE env or 'default')",
+    )
+    run_parser.add_argument("--seed", type=int, default=0, help="master seed")
+    run_parser.add_argument(
+        "--markdown",
+        type=Path,
+        default=None,
+        help="also write the result(s) as markdown to this file",
+    )
+    run_parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render each result as an ASCII chart",
+    )
+    run_parser.add_argument(
+        "--log-y", action="store_true", help="log-scale the --plot y axis"
+    )
+    run_parser.add_argument(
+        "--extensions",
+        action="store_true",
+        help="with 'all': also run the ext-* extension studies",
+    )
+
+    campaign_parser = sub.add_parser(
+        "campaign", help="run all experiments and persist md/json/summary"
+    )
+    campaign_parser.add_argument(
+        "--scale", choices=sorted(PRESETS), default=None,
+    )
+    campaign_parser.add_argument("--seed", type=int, default=0)
+    campaign_parser.add_argument("-o", "--output", type=Path, required=True)
+    campaign_parser.add_argument("--extensions", action="store_true")
+
+    topo = sub.add_parser("topology", help="generate / inspect topologies")
+    topo_sub = topo.add_subparsers(dest="topology_command", required=True)
+
+    gen = topo_sub.add_parser("generate", help="generate a topology file")
+    gen.add_argument("-n", type=int, required=True, help="number of ASes")
+    gen.add_argument(
+        "--scenario",
+        default="BASELINE",
+        help=f"growth scenario ({', '.join(scenario_names())})",
+    )
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", type=Path, required=True)
+    gen.add_argument(
+        "--format", choices=("json", "as-rel"), default=None,
+        help="output format (default: by file extension, json otherwise)",
+    )
+
+    metrics = topo_sub.add_parser("metrics", help="print topology metrics")
+    metrics.add_argument("path", type=Path)
+
+    dot = topo_sub.add_parser("dot", help="export Graphviz DOT (Fig.-3 style)")
+    dot.add_argument("path", type=Path)
+    dot.add_argument("-o", "--output", type=Path, required=True)
+    dot.add_argument("--no-labels", action="store_true")
+    dot.add_argument(
+        "--max-nodes", type=int, default=400,
+        help="refuse to render larger graphs (0 = unlimited)",
+    )
+
+    validate = topo_sub.add_parser("validate", help="check structural invariants")
+    validate.add_argument("path", type=Path)
+
+    simulate = sub.add_parser("simulate", help="C-event experiment on a topology file")
+    simulate.add_argument("path", type=Path)
+    simulate.add_argument("--origins", type=int, default=10)
+    simulate.add_argument("--seed", type=int, default=0)
+    _add_bgp_options(simulate)
+
+    workload = sub.add_parser("workload", help="Poisson churn workload + monitor report")
+    workload.add_argument("path", type=Path)
+    workload.add_argument("--duration", type=float, default=600.0, help="seconds")
+    workload.add_argument("--rate", type=float, default=0.05, help="C-events/second")
+    workload.add_argument("--downtime", type=float, default=60.0, help="mean seconds down")
+    workload.add_argument("--bin", type=float, default=30.0, help="rate-series bin width")
+    workload.add_argument("--seed", type=int, default=0)
+    _add_bgp_options(workload)
+    return parser
+
+
+def _add_bgp_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mrai", type=float, default=30.0, help="MRAI seconds (0 = off)")
+    parser.add_argument(
+        "--wrate", action="store_true",
+        help="rate-limit explicit withdrawals (RFC 4271) instead of NO-WRATE",
+    )
+
+
+def _load_topology(path: Path):
+    if path.suffix in (".as-rel", ".asrel", ".txt"):
+        return load_as_rel(path)
+    return load_json(path)
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    if args.topology_command == "generate":
+        params = scenario_params(args.scenario, args.n)
+        graph = generate_topology(params, seed=args.seed)
+        fmt = args.format
+        if fmt is None:
+            fmt = "as-rel" if args.output.suffix in (".as-rel", ".asrel") else "json"
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        if fmt == "as-rel":
+            save_as_rel(graph, args.output)
+        else:
+            save_json(graph, args.output)
+        print(f"wrote {graph} to {args.output} ({fmt})")
+        return 0
+    if args.topology_command == "metrics":
+        graph = _load_topology(args.path)
+        rows = [
+            [key, f"{value:.4g}"] for key, value in summarize(graph).items()
+        ]
+        print(format_table(["metric", "value"], rows, title=str(graph)))
+        return 0
+    if args.topology_command == "dot":
+        graph = _load_topology(args.path)
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        save_dot(
+            graph,
+            args.output,
+            max_nodes=(args.max_nodes or None),
+            include_labels=not args.no_labels,
+        )
+        print(f"wrote DOT for {graph} to {args.output}")
+        return 0
+    # validate
+    graph = _load_topology(args.path)
+    violations = find_violations(graph)
+    if violations:
+        print(f"{len(violations)} violation(s):")
+        for violation in violations[:20]:
+            print(f"  - {violation}")
+        return 1
+    print(f"OK: {graph} satisfies all structural invariants")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    graph = _load_topology(args.path)
+    config = BGPConfig(mrai=args.mrai, wrate=args.wrate)
+    stats = run_c_event_experiment(
+        graph, config, num_origins=args.origins, seed=args.seed
+    )
+    variant = "WRATE" if args.wrate else "NO-WRATE"
+    rows = []
+    for node_type in NODE_TYPE_ORDER:
+        factors = stats.per_type.get(node_type)
+        if factors is None:
+            continue
+        row = [node_type.value, f"{factors.u_total:.2f}"]
+        for rel in RELATIONSHIP_ORDER:
+            row.append(f"{factors.u(rel):.2f}")
+        rows.append(row)
+    print(
+        format_table(
+            ["type", "U", "Uc", "Up", "Ud"],
+            rows,
+            title=(
+                f"{stats.scenario} n={stats.n}, {len(stats.origins)} C-events, "
+                f"MRAI={args.mrai:g}s {variant}"
+            ),
+        )
+    )
+    print(
+        f"convergence: {stats.mean_down_convergence:.1f}s down / "
+        f"{stats.mean_up_convergence:.1f}s up; "
+        f"{stats.measured_messages} updates delivered"
+    )
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    graph = _load_topology(args.path)
+    config = BGPConfig(mrai=args.mrai, wrate=args.wrate)
+    spec = WorkloadSpec(
+        duration=args.duration, event_rate=args.rate, mean_downtime=args.downtime
+    )
+    result = run_workload(graph, spec, config, seed=args.seed)
+    print(
+        f"{result.scenario} n={result.n}: {result.events_executed} C-events "
+        f"executed ({result.events_skipped} skipped) over "
+        f"{result.measured_duration:.0f}s; {result.total_updates} updates "
+        "delivered network-wide"
+    )
+    rows = []
+    for monitor in result.monitors:
+        counts = result.trace.counts(monitor)
+        if counts["total"] == 0:
+            rows.append([str(monitor), "0", "-", "-", "-"])
+            continue
+        report = result.burstiness(monitor, bin_width=args.bin)
+        rows.append(
+            [
+                str(monitor),
+                str(counts["total"]),
+                f"{result.monitor_rate(monitor):.3f}",
+                f"{report.peak_rate:.2f}",
+                f"{report.peak_to_mean:.1f}x",
+            ]
+        )
+    print(
+        format_table(
+            ["monitor", "updates", "mean rate/s", "peak rate/s", "peak/mean"],
+            rows,
+            title=f"monitor view (bin width {args.bin:g}s)",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI main; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            for experiment_id in experiment_ids():
+                print(experiment_id)
+            return 0
+        if args.command == "campaign":
+            from repro.experiments.campaign import run_campaign
+
+            summary = run_campaign(
+                get_scale(args.scale),
+                seed=args.seed,
+                include_extensions=args.extensions,
+                output_dir=args.output,
+                echo=print,
+            )
+            print(summary.to_text())
+            return 0 if summary.passed else 1
+        if args.command == "topology":
+            return _cmd_topology(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "workload":
+            return _cmd_workload(args)
+        # run
+        scale = get_scale(args.scale)
+        if args.experiment.lower() == "all":
+            results = run_all(
+                scale,
+                seed=args.seed,
+                echo=print,
+                include_extensions=args.extensions,
+            )
+        else:
+            result = run_experiment(args.experiment, scale, seed=args.seed)
+            print(result.to_text())
+            results = [result]
+        if args.plot:
+            from repro.experiments.plot import render_result
+
+            for result in results:
+                print()
+                print(render_result(result, log_y=args.log_y))
+        if args.markdown is not None:
+            args.markdown.parent.mkdir(parents=True, exist_ok=True)
+            args.markdown.write_text(
+                "\n".join(r.to_markdown() for r in results), encoding="utf-8"
+            )
+        return 0 if all(r.passed for r in results) else 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Extension experiment: churn trajectory on one evolving network.
+
+The paper regenerates an independent topology per size.  Growing a single
+network through the sweep (:mod:`repro.topology.evolve`) removes the
+instance-to-instance variance and asks the cleaner longitudinal question:
+does *this* Internet's tier-1 churn grow as it grows?  The Baseline
+conclusion must survive the change of method.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bgp.config import BGPConfig
+from repro.core.cevent import run_c_event_experiment
+from repro.experiments.report import ExperimentResult, series_ratio
+from repro.experiments.scale import Scale, get_scale
+from repro.sim.rng import derive_seed
+from repro.topology.evolve import evolve_topology
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+from repro.topology.types import NodeType
+from repro.topology.validation import find_violations
+
+EXPERIMENT_ID = "ext-evolution"
+TITLE = "U(T) trajectory on a single evolving network"
+
+
+def run(
+    scale: Optional[Scale] = None,
+    *,
+    seed: int = 0,
+    config: Optional[BGPConfig] = None,
+) -> ExperimentResult:
+    """Grow one Baseline network through the sweep, measuring at each step."""
+    scale = scale if scale is not None else get_scale()
+    base = config if config is not None else BGPConfig()
+    # single-instance trajectories carry the full origin-sampling variance
+    # (no cross-instance averaging), so spend a tripled origin budget —
+    # the simulation is cheap relative to the variance it removes
+    origins = max(8, 3 * scale.origins)
+    graph = generate_topology(
+        baseline_params(scale.smallest), seed=derive_seed(seed, 0, 1)
+    )
+    n_t = graph.type_counts()[NodeType.T]
+    u_t: List[float] = []
+    u_m: List[float] = []
+    violations: List[float] = []
+    for n in scale.sizes:
+        if len(graph) < n:
+            evolve_topology(
+                graph, baseline_params(n, n_t=n_t), seed=derive_seed(seed, n, 2)
+            )
+        violations.append(float(len(find_violations(graph))))
+        stats = run_c_event_experiment(
+            graph, base, num_origins=origins, seed=derive_seed(seed, n, 3)
+        )
+        u_t.append(stats.u(NodeType.T))
+        u_m.append(stats.u(NodeType.M))
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="n",
+        x_values=[float(n) for n in scale.sizes],
+        series={"U(T)": u_t, "U(M)": u_m, "violations": violations},
+    )
+    result.add_check(
+        "evolution preserves all structural invariants",
+        all(v == 0 for v in violations),
+        "incremental growth == generator constraints",
+        f"{int(sum(violations))} violations across the trajectory",
+    )
+    span = scale.largest / scale.smallest
+    half = max(1, len(u_t) // 2)
+    early = sum(u_t[:half]) / half
+    late = sum(u_t[-half:]) / half
+    if span >= 4.0:
+        # wide sweeps: the Table-1 densification has room to act and the
+        # Fig.-4 conclusion must hold longitudinally too.  Halves are
+        # compared instead of endpoints: a single-instance trajectory
+        # carries heavy origin-sampling variance per point.
+        result.add_check(
+            "tier-1 churn grows on the evolving network",
+            late > 1.02 * early,
+            "Fig.-4 conclusion, longitudinal method",
+            f"mean U(T): first half {early:.2f} -> last half {late:.2f} "
+            f"(endpoint ratio {series_ratio(u_t):.2f}x)",
+        )
+    else:
+        # narrow sweeps: dM(n)/dC(n) barely move, so the honest claim is
+        # only that churn does not collapse (CONSTANT-MHD-like flatness)
+        result.add_check(
+            "tier-1 churn sustained on the evolving network",
+            series_ratio(u_t) > 0.6,
+            "flat-to-growing at narrow spans (densification not yet active)",
+            f"U(T) ratio {series_ratio(u_t):.2f}x over a {span:.0f}x span",
+        )
+        result.notes.append(
+            "Growth of U(T) on the evolving network needs a sweep span of "
+            ">= 4x for the Table-1 MHD densification to act; run at "
+            "--scale default or larger for the growth check."
+        )
+    return result

@@ -1,0 +1,82 @@
+"""Extension experiment: router processing load across the sweep.
+
+The paper's operational stake (Sec. 1): churn growth means processing
+load on core routers.  We measure it natively — per-node busy time and
+messages processed — and check the gradient the upgrade-treadmill
+argument needs: tier-1 routers carry the most work per node, and their
+per-event load grows with the network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bgp.config import BGPConfig
+from repro.core.load import run_load_probe
+from repro.experiments.report import ExperimentResult
+from repro.experiments.scale import Scale, get_scale
+from repro.sim.rng import derive_seed
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+from repro.topology.types import NodeType
+
+EXPERIMENT_ID = "ext-load"
+TITLE = "Router processing load (messages, busy time, queues) vs n"
+
+
+def run(
+    scale: Optional[Scale] = None,
+    *,
+    seed: int = 0,
+    config: Optional[BGPConfig] = None,
+) -> ExperimentResult:
+    """Load probes with a fixed number of C-events at every sweep size."""
+    scale = scale if scale is not None else get_scale()
+    base = config if config is not None else BGPConfig()
+    origins = max(4, scale.origins // 2)
+    series: Dict[str, List[float]] = {
+        "msgs/node T": [],
+        "msgs/node M": [],
+        "msgs/node C": [],
+        "busy s T": [],
+        "peak queue": [],
+    }
+    for n in scale.sizes:
+        graph = generate_topology(
+            baseline_params(n), seed=derive_seed(seed, n, 1)
+        )
+        report = run_load_probe(
+            graph, base, num_origins=origins, seed=derive_seed(seed, n, 2)
+        )
+        series["msgs/node T"].append(report.per_type[NodeType.T].mean_processed)
+        series["msgs/node M"].append(report.per_type[NodeType.M].mean_processed)
+        series["msgs/node C"].append(report.per_type[NodeType.C].mean_processed)
+        series["busy s T"].append(report.per_type[NodeType.T].mean_busy_time)
+        series["peak queue"].append(
+            float(max(load.max_queue_length for load in report.per_type.values()))
+        )
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="n",
+        x_values=[float(n) for n in scale.sizes],
+        series=series,
+    )
+    last = -1
+    result.add_check(
+        "core routers process the most per node",
+        series["msgs/node T"][last] > series["msgs/node M"][last]
+        > series["msgs/node C"][last],
+        "load concentrates at the top of the hierarchy",
+        f"T={series['msgs/node T'][last]:.0f}, M={series['msgs/node M'][last]:.0f}, "
+        f"C={series['msgs/node C'][last]:.0f} msgs/node",
+    )
+    result.add_check(
+        "per-node tier-1 load grows with n (fixed event count)",
+        series["msgs/node T"][last] > series["msgs/node T"][0],
+        "the upgrade-treadmill gradient",
+        f"{series['msgs/node T'][0]:.0f} -> {series['msgs/node T'][last]:.0f} "
+        "msgs/node",
+    )
+    return result

@@ -1,0 +1,139 @@
+"""ASCII line plots for terminal-first figure reproduction.
+
+The paper's figures are line charts of series against network size.  For
+a library whose primary interface is a terminal, we render the same
+charts as ASCII: one glyph per series, linear or log y-axis, a legend and
+axis labels.  Used by the CLI's ``--plot`` flag and handy in any REPL:
+
+    >>> from repro.experiments.plot import render_series
+    >>> print(render_series({"U(T)": [(1000, 7.0), (2000, 11.0)]}))
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ParameterError
+from repro.experiments.report import ExperimentResult
+
+#: Glyphs assigned to series in order.
+_GLYPHS = "ox+*#@%&"
+
+Point = Tuple[float, float]
+
+
+def render_series(
+    series: Dict[str, Sequence[Point]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Series may have different x grids; the canvas spans the union of all
+    points.  With ``log_y`` the y-axis is log10 (all y must be > 0).
+    """
+    if not series or all(not points for points in series.values()):
+        raise ParameterError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ParameterError(f"canvas too small ({width}x{height})")
+    if len(series) > len(_GLYPHS):
+        raise ParameterError(f"at most {len(_GLYPHS)} series supported")
+
+    points_by_name = {
+        name: [(float(x), float(y)) for x, y in points]
+        for name, points in series.items()
+        if points
+    }
+    all_points = [p for points in points_by_name.values() for p in points]
+    if log_y and min(y for _, y in all_points) <= 0:
+        raise ParameterError("log_y requires strictly positive y values")
+
+    def ty(y: float) -> float:
+        return math.log10(y) if log_y else y
+
+    xs = [x for x, _ in all_points]
+    ys = [ty(y) for _, y in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for glyph, (name, points) in zip(_GLYPHS, points_by_name.items()):
+        for x, y in points:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((ty(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    def fmt_plain(value: float) -> str:
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.01:
+            return f"{value:.1e}"
+        return f"{value:.4g}"
+
+    def fmt_y(value: float) -> str:
+        return fmt_plain(10**value if log_y else value)
+
+    top_label = fmt_y(y_hi)
+    bottom_label = fmt_y(y_lo)
+    margin = max(len(top_label), len(bottom_label)) + 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(margin)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(margin)
+        else:
+            label = " " * margin
+        lines.append(f"{label}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = fmt_plain(x_lo)
+    x_right = fmt_plain(x_hi)
+    pad = width - len(x_axis) - len(x_right)
+    lines.append(" " * (margin + 1) + x_axis + " " * max(1, pad) + x_right)
+    lines.append(
+        " " * (margin + 1)
+        + f"{x_label}  |  {y_label}" + ("  [log y]" if log_y else "")
+    )
+    legend = "   ".join(
+        f"{glyph}={name}" for glyph, name in zip(_GLYPHS, points_by_name)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def render_result(
+    result: ExperimentResult,
+    *,
+    series_names: Optional[Sequence[str]] = None,
+    width: int = 64,
+    height: int = 18,
+    log_y: bool = False,
+) -> str:
+    """Chart an :class:`ExperimentResult` (all series, or a subset)."""
+    names = list(series_names) if series_names is not None else list(result.series)
+    unknown = [n for n in names if n not in result.series]
+    if unknown:
+        raise ParameterError(f"unknown series {unknown}; have {list(result.series)}")
+    names = names[: len(_GLYPHS)]
+    series = {
+        name: list(zip(result.x_values, result.series[name])) for name in names
+    }
+    return render_series(
+        series,
+        width=width,
+        height=height,
+        log_y=log_y,
+        x_label=result.x_label,
+        y_label="value",
+        title=f"{result.experiment_id}: {result.title}",
+    )

@@ -1,0 +1,133 @@
+"""Registry of all reproduced tables and figures."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ext_damping,
+    ext_evolution,
+    ext_exploration,
+    ext_heterogeneity,
+    ext_load,
+    ext_monitor,
+    ext_mrai,
+    fig01,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+)
+from repro.experiments.report import ExperimentResult
+from repro.experiments.scale import Scale
+
+RunFn = Callable[..., ExperimentResult]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible artifact (paper figure or extension study)."""
+
+    experiment_id: str
+    title: str
+    run: RunFn
+    #: False for the extension studies beyond the paper's figures.
+    paper_artifact: bool = True
+
+
+_SPECS: Dict[str, ExperimentSpec] = {}
+
+
+def _register(module, *, paper_artifact: bool = True) -> None:
+    spec = ExperimentSpec(
+        experiment_id=module.EXPERIMENT_ID,
+        title=module.TITLE,
+        run=module.run,
+        paper_artifact=paper_artifact,
+    )
+    _SPECS[spec.experiment_id] = spec
+
+
+for _module in (
+    fig01,
+    table1,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+):
+    _register(_module)
+
+for _module in (
+    ext_monitor,
+    ext_mrai,
+    ext_exploration,
+    ext_heterogeneity,
+    ext_load,
+    ext_evolution,
+    ext_damping,
+):
+    _register(_module, paper_artifact=False)
+
+
+def experiment_ids(*, include_extensions: bool = True) -> List[str]:
+    """All experiment ids, paper figures first."""
+    return [
+        spec.experiment_id
+        for spec in _SPECS.values()
+        if include_extensions or spec.paper_artifact
+    ]
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up one experiment by id."""
+    try:
+        return _SPECS[experiment_id.lower()]
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(_SPECS)}"
+        ) from exc
+
+
+def run_experiment(
+    experiment_id: str, scale: Optional[Scale] = None, *, seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id).run(scale, seed=seed)
+
+
+def run_all(
+    scale: Optional[Scale] = None,
+    *,
+    seed: int = 0,
+    echo: Optional[Callable[[str], None]] = None,
+    include_extensions: bool = False,
+) -> List[ExperimentResult]:
+    """Run the figure set in order (sweeps are cached across figures).
+
+    Extension studies are opt-in; the recorded EXPERIMENTS.md campaign is
+    paper artifacts only.
+    """
+    results = []
+    for experiment_id in experiment_ids(include_extensions=include_extensions):
+        result = run_experiment(experiment_id, scale, seed=seed)
+        results.append(result)
+        if echo is not None:
+            echo(result.to_text())
+            echo("")
+    return results

@@ -1,0 +1,88 @@
+"""Persistence for experiment results.
+
+Long campaigns (``--scale full`` / ``paper``) are expensive; storing
+:class:`~repro.experiments.report.ExperimentResult` objects as JSON lets
+reports be re-rendered, diffed across library versions, and aggregated
+into EXPERIMENTS.md without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import SerializationError
+from repro.experiments.report import ExperimentResult, ShapeCheck
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """JSON-ready dict for one result."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "x_values": list(result.x_values),
+        "series": {name: list(values) for name, values in result.series.items()},
+        "checks": [
+            {
+                "name": check.name,
+                "passed": check.passed,
+                "expected": check.expected,
+                "measured": check.measured,
+            }
+            for check in result.checks
+        ],
+        "notes": list(result.notes),
+    }
+
+
+def result_from_dict(data: dict) -> ExperimentResult:
+    """Rebuild a result from :func:`result_to_dict` output."""
+    try:
+        version = data["format_version"]
+        if version != _FORMAT_VERSION:
+            raise SerializationError(f"unsupported result format version {version}")
+        result = ExperimentResult(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            x_label=data["x_label"],
+            x_values=[float(x) for x in data["x_values"]],
+            series={
+                name: [float(v) for v in values]
+                for name, values in data["series"].items()
+            },
+            notes=[str(note) for note in data.get("notes", [])],
+        )
+        for check in data.get("checks", []):
+            result.checks.append(
+                ShapeCheck(
+                    name=check["name"],
+                    passed=bool(check["passed"]),
+                    expected=check["expected"],
+                    measured=check["measured"],
+                )
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed result document: {exc}") from exc
+    return result
+
+
+def save_results(results: List[ExperimentResult], path: Union[str, Path]) -> None:
+    """Write a list of results to one JSON file."""
+    payload = json.dumps([result_to_dict(r) for r in results], indent=1)
+    Path(path).write_text(payload, encoding="utf-8")
+
+
+def load_results(path: Union[str, Path]) -> List[ExperimentResult]:
+    """Load results previously written by :func:`save_results`."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read results from {path}: {exc}") from exc
+    if not isinstance(data, list):
+        raise SerializationError("results file must contain a JSON list")
+    return [result_from_dict(item) for item in data]

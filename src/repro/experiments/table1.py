@@ -1,0 +1,94 @@
+"""Table 1 — Baseline topology parameters, specified vs realized.
+
+The paper's Table 1 lists the generator parameters of the Baseline growth
+model.  This experiment prints the specified values for each size in the
+sweep and the values *realized* by generated topologies (node mix and mean
+multihoming degrees), verifying the generator hits its targets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.scale import Scale, get_scale
+from repro.sim.rng import derive_seed
+from repro.topology.generator import generate_topology
+from repro.topology.metrics import mean_multihoming_degree, mean_peering_degree
+from repro.topology.params import baseline_params
+from repro.topology.types import NodeType
+
+EXPERIMENT_ID = "table1"
+TITLE = "Baseline topology parameters (specified vs realized)"
+
+#: Acceptable relative error between specified averages and realized means.
+TOLERANCE = 0.20
+
+
+def run(scale: Optional[Scale] = None, *, seed: int = 0) -> ExperimentResult:
+    """Generate one Baseline topology per size and compare to Table 1."""
+    scale = scale if scale is not None else get_scale()
+    x_values = [float(n) for n in scale.sizes]
+    spec_d_m, spec_d_cp, spec_d_c, spec_p_m = [], [], [], []
+    real_d_m, real_d_cp, real_d_c, real_p_m = [], [], [], []
+    real_n_m, real_n_cp, real_n_c = [], [], []
+    for n in scale.sizes:
+        params = baseline_params(n)
+        graph = generate_topology(params, seed=derive_seed(seed, n, 1))
+        counts = graph.type_counts()
+        spec_d_m.append(params.d_m)
+        spec_d_cp.append(params.d_cp)
+        spec_d_c.append(params.d_c)
+        spec_p_m.append(params.p_m)
+        real_d_m.append(mean_multihoming_degree(graph, NodeType.M))
+        real_d_cp.append(mean_multihoming_degree(graph, NodeType.CP))
+        real_d_c.append(mean_multihoming_degree(graph, NodeType.C))
+        real_p_m.append(mean_peering_degree(graph, NodeType.M))
+        real_n_m.append(float(counts[NodeType.M]))
+        real_n_cp.append(float(counts[NodeType.CP]))
+        real_n_c.append(float(counts[NodeType.C]))
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="n",
+        x_values=x_values,
+        series={
+            "spec dM": spec_d_m,
+            "real dM": real_d_m,
+            "spec dCP": spec_d_cp,
+            "real dCP": real_d_cp,
+            "spec dC": spec_d_c,
+            "real dC": real_d_c,
+            "spec pM": spec_p_m,
+            "real pM": real_p_m,
+            "nM": real_n_m,
+            "nCP": real_n_cp,
+            "nC": real_n_c,
+        },
+    )
+    for label, spec, real in (
+        ("dM", spec_d_m, real_d_m),
+        ("dCP", spec_d_cp, real_d_cp),
+        ("dC", spec_d_c, real_d_c),
+    ):
+        worst = max(
+            abs(r - s) / s for s, r in zip(spec, real)
+        )
+        result.add_check(
+            f"realized {label} matches Table 1",
+            worst <= TOLERANCE,
+            f"{label} = specified average",
+            f"max relative error {worst * 100:.1f}%",
+        )
+    mix_ok = all(
+        abs(m / n - 0.15) < 0.02 and abs(cp / n - 0.05) < 0.02 and abs(c / n - 0.80) < 0.03
+        for n, m, cp, c in zip(x_values, real_n_m, real_n_cp, real_n_c)
+    )
+    result.add_check(
+        "node mix 15% M / 5% CP / 80% C",
+        mix_ok,
+        "n_M=0.15n, n_CP=0.05n, n_C=0.80n",
+        "realized fractions within 2-3 points",
+    )
+    return result

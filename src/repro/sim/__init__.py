@@ -1,0 +1,18 @@
+"""Discrete-event simulation substrate."""
+
+from repro.sim.counters import UpdateCounter
+from repro.sim.engine import Engine
+from repro.sim.network import SimNetwork
+from repro.sim.rng import derive_rng, derive_seed
+from repro.sim.trace import BurstinessReport, MonitorTrace, TracedUpdate
+
+__all__ = [
+    "BurstinessReport",
+    "Engine",
+    "MonitorTrace",
+    "SimNetwork",
+    "TracedUpdate",
+    "UpdateCounter",
+    "derive_rng",
+    "derive_seed",
+]

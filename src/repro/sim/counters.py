@@ -1,0 +1,83 @@
+"""Update counters — the simulator's measurement plane.
+
+The paper's metric is the number of updates *received* per node, broken
+down by the business relationship of the sender as seen from the receiver
+(Eq. 1 distinguishes updates from customers, peers and providers).  The
+counter also keeps per-(receiver, sender) totals, from which the q and e
+factors of Sec. 4 are derived.
+
+Counting can be paused (warm-up phases such as the initial announcement of
+the C-event prefix are not part of the measurement) and reset between
+phases.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Dict, Tuple
+
+from repro.topology.types import Relationship
+
+
+class UpdateCounter:
+    """Counts update messages at delivery time."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+        #: total updates received per node
+        self.received: Dict[int, int] = collections.defaultdict(int)
+        #: updates received per node per sender-relationship class
+        self.received_by_relationship: Dict[Tuple[int, Relationship], int] = (
+            collections.defaultdict(int)
+        )
+        #: updates received per (receiver, sender) pair
+        self.received_by_pair: Dict[Tuple[int, int], int] = collections.defaultdict(int)
+        #: split by message kind, per node
+        self.announcements: Dict[int, int] = collections.defaultdict(int)
+        self.withdrawals: Dict[int, int] = collections.defaultdict(int)
+        self.total = 0
+
+    def record(
+        self,
+        receiver: int,
+        sender: int,
+        sender_relationship: Relationship,
+        *,
+        is_withdrawal: bool,
+    ) -> None:
+        """Register one delivered update (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self.total += 1
+        self.received[receiver] += 1
+        self.received_by_relationship[(receiver, sender_relationship)] += 1
+        self.received_by_pair[(receiver, sender)] += 1
+        if is_withdrawal:
+            self.withdrawals[receiver] += 1
+        else:
+            self.announcements[receiver] += 1
+
+    def reset(self) -> None:
+        """Zero all counters (keeps the enabled flag)."""
+        self.received.clear()
+        self.received_by_relationship.clear()
+        self.received_by_pair.clear()
+        self.announcements.clear()
+        self.withdrawals.clear()
+        self.total = 0
+
+    def updates_at(self, node_id: int) -> int:
+        """Total updates received at ``node_id``."""
+        return self.received.get(node_id, 0)
+
+    def updates_at_by_relationship(self, node_id: int, relationship: Relationship) -> int:
+        """Updates received at ``node_id`` from neighbours of one class."""
+        return self.received_by_relationship.get((node_id, relationship), 0)
+
+    def active_senders(self, node_id: int) -> Dict[int, int]:
+        """Senders that delivered at least one update to ``node_id`` → count."""
+        return {
+            sender: count
+            for (receiver, sender), count in self.received_by_pair.items()
+            if receiver == node_id and count > 0
+        }

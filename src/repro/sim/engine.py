@@ -1,0 +1,100 @@
+"""Deterministic discrete-event engine.
+
+A minimal heap-based kernel: events are ``(time, sequence, callback)``
+tuples, executed in time order with FIFO tie-breaking (the monotonically
+increasing sequence number), which makes runs bit-reproducible for a fixed
+seed regardless of hash randomization.
+
+The engine exposes both relative (:meth:`schedule`) and absolute
+(:meth:`schedule_at`) scheduling, plus a run loop with an event budget that
+turns runaway simulations into a :class:`~repro.errors.ConvergenceError`
+instead of a hang.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConvergenceError, SimulationError
+
+Callback = Callable[[], None]
+
+#: Default safety budget: more events than any sane C-event needs.
+DEFAULT_MAX_EVENTS = 50_000_000
+
+
+class Engine:
+    """Single-threaded discrete-event simulator core."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[Tuple[float, int, Callback]] = []
+        self._sequence = itertools.count()
+        self.executed_events = 0
+
+    def schedule(self, delay: float, callback: Callback) -> None:
+        """Run ``callback`` ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callback) -> None:
+        """Run ``callback`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (at={time}, now={self.now})"
+            )
+        heapq.heappush(self._queue, (time, next(self._sequence), callback))
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _seq, callback = heapq.heappop(self._queue)
+        self.now = time
+        self.executed_events += 1
+        callback()
+        return True
+
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> None:
+        """Drain the event queue.
+
+        ``until`` stops the clock at a given simulation time (remaining
+        events stay queued); ``max_events`` bounds the number of events
+        executed by *this call* and raises
+        :class:`~repro.errors.ConvergenceError` when exhausted.
+        """
+        executed = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return
+            if executed >= max_events:
+                raise ConvergenceError(
+                    f"event budget of {max_events} exhausted at t={self.now:.3f}s "
+                    f"with {len(self._queue)} events still pending"
+                )
+            self.step()
+            executed += 1
+        if until is not None and until > self.now:
+            # Queue drained before the horizon: advance the clock to it, so
+            # callers can use run(until=...) to let timers expire / settle.
+            self.now = until
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self.now = 0.0
+        self.executed_events = 0

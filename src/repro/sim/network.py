@@ -1,0 +1,156 @@
+"""The simulated network: topology + BGP nodes + engine + counters.
+
+:class:`SimNetwork` instantiates one :class:`~repro.bgp.node.BGPNode` per
+AS in an :class:`~repro.topology.graph.ASGraph`, wires their transmit
+callbacks through a constant-delay link layer, counts every delivered
+update, and exposes the high-level operations experiments need:
+originating/withdrawing prefixes and running the network to convergence.
+
+Determinism: node service times and MRAI jitter come from per-node RNGs
+derived from a single seed with the stable hash mixer, so results do not
+depend on Python hash randomization or dict ordering.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.bgp.config import BGPConfig
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.node import BGPNode
+from repro.bgp.route import stable_hash
+from repro.errors import SimulationError
+from repro.sim.counters import UpdateCounter
+from repro.sim.engine import DEFAULT_MAX_EVENTS, Engine
+from repro.sim.trace import MonitorTrace
+from repro.topology.graph import ASGraph
+from repro.topology.types import NodeType
+
+
+class SimNetwork:
+    """A ready-to-run BGP network over a generated topology."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        config: Optional[BGPConfig] = None,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.config = config if config is not None else BGPConfig()
+        self.seed = seed
+        self.engine = Engine()
+        self.counter = UpdateCounter()
+        self.trace: Optional[MonitorTrace] = None
+        self.delivered_messages = 0
+        self.nodes: Dict[int, BGPNode] = {}
+        for node in graph.nodes():
+            rng = random.Random(stable_hash(seed, node.node_id))
+            self.nodes[node.node_id] = BGPNode(
+                node_id=node.node_id,
+                node_type=node.node_type,
+                neighbors=graph.neighbors(node.node_id),
+                engine=self.engine,
+                config=self.config,
+                rng=rng,
+                transmit=self._transmit,
+            )
+
+    # ------------------------------------------------------------------
+    # Link layer
+    # ------------------------------------------------------------------
+    def _transmit(self, message: UpdateMessage, now: float) -> None:
+        """Carry a message across a link: constant delay, then deliver."""
+        self.engine.schedule(self.config.link_delay, lambda: self._deliver(message))
+
+    def _deliver(self, message: UpdateMessage) -> None:
+        receiver = self.nodes.get(message.receiver)
+        if receiver is None:
+            raise SimulationError(f"message to unknown node {message.receiver}")
+        self.delivered_messages += 1
+        self.counter.record(
+            receiver=message.receiver,
+            sender=message.sender,
+            sender_relationship=receiver.neighbors[message.sender],
+            is_withdrawal=message.is_withdrawal,
+        )
+        if self.trace is not None and self.trace.watches(message.receiver):
+            self.trace.record(
+                self.engine.now,
+                message.receiver,
+                message.sender,
+                is_withdrawal=message.is_withdrawal,
+            )
+        receiver.receive(message)
+
+    # ------------------------------------------------------------------
+    # High-level operations
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> BGPNode:
+        """The BGP speaker for AS ``node_id``."""
+        try:
+            return self.nodes[node_id]
+        except KeyError as exc:
+            raise SimulationError(f"unknown node id {node_id}") from exc
+
+    def originate(self, origin: int, prefix: int) -> None:
+        """Inject a locally-originated prefix at ``origin``."""
+        self.node(origin).originate(prefix)
+
+    def withdraw(self, origin: int, prefix: int) -> None:
+        """Withdraw a locally-originated prefix at ``origin``."""
+        self.node(origin).withdraw_origin(prefix)
+
+    def run_to_convergence(self, *, max_events: int = DEFAULT_MAX_EVENTS) -> float:
+        """Drain all events (routing has converged); returns the sim time."""
+        self.engine.run(max_events=max_events)
+        return self.engine.now
+
+    # ------------------------------------------------------------------
+    # Measurement helpers
+    # ------------------------------------------------------------------
+    def start_counting(self) -> None:
+        """Reset counters and begin a measurement phase."""
+        self.counter.reset()
+        self.counter.enabled = True
+
+    def stop_counting(self) -> None:
+        """Freeze counters (e.g. during warm-up announcements)."""
+        self.counter.enabled = False
+
+    def updates_per_type(self) -> Dict[NodeType, float]:
+        """Average updates received per node, per node type."""
+        totals: Dict[NodeType, int] = {t: 0 for t in NodeType}
+        counts: Dict[NodeType, int] = {t: 0 for t in NodeType}
+        for node in self.graph.nodes():
+            totals[node.node_type] += self.counter.updates_at(node.node_id)
+            counts[node.node_type] += 1
+        return {
+            node_type: (totals[node_type] / counts[node_type] if counts[node_type] else 0.0)
+            for node_type in NodeType
+        }
+
+    def attach_monitors(self, monitors: List[int]) -> MonitorTrace:
+        """Start tracing update arrivals at the given nodes.
+
+        Returns the :class:`MonitorTrace`; replaces any previous trace.
+        """
+        for node_id in monitors:
+            if node_id not in self.nodes:
+                raise SimulationError(f"unknown monitor node {node_id}")
+        self.trace = MonitorTrace(monitors)
+        return self.trace
+
+    def detach_monitors(self) -> None:
+        """Stop tracing (the existing trace object remains readable)."""
+        self.trace = None
+
+    def nodes_with_route(self, prefix: int) -> List[int]:
+        """Ids of all nodes currently holding a route for ``prefix``."""
+        return [
+            node_id
+            for node_id, node in self.nodes.items()
+            if node.best_route(prefix) is not None
+        ]

@@ -1,0 +1,23 @@
+"""Seed management for reproducible experiment campaigns.
+
+Experiments draw many semi-independent random streams (topology instances,
+per-node simulator RNGs, origin sampling).  Deriving each stream's seed
+from ``(master_seed, labels...)`` with the stable hash mixer keeps every
+stream reproducible and uncorrelated without global state.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bgp.route import stable_hash
+
+
+def derive_seed(master_seed: int, *labels: int) -> int:
+    """A deterministic child seed for the labelled stream."""
+    return stable_hash(master_seed, *labels)
+
+
+def derive_rng(master_seed: int, *labels: int) -> random.Random:
+    """A fresh :class:`random.Random` for the labelled stream."""
+    return random.Random(derive_seed(master_seed, *labels))

@@ -1,0 +1,145 @@
+"""Update-arrival tracing at monitor nodes.
+
+The paper's motivation (Sec. 1) is built on what a *monitor* sees: the
+RIPE RIS collector's daily update counts (Fig. 1) and the observation
+that "routers should be able to process peak update rates that are up to
+1000 times higher than the daily averages".  This module provides the
+corresponding measurement plane for the simulator: designate some nodes
+as monitors, record every update they receive with its timestamp, and
+derive rate series and burstiness statistics.
+
+Tracing is opt-in per node, so large simulations pay nothing for
+untraced traffic.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ParameterError
+
+
+@dataclasses.dataclass(frozen=True)
+class TracedUpdate:
+    """One update delivered to a monitor node."""
+
+    time: float
+    receiver: int
+    sender: int
+    is_withdrawal: bool
+
+
+class MonitorTrace:
+    """Arrival log for a set of monitor nodes."""
+
+    def __init__(self, monitors: Iterable[int]) -> None:
+        self._monitors = frozenset(monitors)
+        self._updates: List[TracedUpdate] = []
+
+    @property
+    def monitors(self) -> frozenset:
+        """The monitored node ids."""
+        return self._monitors
+
+    def watches(self, node_id: int) -> bool:
+        """Whether updates to ``node_id`` are recorded."""
+        return node_id in self._monitors
+
+    def record(self, time: float, receiver: int, sender: int, *, is_withdrawal: bool) -> None:
+        """Append one arrival (caller guarantees ``receiver`` is monitored)."""
+        self._updates.append(
+            TracedUpdate(
+                time=time, receiver=receiver, sender=sender, is_withdrawal=is_withdrawal
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def updates(self, node_id: Optional[int] = None) -> List[TracedUpdate]:
+        """All recorded arrivals, optionally filtered to one monitor."""
+        if node_id is None:
+            return list(self._updates)
+        return [u for u in self._updates if u.receiver == node_id]
+
+    def arrival_times(self, node_id: Optional[int] = None) -> List[float]:
+        """Sorted arrival timestamps."""
+        return sorted(u.time for u in self.updates(node_id))
+
+    # ------------------------------------------------------------------
+    # Rate analysis
+    # ------------------------------------------------------------------
+    def rate_series(
+        self,
+        bin_width: float,
+        *,
+        node_id: Optional[int] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[Tuple[float, float]]:
+        """Updates-per-second in consecutive time bins.
+
+        Returns (bin_start_time, rate) pairs covering [start, end); the
+        bounds default to the first/last arrival.
+        """
+        if bin_width <= 0:
+            raise ParameterError(f"bin_width must be positive, got {bin_width}")
+        times = self.arrival_times(node_id)
+        if not times:
+            return []
+        lo = start if start is not None else times[0]
+        hi = end if end is not None else times[-1] + bin_width
+        if hi <= lo:
+            raise ParameterError("empty analysis window")
+        series: List[Tuple[float, float]] = []
+        edge = lo
+        while edge < hi:
+            left = bisect.bisect_left(times, edge)
+            right = bisect.bisect_left(times, edge + bin_width)
+            series.append((edge, (right - left) / bin_width))
+            edge += bin_width
+        return series
+
+    def burstiness(
+        self, bin_width: float, *, node_id: Optional[int] = None
+    ) -> "BurstinessReport":
+        """Peak-to-mean statistics of the binned rate (the Sec.-1 claim)."""
+        series = self.rate_series(bin_width, node_id=node_id)
+        if not series:
+            raise ParameterError("no arrivals recorded")
+        rates = [rate for _, rate in series]
+        mean = sum(rates) / len(rates)
+        peak = max(rates)
+        quiet = sum(1 for rate in rates if rate == 0.0)
+        return BurstinessReport(
+            bin_width=bin_width,
+            bins=len(rates),
+            mean_rate=mean,
+            peak_rate=peak,
+            peak_to_mean=(peak / mean) if mean > 0 else float("inf"),
+            quiet_fraction=quiet / len(rates),
+        )
+
+    def counts(self, node_id: Optional[int] = None) -> Dict[str, int]:
+        """Announcement/withdrawal totals."""
+        updates = self.updates(node_id)
+        withdrawals = sum(1 for u in updates if u.is_withdrawal)
+        return {
+            "total": len(updates),
+            "announcements": len(updates) - withdrawals,
+            "withdrawals": withdrawals,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class BurstinessReport:
+    """Summary of how bursty a monitor's update stream is."""
+
+    bin_width: float
+    bins: int
+    mean_rate: float
+    peak_rate: float
+    peak_to_mean: float
+    quiet_fraction: float

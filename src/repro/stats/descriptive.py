@@ -1,0 +1,82 @@
+"""Descriptive statistics helpers shared by reports and tests."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Sequence
+
+from repro.errors import ParameterError
+
+
+@dataclasses.dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample."""
+    if not sorted_values:
+        raise ParameterError("percentile of empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ParameterError(f"fraction must be in [0, 1], got {fraction}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = fraction * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high or sorted_values[low] == sorted_values[high]:
+        return sorted_values[low]
+    weight = position - low
+    return sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of the sample."""
+    if not values:
+        raise ParameterError("cannot summarize an empty sample")
+    ordered: List[float] = sorted(values)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    if n > 1:
+        std = math.sqrt(sum((v - mean) ** 2 for v in ordered) / (n - 1))
+    else:
+        std = 0.0
+    return Summary(
+        count=n,
+        mean=mean,
+        std=std,
+        minimum=ordered[0],
+        p25=percentile(ordered, 0.25),
+        median=percentile(ordered, 0.50),
+        p75=percentile(ordered, 0.75),
+        p95=percentile(ordered, 0.95),
+        maximum=ordered[-1],
+    )
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """std / mean — the burstiness measure used when discussing churn."""
+    summary = summarize(values)
+    if summary.mean == 0:
+        raise ParameterError("coefficient of variation undefined for zero mean")
+    return summary.std / summary.mean
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (all values must be positive)."""
+    if not values:
+        raise ParameterError("geometric mean of empty sample")
+    if min(values) <= 0:
+        raise ParameterError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,73 @@
+"""Attachment rules used by the generator.
+
+The paper's generator selects providers and M-node peers by **preferential
+attachment** (Barabási–Albert style), which produces the power-law degree
+distribution observed in the Internet, while CP nodes select their peers
+**uniformly** among eligible candidates.
+
+The weight used for provider selection is the candidate's current transit
+degree; for M–M peering it is the candidate's current *peering* degree
+(Sec. 3: "considering only the peering degree of each potential peer").
+Every weight gets a +1 offset so newborn nodes with zero degree remain
+selectable (standard BA initialization).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Callable, List, Sequence
+
+from repro.errors import ParameterError
+
+
+def preferential_choice(
+    candidates: Sequence[int],
+    weight_of: Callable[[int], int],
+    rng: random.Random,
+) -> int:
+    """Pick one candidate with probability proportional to ``weight + 1``.
+
+    Raises :class:`ParameterError` on an empty candidate list.
+    """
+    if not candidates:
+        raise ParameterError("preferential_choice called with no candidates")
+    cumulative: List[int] = list(
+        itertools.accumulate(weight_of(candidate) + 1 for candidate in candidates)
+    )
+    target = rng.uniform(0.0, cumulative[-1])
+    index = bisect.bisect_left(cumulative, target)
+    if index >= len(candidates):
+        index = len(candidates) - 1
+    return candidates[index]
+
+
+def uniform_choice(candidates: Sequence[int], rng: random.Random) -> int:
+    """Pick one candidate uniformly at random."""
+    if not candidates:
+        raise ParameterError("uniform_choice called with no candidates")
+    return candidates[rng.randrange(len(candidates))]
+
+
+def draw_link_count(average: float, rng: random.Random, *, minimum: int = 0) -> int:
+    """Draw an integer link count with the paper's uniform spread.
+
+    Degrees are "uniformly distributed between ``minimum`` and twice the
+    specified average" (Sec. 3): provider counts use ``minimum=1``, peering
+    counts ``minimum=0``.  The continuous draw is converted to an integer by
+    probabilistic rounding so the *mean* equals ``average`` exactly, which
+    matters for fractional averages such as ``p_cp_cp = 0.05`` (a Bernoulli
+    mixture) or ``d_c = 1.05``.
+    """
+    if average < 0:
+        raise ParameterError(f"average link count must be >= 0, got {average}")
+    if average <= minimum:
+        if minimum == 0:
+            return 1 if rng.random() < average else 0
+        return minimum
+    upper = 2.0 * average - minimum
+    value = rng.uniform(minimum, upper)
+    floor_value = int(value)
+    count = floor_value + (1 if rng.random() < value - floor_value else 0)
+    return max(minimum, count)

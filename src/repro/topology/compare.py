@@ -1,0 +1,92 @@
+"""Structural comparison of topologies.
+
+Used to answer "are these two topologies the same kind of network?" —
+e.g. whether an *evolved* instance is statistically indistinguishable
+from a *regenerated* one at the same parameter point, or how far a
+scenario deviation moves the structure from the Baseline.
+
+The comparison combines: node-mix divergence, multihoming-degree gaps per
+type, a two-sample Kolmogorov–Smirnov test on the degree distributions
+(scipy), and the hierarchy-depth difference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from scipy import stats as _scipy_stats
+
+from repro.topology.graph import ASGraph
+from repro.topology.metrics import mean_multihoming_degree
+from repro.topology.tiers import hierarchy_depth, mean_chain_length
+from repro.topology.types import NodeType
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologyComparison:
+    """Structural distance measures between two topologies."""
+
+    n_a: int
+    n_b: int
+    #: max absolute difference of node-type fractions
+    mix_divergence: float
+    #: per-type absolute MHD difference
+    mhd_gap: Dict[NodeType, float]
+    #: two-sample KS statistic on the degree distributions
+    degree_ks_statistic: float
+    #: p-value of the KS test (high = indistinguishable)
+    degree_ks_pvalue: float
+    #: difference in hierarchy depth (b - a)
+    depth_difference: int
+    #: difference in mean longest provider-chain length (b - a)
+    chain_length_difference: float
+
+    def similar(
+        self,
+        *,
+        mix_tolerance: float = 0.05,
+        mhd_tolerance: float = 0.5,
+        ks_alpha: float = 0.01,
+    ) -> bool:
+        """A coarse same-kind-of-network verdict.
+
+        True when node mixes agree within ``mix_tolerance``, every type's
+        MHD within ``mhd_tolerance``, the degree KS test does not reject
+        at ``ks_alpha``, and the hierarchy depth matches within one tier.
+        """
+        return (
+            self.mix_divergence <= mix_tolerance
+            and all(gap <= mhd_tolerance for gap in self.mhd_gap.values())
+            and self.degree_ks_pvalue >= ks_alpha
+            and abs(self.depth_difference) <= 1
+        )
+
+
+def compare_topologies(a: ASGraph, b: ASGraph) -> TopologyComparison:
+    """Compute the structural distance between two topologies."""
+    counts_a = a.type_counts()
+    counts_b = b.type_counts()
+    mix_divergence = max(
+        abs(counts_a[t] / len(a) - counts_b[t] / len(b)) for t in NodeType
+    )
+    mhd_gap = {
+        node_type: abs(
+            mean_multihoming_degree(a, node_type)
+            - mean_multihoming_degree(b, node_type)
+        )
+        for node_type in (NodeType.M, NodeType.CP, NodeType.C)
+    }
+    degrees_a = [a.degree(v) for v in a.node_ids]
+    degrees_b = [b.degree(v) for v in b.node_ids]
+    ks = _scipy_stats.ks_2samp(degrees_a, degrees_b)
+    return TopologyComparison(
+        n_a=len(a),
+        n_b=len(b),
+        mix_divergence=mix_divergence,
+        mhd_gap=mhd_gap,
+        degree_ks_statistic=float(ks.statistic),
+        degree_ks_pvalue=float(ks.pvalue),
+        depth_difference=hierarchy_depth(b) - hierarchy_depth(a),
+        chain_length_difference=mean_chain_length(b) - mean_chain_length(a),
+    )

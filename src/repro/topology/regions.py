@@ -1,0 +1,60 @@
+"""Region assignment (geographic clustering, Sec. 3).
+
+Regions model geographical constraints: two ASes may only connect if they
+are present in at least one common region.  In the paper's model:
+
+* T nodes are present in **all** regions,
+* 20 % of M nodes and 5 % of CP nodes are present in **two** regions,
+* every other node is present in exactly **one** region.
+
+The Baseline model uses 5 regions with one fifth of all nodes each; we
+realize that by drawing each node's primary region uniformly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet
+
+from repro.errors import ParameterError
+from repro.topology.types import NodeType
+
+
+def all_regions(region_count: int) -> FrozenSet[int]:
+    """The full region set ``{0, ..., region_count - 1}``."""
+    if region_count < 1:
+        raise ParameterError(f"region_count must be >= 1, got {region_count}")
+    return frozenset(range(region_count))
+
+
+def draw_regions(
+    node_type: NodeType,
+    region_count: int,
+    rng: random.Random,
+    *,
+    m_two_region_fraction: float = 0.20,
+    cp_two_region_fraction: float = 0.05,
+) -> FrozenSet[int]:
+    """Draw the region set for a new node of the given type.
+
+    Follows the paper's assignment rules; with a single region every node
+    trivially receives region 0.
+    """
+    if region_count < 1:
+        raise ParameterError(f"region_count must be >= 1, got {region_count}")
+    if node_type is NodeType.T:
+        return all_regions(region_count)
+    if region_count == 1:
+        return frozenset({0})
+    primary = rng.randrange(region_count)
+    two_region_probability = 0.0
+    if node_type is NodeType.M:
+        two_region_probability = m_two_region_fraction
+    elif node_type is NodeType.CP:
+        two_region_probability = cp_two_region_fraction
+    if two_region_probability > 0.0 and rng.random() < two_region_probability:
+        secondary = rng.randrange(region_count - 1)
+        if secondary >= primary:
+            secondary += 1
+        return frozenset({primary, secondary})
+    return frozenset({primary})

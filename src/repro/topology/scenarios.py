@@ -1,0 +1,201 @@
+"""The paper's growth scenarios (Baseline + all Sec. 5 deviations).
+
+Each scenario is a function ``n -> TopologyParams`` registered under the
+name the paper uses.  All deviations are *single-dimensional*: they change
+one group of parameters relative to :func:`~repro.topology.params.baseline_params`
+and keep everything else fixed, exactly as Sec. 5 describes.
+
+===================== ==============================================================
+Scenario              Deviation from Baseline
+===================== ==============================================================
+BASELINE              none (Table 1)
+NO-MIDDLE             ``n_m = 0``; tier-1s drove regional providers out of business
+RICH-MIDDLE           ``n_m = 0.45 n``; CP/C reduced keeping their ratio
+STATIC-MIDDLE         T and M counts frozen at their n=1000 values; edge-only growth
+TRANSIT-CLIQUE        ``n_t = 0.15 n``, ``n_m = 0``; flat clique of transit "equals"
+DENSE-CORE            ``d_m`` × 3 (stronger multihoming in the core)
+DENSE-EDGE            ``d_c``, ``d_cp`` × 3 (stronger multihoming at the edge)
+TREE                  ``d_m = d_cp = d_c = 1`` (single-homed hierarchy)
+CONSTANT-MHD          size-dependent component of ``d_*`` removed
+NO-PEERING            all peering averages 0 (T clique kept)
+STRONG-CORE-PEERING   ``p_m`` × 2
+STRONG-EDGE-PEERING   ``p_cp_m``, ``p_cp_cp`` × 3
+PREFER-MIDDLE         ``t_cp = t_c = 0``; M nodes capped at one T provider
+PREFER-TOP            M/CP/C nodes capped at one M provider
+===================== ==============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ParameterError
+from repro.topology.params import TopologyParams, baseline_params
+
+ScenarioFactory = Callable[..., TopologyParams]
+
+#: Reference size at which STATIC-MIDDLE freezes the transit population.
+STATIC_MIDDLE_REFERENCE_N = 1000
+
+_REGISTRY: Dict[str, ScenarioFactory] = {}
+
+
+def register_scenario(name: str) -> Callable[[ScenarioFactory], ScenarioFactory]:
+    """Decorator adding a scenario factory to the registry."""
+
+    def decorator(factory: ScenarioFactory) -> ScenarioFactory:
+        key = name.upper()
+        if key in _REGISTRY:
+            raise ParameterError(f"scenario {key!r} already registered")
+        _REGISTRY[key] = factory
+        return factory
+
+    return decorator
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def scenario_params(name: str, n: int, **kwargs: object) -> TopologyParams:
+    """Parameters for scenario ``name`` at size ``n``.
+
+    Extra keyword arguments are forwarded to the factory (e.g. ``n_t``,
+    ``regions``).
+    """
+    try:
+        factory = _REGISTRY[name.upper()]
+    except KeyError as exc:
+        raise ParameterError(
+            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
+        ) from exc
+    return factory(n, **kwargs)
+
+
+def _split_edge(n_edge: int) -> tuple[int, int]:
+    """Split an edge population into (CP, C) keeping the Baseline 0.05:0.80 ratio."""
+    n_cp = round(n_edge * 0.05 / 0.85)
+    return n_cp, n_edge - n_cp
+
+
+@register_scenario("BASELINE")
+def _baseline(n: int, **kwargs: object) -> TopologyParams:
+    return baseline_params(n, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Sec. 5.1 — the AS population mix
+# ----------------------------------------------------------------------
+@register_scenario("NO-MIDDLE")
+def _no_middle(n: int, **kwargs: object) -> TopologyParams:
+    base = baseline_params(n, **kwargs)
+    n_cp, n_c = _split_edge(n - base.n_t)
+    return base.replace(n_m=0, n_cp=n_cp, n_c=n_c, scenario="NO-MIDDLE")
+
+
+@register_scenario("RICH-MIDDLE")
+def _rich_middle(n: int, **kwargs: object) -> TopologyParams:
+    base = baseline_params(n, **kwargs)
+    n_m = min(round(0.45 * n), n - base.n_t - 2)
+    n_cp, n_c = _split_edge(n - base.n_t - n_m)
+    return base.replace(n_m=n_m, n_cp=n_cp, n_c=n_c, scenario="RICH-MIDDLE")
+
+
+@register_scenario("STATIC-MIDDLE")
+def _static_middle(
+    n: int, *, reference_n: int = STATIC_MIDDLE_REFERENCE_N, **kwargs: object
+) -> TopologyParams:
+    base = baseline_params(n, **kwargs)
+    reference = baseline_params(min(reference_n, n), n_t=base.n_t, regions=base.regions)
+    n_cp, n_c = _split_edge(n - reference.n_t - reference.n_m)
+    return base.replace(
+        n_t=reference.n_t,
+        n_m=reference.n_m,
+        n_cp=n_cp,
+        n_c=n_c,
+        scenario="STATIC-MIDDLE",
+    )
+
+
+@register_scenario("TRANSIT-CLIQUE")
+def _transit_clique(n: int, **kwargs: object) -> TopologyParams:
+    kwargs = dict(kwargs)
+    kwargs.pop("n_t", None)
+    base = baseline_params(n, **kwargs)
+    n_t = max(1, round(0.15 * n))
+    n_cp, n_c = _split_edge(n - n_t)
+    return base.replace(
+        n_t=n_t, n_m=0, n_cp=n_cp, n_c=n_c, scenario="TRANSIT-CLIQUE"
+    )
+
+
+# ----------------------------------------------------------------------
+# Sec. 5.2 — the multihoming degree
+# ----------------------------------------------------------------------
+@register_scenario("DENSE-CORE")
+def _dense_core(n: int, **kwargs: object) -> TopologyParams:
+    base = baseline_params(n, **kwargs)
+    return base.replace(d_m=3.0 * base.d_m, scenario="DENSE-CORE")
+
+
+@register_scenario("DENSE-EDGE")
+def _dense_edge(n: int, **kwargs: object) -> TopologyParams:
+    base = baseline_params(n, **kwargs)
+    return base.replace(
+        d_cp=3.0 * base.d_cp, d_c=3.0 * base.d_c, scenario="DENSE-EDGE"
+    )
+
+
+@register_scenario("TREE")
+def _tree(n: int, **kwargs: object) -> TopologyParams:
+    base = baseline_params(n, **kwargs)
+    return base.replace(d_m=1.0, d_cp=1.0, d_c=1.0, scenario="TREE")
+
+
+@register_scenario("CONSTANT-MHD")
+def _constant_mhd(n: int, **kwargs: object) -> TopologyParams:
+    base = baseline_params(n, **kwargs)
+    return base.replace(d_m=2.0, d_cp=2.0, d_c=1.0, scenario="CONSTANT-MHD")
+
+
+# ----------------------------------------------------------------------
+# Sec. 5.3 — peering relations
+# ----------------------------------------------------------------------
+@register_scenario("NO-PEERING")
+def _no_peering(n: int, **kwargs: object) -> TopologyParams:
+    base = baseline_params(n, **kwargs)
+    return base.replace(p_m=0.0, p_cp_m=0.0, p_cp_cp=0.0, scenario="NO-PEERING")
+
+
+@register_scenario("STRONG-CORE-PEERING")
+def _strong_core_peering(n: int, **kwargs: object) -> TopologyParams:
+    base = baseline_params(n, **kwargs)
+    return base.replace(p_m=2.0 * base.p_m, scenario="STRONG-CORE-PEERING")
+
+
+@register_scenario("STRONG-EDGE-PEERING")
+def _strong_edge_peering(n: int, **kwargs: object) -> TopologyParams:
+    base = baseline_params(n, **kwargs)
+    return base.replace(
+        p_cp_m=3.0 * base.p_cp_m,
+        p_cp_cp=3.0 * base.p_cp_cp,
+        scenario="STRONG-EDGE-PEERING",
+    )
+
+
+# ----------------------------------------------------------------------
+# Sec. 5.4 — provider preference
+# ----------------------------------------------------------------------
+@register_scenario("PREFER-MIDDLE")
+def _prefer_middle(n: int, **kwargs: object) -> TopologyParams:
+    base = baseline_params(n, **kwargs)
+    return base.replace(
+        t_cp=0.0, t_c=0.0, max_t_providers=1, scenario="PREFER-MIDDLE"
+    )
+
+
+@register_scenario("PREFER-TOP")
+def _prefer_top(n: int, **kwargs: object) -> TopologyParams:
+    base = baseline_params(n, **kwargs)
+    return base.replace(max_m_providers=1, scenario="PREFER-TOP")

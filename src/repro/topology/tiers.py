@@ -1,0 +1,115 @@
+"""Hierarchy-depth analysis.
+
+The paper's conclusion singles out hierarchy depth: "the depth of the
+hierarchical structure in the Internet plays a significant role.  A
+relatively flat Internet core is much more scalable than a vertically
+deep core."  This module quantifies that depth on any topology:
+
+* :func:`tier_of` / :func:`tier_map` — each node's tier, defined as
+  1 + the shortest provider-chain distance to a provider-free node
+  (T nodes are tier 1, their direct-only customers tier 2, ...);
+* :func:`hierarchy_depth` — the deepest tier present;
+* :func:`provider_chain_lengths` — per node, the *longest* strictly
+  ascending provider chain above it (how many layers of transit its
+  updates must climb);
+* :func:`depth_histogram` — node count per tier.
+
+NO-MIDDLE and TRANSIT-CLIQUE collapse to depth 2; the Baseline sits at
+4-5; PREFER-MIDDLE deepens the hierarchy — exactly the axis Fig. 8/11
+vary.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Dict, List
+
+from repro.errors import TopologyError
+from repro.topology.graph import ASGraph
+
+
+def tier_map(graph: ASGraph) -> Dict[int, int]:
+    """Tier per node: 1 for provider-free nodes, BFS downward otherwise.
+
+    A node's tier is one more than the *minimum* tier among its
+    providers (the shortest climb to the top of the hierarchy).
+    """
+    tiers: Dict[int, int] = {}
+    frontier: List[int] = []
+    for node_id in graph.node_ids:
+        if not graph.providers_of(node_id):
+            tiers[node_id] = 1
+            frontier.append(node_id)
+    if not frontier:
+        raise TopologyError("no provider-free nodes: not a hierarchy")
+    level = 1
+    while frontier:
+        level += 1
+        next_frontier: List[int] = []
+        for node_id in frontier:
+            for customer in graph.customers_of(node_id):
+                if customer not in tiers:
+                    tiers[customer] = level
+                    next_frontier.append(customer)
+        frontier = next_frontier
+    missing = [node_id for node_id in graph.node_ids if node_id not in tiers]
+    if missing:
+        raise TopologyError(
+            f"{len(missing)} nodes unreachable from the top of the hierarchy"
+        )
+    return tiers
+
+
+def tier_of(graph: ASGraph, node_id: int) -> int:
+    """The tier of one node (1 = top)."""
+    return tier_map(graph)[node_id]
+
+
+def hierarchy_depth(graph: ASGraph) -> int:
+    """The deepest tier present in the topology."""
+    return max(tier_map(graph).values())
+
+
+def depth_histogram(graph: ASGraph) -> Dict[int, int]:
+    """Number of nodes at each tier."""
+    histogram: Dict[int, int] = collections.Counter()
+    for tier in tier_map(graph).values():
+        histogram[tier] += 1
+    return dict(histogram)
+
+
+def provider_chain_lengths(graph: ASGraph) -> Dict[int, int]:
+    """Longest strictly ascending provider chain above each node.
+
+    0 for provider-free nodes; computed in one pass over a topological
+    order of the (acyclic) provider hierarchy.
+    """
+    longest: Dict[int, int] = {}
+    in_degree = {
+        node_id: len(graph.providers_of(node_id)) for node_id in graph.node_ids
+    }
+    queue = [node_id for node_id, degree in in_degree.items() if degree == 0]
+    for node_id in queue:
+        longest[node_id] = 0
+    index = 0
+    while index < len(queue):
+        current = queue[index]
+        index += 1
+        for customer in graph.customers_of(current):
+            candidate = longest[current] + 1
+            if candidate > longest.get(customer, -1):
+                longest[customer] = candidate
+            in_degree[customer] -= 1
+            if in_degree[customer] == 0:
+                queue.append(customer)
+    if len(longest) != len(graph):
+        raise TopologyError("provider hierarchy contains a cycle")
+    return longest
+
+
+def mean_chain_length(graph: ASGraph) -> float:
+    """Average longest-chain length over all nodes (core "verticality")."""
+    lengths = provider_chain_lengths(graph)
+    if not lengths:
+        return 0.0
+    return sum(lengths.values()) / len(lengths)

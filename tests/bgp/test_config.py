@@ -1,0 +1,69 @@
+"""Tests for BGPConfig validation and presets."""
+
+import pytest
+
+from repro.bgp.config import (
+    NO_WRATE_CONFIG,
+    WRATE_CONFIG,
+    BGPConfig,
+    MRAIMode,
+    SendDiscipline,
+)
+from repro.errors import ParameterError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = BGPConfig()
+        assert config.mrai == 30.0
+        assert config.wrate is False
+        assert config.mrai_mode is MRAIMode.PER_INTERFACE
+        assert config.discipline is SendDiscipline.DELAY_FIRST
+        assert config.processing_time_max == pytest.approx(0.100)
+        assert config.rate_limiting_enabled
+
+    def test_presets(self):
+        assert NO_WRATE_CONFIG.wrate is False
+        assert WRATE_CONFIG.wrate is True
+
+    def test_damping_disabled_by_default(self):
+        assert BGPConfig().damping.enabled is False
+
+
+class TestValidation:
+    def test_negative_mrai(self):
+        with pytest.raises(ParameterError):
+            BGPConfig(mrai=-1.0)
+
+    def test_zero_mrai_disables_rate_limiting(self):
+        assert not BGPConfig(mrai=0.0).rate_limiting_enabled
+
+    def test_invalid_jitter_band(self):
+        with pytest.raises(ParameterError):
+            BGPConfig(jitter_low=1.2, jitter_high=1.0)
+        with pytest.raises(ParameterError):
+            BGPConfig(jitter_low=0.0, jitter_high=0.5)
+
+    def test_negative_processing_time(self):
+        with pytest.raises(ParameterError):
+            BGPConfig(processing_time_max=-0.1)
+
+    def test_negative_link_delay(self):
+        with pytest.raises(ParameterError):
+            BGPConfig(link_delay=-0.001)
+
+
+class TestReplace:
+    def test_replace_produces_new_validated_config(self):
+        config = BGPConfig()
+        wrate = config.replace(wrate=True)
+        assert wrate.wrate is True
+        assert config.wrate is False
+        with pytest.raises(ParameterError):
+            config.replace(mrai=-5.0)
+
+    def test_config_hashable(self):
+        """Configs key the sweep cache, so they must hash consistently."""
+        assert hash(BGPConfig()) == hash(BGPConfig())
+        assert BGPConfig() == BGPConfig()
+        assert BGPConfig(wrate=True) != BGPConfig()

@@ -1,0 +1,85 @@
+"""Tests for Adj-RIB-In and Loc-RIB."""
+
+from repro.bgp.rib import AdjRIBIn, LocRIB
+from repro.bgp.route import import_route
+from repro.topology.types import Relationship
+
+
+def route(prefix, path):
+    return import_route(prefix, path, Relationship.CUSTOMER)
+
+
+class TestAdjRIBIn:
+    def test_install_and_lookup(self):
+        rib = AdjRIBIn()
+        r = route(0, (5,))
+        assert rib.update(0, 5, r) is None
+        assert rib.route_from(0, 5) == r
+        assert len(rib) == 1
+
+    def test_replace_returns_previous(self):
+        rib = AdjRIBIn()
+        first = route(0, (5,))
+        second = route(0, (5, 6))
+        rib.update(0, 5, first)
+        assert rib.update(0, 5, second) == first
+        assert rib.route_from(0, 5) == second
+
+    def test_withdrawal_removes(self):
+        rib = AdjRIBIn()
+        rib.update(0, 5, route(0, (5,)))
+        previous = rib.update(0, 5, None)
+        assert previous is not None
+        assert rib.route_from(0, 5) is None
+        assert len(rib) == 0
+
+    def test_withdrawal_of_absent_is_noop(self):
+        rib = AdjRIBIn()
+        assert rib.update(0, 5, None) is None
+
+    def test_candidates_scoped_by_prefix(self):
+        rib = AdjRIBIn()
+        rib.update(0, 5, route(0, (5,)))
+        rib.update(0, 6, route(0, (6,)))
+        rib.update(1, 5, route(1, (5,)))
+        candidates = dict(rib.candidates(0))
+        assert set(candidates) == {5, 6}
+        assert len(rib.candidates(1)) == 1
+
+    def test_prefixes_iteration(self):
+        rib = AdjRIBIn()
+        rib.update(0, 5, route(0, (5,)))
+        rib.update(1, 5, route(1, (5,)))
+        rib.update(1, 6, route(1, (6,)))
+        assert sorted(rib.prefixes()) == [0, 1]
+
+    def test_prefixes_from_neighbor(self):
+        rib = AdjRIBIn()
+        rib.update(0, 5, route(0, (5,)))
+        rib.update(1, 5, route(1, (5,)))
+        rib.update(2, 6, route(2, (6,)))
+        assert sorted(rib.prefixes_from(5)) == [0, 1]
+        assert rib.prefixes_from(7) == []
+
+
+class TestLocRIB:
+    def test_install_reports_change(self):
+        rib = LocRIB()
+        r = route(0, (5,))
+        assert rib.install(0, r) is True
+        assert rib.install(0, r) is False  # unchanged
+        assert rib.best(0) == r
+
+    def test_uninstall(self):
+        rib = LocRIB()
+        rib.install(0, route(0, (5,)))
+        assert rib.install(0, None) is True
+        assert rib.best(0) is None
+        assert rib.install(0, None) is False
+
+    def test_prefix_listing(self):
+        rib = LocRIB()
+        rib.install(0, route(0, (5,)))
+        rib.install(3, route(3, (5,)))
+        assert sorted(rib.prefixes()) == [0, 3]
+        assert len(rib) == 2

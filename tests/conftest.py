@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.config import BGPConfig
+from repro.sim.network import SimNetwork
+from repro.topology.graph import ASGraph
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+from repro.topology.types import NodeType
+
+
+def build_diamond() -> ASGraph:
+    """A five-node topology exercising every relationship type.
+
+           T0 ---- T1        (T clique, peering)
+          /  \\    /
+        M2    M3            (M2, M3 customers of T0; M3 also of T1)
+          \\  /
+           C4                (C4 multihomed to M2 and M3)
+    """
+    graph = ASGraph(scenario="diamond")
+    graph.add_node(0, NodeType.T, [0])
+    graph.add_node(1, NodeType.T, [0])
+    graph.add_node(2, NodeType.M, [0])
+    graph.add_node(3, NodeType.M, [0])
+    graph.add_node(4, NodeType.C, [0])
+    graph.add_peering_link(0, 1)
+    graph.add_transit_link(2, 0)
+    graph.add_transit_link(3, 0)
+    graph.add_transit_link(3, 1)
+    graph.add_transit_link(4, 2)
+    graph.add_transit_link(4, 3)
+    return graph
+
+
+def build_chain(length: int = 4) -> ASGraph:
+    """T0 <- M1 <- M2 <- ... <- C(last): a single provider chain."""
+    graph = ASGraph(scenario="chain")
+    graph.add_node(0, NodeType.T, [0])
+    for i in range(1, length):
+        node_type = NodeType.C if i == length - 1 else NodeType.M
+        graph.add_node(i, node_type, [0])
+        graph.add_transit_link(i, i - 1)
+    return graph
+
+
+@pytest.fixture
+def diamond() -> ASGraph:
+    """The five-node diamond topology."""
+    return build_diamond()
+
+
+@pytest.fixture
+def chain() -> ASGraph:
+    """A four-node provider chain."""
+    return build_chain()
+
+
+@pytest.fixture
+def small_baseline() -> ASGraph:
+    """A 150-node Baseline topology (seeded, cheap to simulate)."""
+    return generate_topology(baseline_params(150), seed=42)
+
+
+@pytest.fixture
+def fast_config() -> BGPConfig:
+    """A config with a short MRAI so convergence tests run quickly."""
+    return BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+
+
+@pytest.fixture
+def diamond_network(diamond, fast_config) -> SimNetwork:
+    """A ready-to-run network over the diamond topology."""
+    return SimNetwork(diamond, fast_config, seed=7)

@@ -1,0 +1,51 @@
+"""Tests for convergence-time profiles."""
+
+import pytest
+
+from repro.bgp.config import BGPConfig
+from repro.core.convergence import convergence_profile
+
+FAST = BGPConfig(mrai=1.0, link_delay=0.001, processing_time_max=0.005)
+
+
+class TestConvergenceProfile:
+    def test_per_event_lists(self, small_baseline):
+        profile = convergence_profile(
+            small_baseline, FAST, num_origins=4, seed=1
+        )
+        assert len(profile.down_times) == 4
+        assert len(profile.up_times) == 4
+        assert all(t > 0 for t in profile.down_times + profile.up_times)
+
+    def test_summaries(self, small_baseline):
+        profile = convergence_profile(
+            small_baseline, FAST, num_origins=4, seed=1
+        )
+        down = profile.down_summary()
+        assert down.minimum <= down.median <= down.maximum
+
+    def test_wrate_slows_down_phase(self, small_baseline):
+        no_wrate = convergence_profile(
+            small_baseline, FAST.replace(wrate=False), num_origins=3, seed=2
+        )
+        wrate = convergence_profile(
+            small_baseline, FAST.replace(wrate=True), num_origins=3, seed=2
+        )
+        assert (
+            wrate.down_summary().median
+            > 2.0 * no_wrate.down_summary().median
+        )
+
+    def test_up_times_quantized_by_mrai(self, small_baseline):
+        """Delay-first: UP convergence is a multiple of ~MRAI hops; with a
+        1s timer every event needs at least a couple of seconds."""
+        profile = convergence_profile(
+            small_baseline, FAST, num_origins=3, seed=3
+        )
+        assert min(profile.up_times) > 1.0
+
+    def test_reproducible(self, small_baseline):
+        a = convergence_profile(small_baseline, FAST, num_origins=2, seed=4)
+        b = convergence_profile(small_baseline, FAST, num_origins=2, seed=4)
+        assert a.down_times == b.down_times
+        assert a.up_times == b.up_times

@@ -1,0 +1,88 @@
+"""Tests for the m/q/e factor accumulator (Eq. 1)."""
+
+import pytest
+
+from repro.core.factors import FactorAccumulator, predicted_u
+from repro.errors import ExperimentError
+from repro.sim.counters import UpdateCounter
+from repro.topology.types import NodeType, Relationship
+
+CUST = Relationship.CUSTOMER
+PEER = Relationship.PEER
+PROV = Relationship.PROVIDER
+
+
+def make_counter(records):
+    counter = UpdateCounter()
+    for receiver, sender, rel, count in records:
+        for _ in range(count):
+            counter.record(receiver, sender, rel, is_withdrawal=False)
+    return counter
+
+
+class TestAccumulation:
+    def test_no_events_raises(self, diamond):
+        acc = FactorAccumulator(diamond)
+        with pytest.raises(ExperimentError):
+            acc.type_factors(NodeType.T)
+
+    def test_single_event_factors(self, diamond):
+        acc = FactorAccumulator(diamond)
+        # T0 hears 2 updates from customer M2 and 2 from peer T1.
+        acc.add_event(make_counter([(0, 2, CUST, 2), (0, 1, PEER, 2)]))
+        factors = acc.type_factors(NodeType.T)
+        assert factors.events == 1
+        assert factors.node_count == 2
+        # averaged over BOTH T nodes: T0 got 4, T1 got 0
+        assert factors.u_total == pytest.approx(2.0)
+        assert factors.u(CUST) == pytest.approx(1.0)
+        assert factors.u(PEER) == pytest.approx(1.0)
+        # m: T0 has 2 customers, T1 has 1 -> mean 1.5; peers 1 each
+        assert factors.m(CUST) == pytest.approx(1.5)
+        assert factors.m(PEER) == pytest.approx(1.0)
+        # q: 1 active customer of 3 customer-links; 1 active peer of 2
+        assert factors.q(CUST) == pytest.approx(1 / 3)
+        assert factors.q(PEER) == pytest.approx(1 / 2)
+        # e: 2 updates per active neighbour
+        assert factors.e(CUST) == pytest.approx(2.0)
+        assert factors.e(PEER) == pytest.approx(2.0)
+
+    def test_identity_u_equals_mqe(self, diamond):
+        """The aggregation must satisfy U_y = m_y q_y e_y exactly."""
+        acc = FactorAccumulator(diamond)
+        acc.add_event(make_counter([(0, 2, CUST, 3), (0, 3, CUST, 1), (2, 0, PROV, 2)]))
+        acc.add_event(make_counter([(0, 1, PEER, 5), (3, 1, PROV, 1)]))
+        for node_type in (NodeType.T, NodeType.M):
+            factors = acc.type_factors(node_type)
+            assert factors.u_total == pytest.approx(predicted_u(factors), abs=1e-12)
+            for rel in (CUST, PEER, PROV):
+                assert factors.u(rel) == pytest.approx(
+                    predicted_u(factors, rel), abs=1e-12
+                )
+
+    def test_multiple_events_average(self, diamond):
+        acc = FactorAccumulator(diamond)
+        acc.add_event(make_counter([(0, 2, CUST, 4)]))
+        acc.add_event(make_counter([(0, 2, CUST, 0)]))  # empty event
+        factors = acc.type_factors(NodeType.T)
+        # 4 updates over 2 events over 2 T nodes
+        assert factors.u_total == pytest.approx(1.0)
+
+    def test_per_node_updates_for_ci(self, diamond):
+        acc = FactorAccumulator(diamond)
+        acc.add_event(make_counter([(0, 2, CUST, 4), (1, 3, CUST, 2)]))
+        factors = acc.type_factors(NodeType.T)
+        assert sorted(factors.per_node_updates) == [2.0, 4.0]
+
+    def test_node_updates(self, diamond):
+        acc = FactorAccumulator(diamond)
+        acc.add_event(make_counter([(2, 4, CUST, 6)]))
+        assert acc.node_updates(2) == pytest.approx(6.0)
+        assert acc.node_updates(0) == 0.0
+
+    def test_all_type_factors_skips_absent_types(self, diamond):
+        acc = FactorAccumulator(diamond)
+        acc.add_event(make_counter([(0, 2, CUST, 1)]))
+        per_type = acc.all_type_factors()
+        assert NodeType.CP not in per_type  # diamond has no CP nodes
+        assert set(per_type) == {NodeType.T, NodeType.M, NodeType.C}

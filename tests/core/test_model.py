@@ -1,0 +1,92 @@
+"""Tests for the analytical Eq.-1 model."""
+
+import pytest
+
+from repro.core.factors import TypeFactors
+from repro.core.model import (
+    FactorScaling,
+    attribute_growth,
+    decomposition_residual,
+    dominant_term,
+    predict_updates,
+)
+from repro.topology.types import NodeType, Relationship
+
+CUST = Relationship.CUSTOMER
+PEER = Relationship.PEER
+PROV = Relationship.PROVIDER
+
+
+def make_factors(m, q, e):
+    u_by_rel = {rel: m[rel] * q[rel] * e[rel] for rel in (CUST, PEER, PROV)}
+    return TypeFactors(
+        node_type=NodeType.T,
+        node_count=5,
+        events=10,
+        u_total=sum(u_by_rel.values()),
+        u_by_rel=u_by_rel,
+        m_by_rel=dict(m),
+        q_by_rel=dict(q),
+        e_by_rel=dict(e),
+        per_node_updates=[sum(u_by_rel.values())] * 5,
+    )
+
+
+BASE = make_factors(
+    m={CUST: 10.0, PEER: 4.0, PROV: 0.0},
+    q={CUST: 0.1, PEER: 0.5, PROV: 0.0},
+    e={CUST: 2.0, PEER: 2.0, PROV: 0.0},
+)
+
+
+class TestPrediction:
+    def test_predict_matches_u(self):
+        assert predict_updates(BASE) == pytest.approx(BASE.u_total)
+        assert decomposition_residual(BASE) == pytest.approx(0.0)
+
+    def test_scaling_multiplies_terms(self):
+        scaling = FactorScaling(m_scale={CUST: 2.0})
+        predicted = predict_updates(BASE, scaling)
+        # customer term doubles: 2 + 4 -> 4 + 4
+        assert predicted == pytest.approx(8.0)
+
+    def test_q_scaling_capped_at_one(self):
+        scaling = FactorScaling(q_scale={PEER: 10.0})
+        predicted = predict_updates(BASE, scaling)
+        # q_peer would become 5.0; capped at 1.0 -> peer term 4*1*2 = 8
+        assert predicted == pytest.approx(2.0 + 8.0)
+
+    def test_e_scaling(self):
+        scaling = FactorScaling(e_scale={CUST: 3.0, PEER: 3.0})
+        assert predict_updates(BASE, scaling) == pytest.approx(3 * BASE.u_total)
+
+
+class TestDominantTerm:
+    def test_peer_dominates_base(self):
+        assert dominant_term(BASE) is PEER
+
+    def test_provider_dominates_m_style_factors(self):
+        m_factors = make_factors(
+            m={CUST: 1.0, PEER: 1.0, PROV: 3.0},
+            q={CUST: 0.01, PEER: 0.01, PROV: 1.0},
+            e={CUST: 2.0, PEER: 2.0, PROV: 2.0},
+        )
+        assert dominant_term(m_factors) is PROV
+
+
+class TestAttributeGrowth:
+    def test_ratios_multiply_to_u_ratio(self):
+        larger = make_factors(
+            m={CUST: 30.0, PEER: 5.0, PROV: 0.0},
+            q={CUST: 0.15, PEER: 0.7, PROV: 0.0},
+            e={CUST: 2.1, PEER: 2.2, PROV: 0.0},
+        )
+        growth = attribute_growth(BASE, larger, CUST)
+        assert growth["m_ratio"] == pytest.approx(3.0)
+        assert growth["q_ratio"] == pytest.approx(1.5)
+        assert growth["e_ratio"] == pytest.approx(1.05)
+        assert growth["u_ratio"] == pytest.approx(3.0 * 1.5 * 1.05)
+
+    def test_zero_base_gives_inf(self):
+        growth = attribute_growth(BASE, BASE, PROV)
+        assert growth["u_ratio"] == float("inf")

@@ -1,0 +1,90 @@
+"""Tests for the MRAI-value sensitivity sweep."""
+
+import pytest
+
+from repro.bgp.config import BGPConfig
+from repro.core.mrai_sweep import run_mrai_sweep
+from repro.errors import ExperimentError, ParameterError
+from repro.topology.types import NodeType
+
+FAST = BGPConfig(mrai=1.0, link_delay=0.001, processing_time_max=0.005)
+
+
+class TestSweep:
+    def test_basic_sweep(self, small_baseline):
+        sweep = run_mrai_sweep(
+            small_baseline,
+            values=(0.0, 1.0, 4.0),
+            base_config=FAST,
+            num_origins=2,
+            seed=1,
+        )
+        assert sweep.values == [0.0, 1.0, 4.0]
+        assert len(sweep.u_series(NodeType.T)) == 3
+        assert len(sweep.down_convergence_series()) == 3
+
+    def test_larger_mrai_slows_up_convergence(self, small_baseline):
+        """Delay-first: announcement convergence scales with the timer."""
+        sweep = run_mrai_sweep(
+            small_baseline,
+            values=(1.0, 8.0),
+            base_config=FAST,
+            num_origins=2,
+            seed=1,
+        )
+        up = sweep.up_convergence_series()
+        assert up[1] > 2.0 * up[0]
+
+    def test_no_wrate_down_convergence_fast_at_any_mrai(self, small_baseline):
+        """Withdrawals bypass the timer, so DOWN convergence is timer-free
+        in the first order (alternate-path announcements still arm it)."""
+        sweep = run_mrai_sweep(
+            small_baseline,
+            values=(1.0, 8.0),
+            base_config=FAST.replace(wrate=False),
+            num_origins=2,
+            seed=2,
+        )
+        down = sweep.down_convergence_series()
+        up = sweep.up_convergence_series()
+        assert down[1] < up[1]
+
+    def test_wrate_down_convergence_scales_with_mrai(self, small_baseline):
+        sweep = run_mrai_sweep(
+            small_baseline,
+            values=(1.0, 8.0),
+            base_config=FAST.replace(wrate=True),
+            num_origins=2,
+            seed=2,
+        )
+        down = sweep.down_convergence_series()
+        assert down[1] > 2.0 * down[0]
+
+    def test_mrai_zero_means_no_rate_limiting(self, small_baseline):
+        sweep = run_mrai_sweep(
+            small_baseline,
+            values=(0.0,),
+            base_config=FAST,
+            num_origins=2,
+            seed=3,
+        )
+        # without MRAI delays, convergence is dominated by processing time
+        assert sweep.up_convergence_series()[0] < 1.0
+
+    def test_stats_at(self, small_baseline):
+        sweep = run_mrai_sweep(
+            small_baseline, values=(1.0,), base_config=FAST, num_origins=1
+        )
+        assert sweep.stats_at(1.0).config.mrai == 1.0
+        with pytest.raises(ExperimentError):
+            sweep.stats_at(99.0)
+
+
+class TestValidation:
+    def test_empty_grid(self, small_baseline):
+        with pytest.raises(ParameterError):
+            run_mrai_sweep(small_baseline, values=())
+
+    def test_negative_value(self, small_baseline):
+        with pytest.raises(ParameterError):
+            run_mrai_sweep(small_baseline, values=(-1.0,))

@@ -1,0 +1,92 @@
+"""Tests for the regression utilities."""
+
+import pytest
+
+from repro.core.regression import (
+    fit_linear,
+    fit_polynomial,
+    fit_quadratic,
+    growth_classification,
+    log_log_exponent,
+    relative_increase,
+)
+from repro.errors import ParameterError
+
+
+class TestPolynomialFits:
+    def test_perfect_linear(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [3.0, 5.0, 7.0, 9.0]
+        fit = fit_linear(x, y)
+        assert fit.coefficients[0] == pytest.approx(2.0)
+        assert fit.coefficients[1] == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(5.0) == pytest.approx(11.0)
+
+    def test_perfect_quadratic(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [xi**2 for xi in x]
+        fit = fit_quadratic(x, y)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.coefficients[0] == pytest.approx(1.0, abs=1e-8)
+
+    def test_quadratic_beats_linear_on_quadratic_data(self):
+        x = list(range(1, 11))
+        y = [0.5 * xi**2 + xi for xi in x]
+        assert fit_quadratic(x, y).r_squared > fit_linear(x, y).r_squared
+
+    def test_r_squared_low_for_noise(self):
+        x = list(range(8))
+        y = [1.0, 9.0, 2.0, 8.0, 1.0, 9.0, 2.0, 8.0]
+        assert fit_linear(x, y).r_squared < 0.3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            fit_linear([1, 2], [1])
+
+    def test_insufficient_points(self):
+        with pytest.raises(ParameterError):
+            fit_quadratic([1, 2], [1, 2])
+
+    def test_constant_series_r_squared_is_one(self):
+        fit = fit_linear([1, 2, 3], [5.0, 5.0, 5.0])
+        assert fit.r_squared == pytest.approx(1.0)
+
+
+class TestRelativeIncrease:
+    def test_normalizes_to_first(self):
+        assert relative_increase([2.0, 4.0, 6.0]) == [1.0, 2.0, 3.0]
+
+    def test_empty(self):
+        assert relative_increase([]) == []
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ParameterError):
+            relative_increase([0.0, 1.0])
+
+
+class TestGrowthClassification:
+    def test_linear(self):
+        x = [100.0, 200.0, 400.0, 800.0]
+        assert growth_classification(x, [2 * v for v in x]) == "linear"
+
+    def test_superlinear(self):
+        x = [100.0, 200.0, 400.0, 800.0]
+        assert growth_classification(x, [v**1.5 for v in x]) == "superlinear"
+
+    def test_sublinear(self):
+        x = [100.0, 200.0, 400.0, 800.0]
+        assert growth_classification(x, [v**0.5 for v in x]) == "sublinear"
+
+    def test_constant(self):
+        x = [100.0, 200.0, 400.0]
+        assert growth_classification(x, [5.0, 5.01, 5.0]) == "constant"
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            growth_classification([1.0, 2.0], [0.0, 1.0])
+
+    def test_log_log_exponent(self):
+        x = [10.0, 100.0, 1000.0]
+        y = [v**2 for v in x]
+        assert log_log_exponent(x, y) == pytest.approx(2.0, abs=1e-9)

@@ -1,0 +1,97 @@
+"""Tests for growth sweeps."""
+
+import pytest
+
+from repro.bgp.config import BGPConfig
+from repro.core.sweep import SweepResult, run_growth_sweep, run_scenario_comparison
+from repro.errors import ExperimentError
+from repro.topology.types import NodeType, Relationship
+
+FAST = BGPConfig(mrai=1.0, link_delay=0.001, processing_time_max=0.01)
+SIZES = (80, 160)
+
+
+class TestRunGrowthSweep:
+    def test_basic_sweep(self):
+        sweep = run_growth_sweep(
+            "BASELINE", sizes=SIZES, config=FAST, num_origins=2, seed=1
+        )
+        assert sweep.sizes == list(SIZES)
+        assert len(sweep.stats) == 2
+        assert sweep.scenario == "BASELINE"
+        assert all(s.n == n for s, n in zip(sweep.stats, SIZES))
+
+    def test_series_extractors(self):
+        sweep = run_growth_sweep(
+            "BASELINE", sizes=SIZES, config=FAST, num_origins=2, seed=1
+        )
+        u = sweep.u_series(NodeType.T)
+        assert len(u) == 2 and all(v > 0 for v in u)
+        assert len(sweep.m_series(NodeType.T, Relationship.CUSTOMER)) == 2
+        assert len(sweep.q_series(NodeType.M, Relationship.PROVIDER)) == 2
+        assert len(sweep.e_series(NodeType.M, Relationship.PROVIDER)) == 2
+        rel = sweep.relative_u_series(NodeType.T)
+        assert rel[0] == pytest.approx(1.0)
+
+    def test_stats_at(self):
+        sweep = run_growth_sweep(
+            "BASELINE", sizes=SIZES, config=FAST, num_origins=2, seed=1
+        )
+        assert sweep.stats_at(80).n == 80
+        with pytest.raises(ExperimentError):
+            sweep.stats_at(999)
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_growth_sweep("BASELINE", sizes=(), config=FAST)
+
+    def test_progress_callback(self):
+        seen = []
+        run_growth_sweep(
+            "BASELINE",
+            sizes=(80,),
+            config=FAST,
+            num_origins=1,
+            seed=1,
+            progress=lambda scenario, n, stats: seen.append((scenario, n)),
+        )
+        assert seen == [("BASELINE", 80)]
+
+    def test_scenario_kwargs_forwarded(self):
+        sweep = run_growth_sweep(
+            "STATIC-MIDDLE",
+            sizes=(80, 160),
+            config=FAST,
+            num_origins=1,
+            seed=1,
+            scenario_kwargs={"reference_n": 80},
+        )
+        # transit population frozen at its n=80 value
+        small = sweep.stats_at(80)
+        large = sweep.stats_at(160)
+        assert small.per_type[NodeType.M].node_count == large.per_type[
+            NodeType.M
+        ].node_count
+
+    def test_reproducibility(self):
+        a = run_growth_sweep("BASELINE", sizes=(80,), config=FAST, num_origins=2, seed=5)
+        b = run_growth_sweep("BASELINE", sizes=(80,), config=FAST, num_origins=2, seed=5)
+        assert a.u_series(NodeType.T) == b.u_series(NodeType.T)
+
+
+class TestComparison:
+    def test_multiple_scenarios(self):
+        results = run_scenario_comparison(
+            ["BASELINE", "TREE"], sizes=(80,), config=FAST, num_origins=2, seed=1
+        )
+        assert set(results) == {"BASELINE", "TREE"}
+        assert results["TREE"].u_series(NodeType.T)[0] == pytest.approx(2.0)
+
+
+class TestSweepResultValidation:
+    def test_length_mismatch_rejected(self):
+        sweep = run_growth_sweep("BASELINE", sizes=(80,), config=FAST, num_origins=1)
+        with pytest.raises(ExperimentError):
+            SweepResult(
+                scenario="X", sizes=[80, 160], stats=sweep.stats, config=FAST
+            )

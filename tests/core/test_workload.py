@@ -1,0 +1,133 @@
+"""Tests for continuous churn workloads."""
+
+import pytest
+
+from repro.bgp.config import BGPConfig
+from repro.core.workload import (
+    WorkloadSpec,
+    default_monitors,
+    generate_poisson_workload,
+    run_workload,
+)
+from repro.errors import ParameterError
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+from repro.topology.types import NodeType
+
+FAST = BGPConfig(mrai=1.0, link_delay=0.001, processing_time_max=0.005)
+SPEC = WorkloadSpec(duration=200.0, event_rate=0.1, mean_downtime=10.0)
+
+
+class TestSpecValidation:
+    def test_positive_duration(self):
+        with pytest.raises(ParameterError):
+            WorkloadSpec(duration=0.0)
+
+    def test_positive_rate(self):
+        with pytest.raises(ParameterError):
+            WorkloadSpec(event_rate=0.0)
+
+    def test_positive_downtime(self):
+        with pytest.raises(ParameterError):
+            WorkloadSpec(mean_downtime=-1.0)
+
+
+class TestScheduleGeneration:
+    def test_deterministic(self, small_baseline):
+        a = generate_poisson_workload(small_baseline, SPEC, seed=1)
+        b = generate_poisson_workload(small_baseline, SPEC, seed=1)
+        assert a == b
+        assert a != generate_poisson_workload(small_baseline, SPEC, seed=2)
+
+    def test_event_count_near_expectation(self, small_baseline):
+        spec = WorkloadSpec(
+            duration=5000.0, event_rate=0.1, mean_downtime=10.0,
+            storm_probability=0.0,
+        )
+        events = generate_poisson_workload(small_baseline, spec, seed=3)
+        assert 400 < len(events) < 600  # expectation 500
+
+    def test_storms_add_clustered_flaps(self, small_baseline):
+        calm = WorkloadSpec(
+            duration=5000.0, event_rate=0.05, mean_downtime=10.0,
+            storm_probability=0.0,
+        )
+        stormy = WorkloadSpec(
+            duration=5000.0, event_rate=0.05, mean_downtime=10.0,
+            storm_probability=0.5, storm_size_mean=6.0, storm_gap=30.0,
+        )
+        calm_events = generate_poisson_workload(small_baseline, calm, seed=3)
+        storm_events = generate_poisson_workload(small_baseline, stormy, seed=3)
+        assert len(storm_events) > 1.5 * len(calm_events)
+        # storm flaps hit the same prefix repeatedly
+        by_origin = {}
+        for event in storm_events:
+            by_origin[event.origin] = by_origin.get(event.origin, 0) + 1
+        assert max(by_origin.values()) >= 5
+
+    def test_times_within_duration_and_sorted(self, small_baseline):
+        events = generate_poisson_workload(small_baseline, SPEC, seed=4)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(0 < t < SPEC.duration for t in times)
+
+    def test_origins_are_stubs_with_stable_prefixes(self, small_baseline):
+        events = generate_poisson_workload(small_baseline, SPEC, seed=4)
+        stubs = set(small_baseline.nodes_of_type(NodeType.C))
+        prefix_of = {}
+        for event in events:
+            assert event.origin in stubs
+            assert event.downtime > 0
+            prefix_of.setdefault(event.origin, event.prefix)
+            assert prefix_of[event.origin] == event.prefix
+
+    def test_origin_pool_limits_participants(self, small_baseline):
+        spec = WorkloadSpec(duration=500.0, event_rate=0.2, origin_pool=3,
+                            mean_downtime=10.0)
+        events = generate_poisson_workload(small_baseline, spec, seed=5)
+        assert len({e.origin for e in events}) <= 3
+
+
+class TestRunWorkload:
+    def test_basic_run(self, small_baseline):
+        result = run_workload(small_baseline, SPEC, FAST, seed=1)
+        assert result.events_executed > 0
+        assert result.total_updates > 0
+        assert result.measured_duration >= SPEC.duration * 0.5
+        assert len(result.trace) > 0
+
+    def test_monitor_sees_traffic(self, small_baseline):
+        result = run_workload(small_baseline, SPEC, FAST, seed=1)
+        t_monitor = result.monitors[0]
+        assert result.monitor_rate(t_monitor) > 0
+        report = result.burstiness(t_monitor, bin_width=20.0)
+        assert report.peak_rate >= report.mean_rate
+
+    def test_skipped_plus_executed_covers_schedule(self, small_baseline):
+        events = generate_poisson_workload(small_baseline, SPEC, seed=1)
+        result = run_workload(small_baseline, SPEC, FAST, seed=1)
+        assert result.events_executed + result.events_skipped == len(events)
+
+    def test_custom_monitors(self, small_baseline):
+        t_node = small_baseline.nodes_of_type(NodeType.T)[0]
+        result = run_workload(
+            small_baseline, SPEC, FAST, monitors=[t_node], seed=2
+        )
+        assert result.monitors == [t_node]
+
+    def test_deterministic(self, small_baseline):
+        a = run_workload(small_baseline, SPEC, FAST, seed=7)
+        b = run_workload(small_baseline, SPEC, FAST, seed=7)
+        assert a.total_updates == b.total_updates
+        assert a.events_executed == b.events_executed
+
+
+class TestDefaultMonitors:
+    def test_picks_highest_degree_transit(self, small_baseline):
+        monitors = default_monitors(small_baseline)
+        assert 1 <= len(monitors) <= 2
+        t_nodes = small_baseline.nodes_of_type(NodeType.T)
+        assert monitors[0] in t_nodes
+        assert small_baseline.degree(monitors[0]) == max(
+            small_baseline.degree(t) for t in t_nodes
+        )

@@ -1,0 +1,67 @@
+"""The example scripts must stay runnable.
+
+The fast examples are executed end-to-end in a subprocess; the slower,
+sweep-heavy ones are at least compiled and import-checked so signature
+drift in the library breaks the build here rather than for a user.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+#: (script, argv) pairs cheap enough to execute in the test suite
+FAST_EXAMPLES = [
+    ("quickstart.py", ["200", "2"]),
+    ("churn_trend_analysis.py", ["1.5"]),
+    ("custom_topology_linkfailure.py", []),
+    ("wrate_vs_nowrate.py", ["200", "2"]),
+]
+
+
+def run_example(name, args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+class TestExamples:
+    def test_expected_example_set_present(self):
+        assert {
+            "quickstart.py",
+            "whatif_growth_scenarios.py",
+            "wrate_vs_nowrate.py",
+            "churn_trend_analysis.py",
+            "custom_topology_linkfailure.py",
+            "monitor_burstiness.py",
+            "paper_tour.py",
+        } <= set(ALL_EXAMPLES)
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_compiles(self, name):
+        py_compile.compile(str(EXAMPLES_DIR / name), doraise=True)
+
+    @pytest.mark.parametrize("name,args", FAST_EXAMPLES)
+    def test_fast_examples_execute(self, name, args):
+        result = run_example(name, args)
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip()
+
+    def test_quickstart_output_structure(self):
+        result = run_example("quickstart.py", ["200", "2"])
+        assert "U(T " in result.stdout
+        assert "factor decomposition" in result.stdout
+
+    def test_wrate_example_shows_ratio(self):
+        result = run_example("wrate_vs_nowrate.py", ["200", "2"])
+        assert "ratio" in result.stdout
+        assert "NO-WRATE" in result.stdout or "no-wrate" in result.stdout

@@ -1,0 +1,48 @@
+"""Tests for sweep memoization."""
+
+from repro.bgp.config import BGPConfig
+from repro.experiments.cache import cache_size, cached_sweep, clear_cache
+from repro.experiments.scale import Scale
+
+FAST = BGPConfig(mrai=1.0, link_delay=0.001, processing_time_max=0.01)
+TINY = Scale(name="tiny", sizes=(80,), origins=1)
+
+
+class TestCachedSweep:
+    def setup_method(self):
+        clear_cache()
+
+    def teardown_method(self):
+        clear_cache()
+
+    def test_second_call_returns_same_object(self):
+        a = cached_sweep("BASELINE", TINY, config=FAST, seed=1)
+        b = cached_sweep("BASELINE", TINY, config=FAST, seed=1)
+        assert a is b
+        assert cache_size() == 1
+
+    def test_config_distinguishes_entries(self):
+        cached_sweep("BASELINE", TINY, config=FAST, seed=1)
+        cached_sweep("BASELINE", TINY, config=FAST.replace(wrate=True), seed=1)
+        assert cache_size() == 2
+
+    def test_seed_distinguishes_entries(self):
+        cached_sweep("BASELINE", TINY, config=FAST, seed=1)
+        cached_sweep("BASELINE", TINY, config=FAST, seed=2)
+        assert cache_size() == 2
+
+    def test_scenario_kwargs_distinguish_entries(self):
+        cached_sweep("STATIC-MIDDLE", TINY, config=FAST, seed=1)
+        cached_sweep(
+            "STATIC-MIDDLE",
+            TINY,
+            config=FAST,
+            seed=1,
+            scenario_kwargs={"reference_n": 80},
+        )
+        assert cache_size() == 2
+
+    def test_clear(self):
+        cached_sweep("BASELINE", TINY, config=FAST, seed=1)
+        clear_cache()
+        assert cache_size() == 0

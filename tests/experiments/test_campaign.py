@@ -1,0 +1,59 @@
+"""Tests for campaign orchestration."""
+
+import pytest
+
+from repro.experiments import cache
+from repro.experiments.campaign import run_campaign
+from repro.experiments.registry import experiment_ids
+from repro.experiments.results_io import load_results
+from repro.experiments.scale import Scale
+
+TINY = Scale(name="tiny-campaign", sizes=(100, 200), origins=2, metric_sources=10)
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    cache.clear_cache()
+    output = tmp_path_factory.mktemp("campaign")
+    summary = run_campaign(TINY, seed=5, output_dir=output)
+    cache.clear_cache()
+    return summary, output
+
+
+class TestRunCampaign:
+    def test_covers_all_paper_artifacts(self, campaign):
+        summary, _ = campaign
+        assert [r.experiment_id for r in summary.results] == experiment_ids(
+            include_extensions=False
+        )
+
+    def test_check_counts(self, campaign):
+        summary, _ = campaign
+        passed, total = summary.check_counts
+        assert total >= 30
+        assert 0 <= passed <= total
+
+    def test_summary_text(self, campaign):
+        summary, _ = campaign
+        text = summary.to_text()
+        assert "campaign scale=tiny-campaign seed=5" in text
+        assert "fig04" in text
+
+    def test_artifacts_written(self, campaign):
+        _, output = campaign
+        assert (output / "campaign.md").exists()
+        assert (output / "summary.txt").exists()
+        loaded = load_results(output / "campaign.json")
+        assert [r.experiment_id for r in loaded] == experiment_ids(
+            include_extensions=False
+        )
+
+    def test_markdown_contains_every_figure(self, campaign):
+        _, output = campaign
+        markdown = (output / "campaign.md").read_text(encoding="utf-8")
+        for experiment_id in experiment_ids(include_extensions=False):
+            assert f"### {experiment_id}" in markdown
+
+    def test_wall_clock_recorded(self, campaign):
+        summary, _ = campaign
+        assert summary.wall_clock_seconds > 0

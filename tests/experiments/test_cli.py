@@ -1,0 +1,149 @@
+"""Tests for the repro-bgp command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.registry import experiment_ids
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(
+            ["run", "fig04", "--scale", "smoke", "--seed", "7"]
+        )
+        assert args.experiment == "fig04"
+        assert args.scale == "smoke"
+        assert args.seed == 7
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig04", "--scale", "galactic"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == experiment_ids()
+
+    def test_run_fig01(self, capsys):
+        code = main(["run", "fig01", "--scale", "smoke", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "fig01" in out
+        assert "shape checks" in out
+        assert code in (0, 1)
+
+    def test_run_with_plot(self, capsys):
+        main(["run", "fig01", "--scale", "smoke", "--seed", "1", "--plot"])
+        out = capsys.readouterr().out
+        # an ASCII chart with the axis line and legend glyphs
+        assert "+---" in out
+        assert "o=" in out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "fig99", "--scale", "smoke"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_markdown_output(self, tmp_path, capsys):
+        target = tmp_path / "out" / "fig01.md"
+        main(["run", "fig01", "--scale", "smoke", "--markdown", str(target)])
+        capsys.readouterr()
+        assert target.exists()
+        assert "fig01" in target.read_text(encoding="utf-8")
+
+
+class TestTopologyCommands:
+    def test_generate_json_and_metrics(self, tmp_path, capsys):
+        out = tmp_path / "topo.json"
+        assert main(
+            ["topology", "generate", "-n", "150", "--seed", "1", "-o", str(out)]
+        ) == 0
+        assert out.exists()
+        capsys.readouterr()
+        assert main(["topology", "metrics", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "clustering" in output
+
+    def test_generate_as_rel_by_extension(self, tmp_path, capsys):
+        out = tmp_path / "topo.as-rel"
+        assert main(
+            ["topology", "generate", "-n", "120", "--seed", "1", "-o", str(out)]
+        ) == 0
+        text = out.read_text(encoding="utf-8")
+        assert "|-1" in text and "|0" in text
+        capsys.readouterr()
+
+    def test_generate_scenario(self, tmp_path, capsys):
+        out = tmp_path / "tree.json"
+        assert main(
+            [
+                "topology", "generate", "-n", "100", "--scenario", "TREE",
+                "--seed", "2", "-o", str(out),
+            ]
+        ) == 0
+        assert "TREE" in capsys.readouterr().out
+
+    def test_validate_ok(self, tmp_path, capsys):
+        out = tmp_path / "topo.json"
+        main(["topology", "generate", "-n", "100", "--seed", "3", "-o", str(out)])
+        capsys.readouterr()
+        assert main(["topology", "validate", str(out)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_dot_export(self, tmp_path, capsys):
+        topo = tmp_path / "topo.json"
+        main(["topology", "generate", "-n", "100", "--seed", "6", "-o", str(topo)])
+        out = tmp_path / "topo.dot"
+        assert main(["topology", "dot", str(topo), "-o", str(out)]) == 0
+        capsys.readouterr()
+        assert out.read_text(encoding="utf-8").startswith("digraph")
+
+    def test_unknown_scenario_exits_2(self, tmp_path, capsys):
+        out = tmp_path / "x.json"
+        code = main(
+            ["topology", "generate", "-n", "100", "--scenario", "NOPE", "-o", str(out)]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSimulateCommand:
+    def test_simulate_on_generated_topology(self, tmp_path, capsys):
+        out = tmp_path / "topo.json"
+        main(["topology", "generate", "-n", "120", "--seed", "4", "-o", str(out)])
+        capsys.readouterr()
+        code = main(
+            ["simulate", str(out), "--origins", "2", "--mrai", "1", "--seed", "1"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "U" in output and "convergence" in output
+
+    def test_simulate_wrate_flag(self, tmp_path, capsys):
+        out = tmp_path / "topo.json"
+        main(["topology", "generate", "-n", "100", "--seed", "4", "-o", str(out)])
+        capsys.readouterr()
+        assert main(
+            ["simulate", str(out), "--origins", "1", "--mrai", "1", "--wrate"]
+        ) == 0
+        assert "WRATE" in capsys.readouterr().out
+
+
+class TestWorkloadCommand:
+    def test_workload_report(self, tmp_path, capsys):
+        out = tmp_path / "topo.json"
+        main(["topology", "generate", "-n", "120", "--seed", "5", "-o", str(out)])
+        capsys.readouterr()
+        code = main(
+            [
+                "workload", str(out), "--duration", "120", "--rate", "0.1",
+                "--downtime", "10", "--mrai", "1", "--bin", "10",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "monitor" in output and "peak/mean" in output

@@ -1,0 +1,54 @@
+"""Focused tests for the extension experiments (beyond the generic smoke)."""
+
+import pytest
+
+from repro.bgp.config import BGPConfig
+from repro.experiments import cache
+from repro.experiments.ext_damping import run as run_damping
+from repro.experiments.ext_evolution import run as run_evolution
+from repro.experiments.ext_mrai import run as run_mrai
+from repro.experiments.scale import Scale
+
+TINY = Scale(name="tiny-ext", sizes=(120, 240), origins=3, metric_sources=10)
+FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+
+
+@pytest.fixture(autouse=True)
+def _clear_cache():
+    cache.clear_cache()
+    yield
+    cache.clear_cache()
+
+
+class TestExtDamping:
+    def test_storm_suppression_holds_at_tiny_scale(self):
+        result = run_damping(TINY, seed=1, config=FAST)
+        assert result.passed, result.to_text()
+        off = result.series["updates damping off"]
+        on = result.series["updates damping on"]
+        assert all(o < u for o, u in zip(on, off))
+
+
+class TestExtMrai:
+    def test_series_cover_the_grid(self):
+        result = run_mrai(TINY, seed=1, config=FAST)
+        assert result.x_values == [0.0, 5.0, 15.0, 30.0]
+        assert len(result.series["U(T) no-wrate"]) == 4
+
+    def test_mrai_zero_converges_fast(self):
+        result = run_mrai(TINY, seed=1, config=FAST)
+        assert result.series["up conv no-wrate (s)"][0] < 1.0
+
+
+class TestExtEvolution:
+    def test_narrow_span_uses_sustained_check(self):
+        result = run_evolution(TINY, seed=1, config=FAST)
+        names = [c.name for c in result.checks]
+        assert "tier-1 churn sustained on the evolving network" in names
+        assert result.notes  # the scale caveat is documented
+
+    def test_wide_span_uses_growth_check(self):
+        wide = Scale(name="wide-ext", sizes=(100, 200, 400), origins=3)
+        result = run_evolution(wide, seed=1, config=FAST)
+        names = [c.name for c in result.checks]
+        assert "tier-1 churn grows on the evolving network" in names

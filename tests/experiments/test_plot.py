@@ -1,0 +1,102 @@
+"""Tests for ASCII plotting."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.plot import render_result, render_series
+from repro.experiments.report import ExperimentResult
+
+
+def simple_series():
+    return {
+        "a": [(0.0, 1.0), (10.0, 2.0), (20.0, 3.0)],
+        "b": [(0.0, 3.0), (20.0, 1.0)],
+    }
+
+
+class TestRenderSeries:
+    def test_contains_glyphs_and_legend(self):
+        chart = render_series(simple_series())
+        assert "o=a" in chart and "x=b" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_axis_labels(self):
+        chart = render_series(simple_series(), x_label="n", y_label="U")
+        assert "n  |  U" in chart
+
+    def test_title(self):
+        chart = render_series(simple_series(), title="Fig. 4")
+        assert chart.splitlines()[0] == "Fig. 4"
+
+    @staticmethod
+    def grid_rows(chart):
+        """The plotting rows: everything above the +---- axis line."""
+        lines = chart.splitlines()
+        axis = next(i for i, line in enumerate(lines) if line.lstrip().startswith("+-"))
+        return [line for line in lines[:axis] if "|" in line]
+
+    def test_extremes_on_edges(self):
+        chart = render_series({"a": [(0.0, 0.0), (1.0, 10.0)]})
+        rows = self.grid_rows(chart)
+        assert rows[0].strip().startswith("10")
+        # the max point sits on the top row, min on the bottom row
+        assert "o" in rows[0]
+        assert "o" in rows[-1]
+
+    def test_log_scale(self):
+        chart = render_series(
+            {"a": [(1.0, 1.0), (2.0, 1000.0)]}, log_y=True
+        )
+        assert "[log y]" in chart
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            render_series({"a": [(0.0, 0.0)]}, log_y=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            render_series({})
+        with pytest.raises(ParameterError):
+            render_series({"a": []})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ParameterError):
+            render_series(simple_series(), width=4)
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [(0.0, float(i))] for i in range(20)}
+        with pytest.raises(ParameterError):
+            render_series(series)
+
+    def test_constant_series_renders(self):
+        chart = render_series({"flat": [(0.0, 5.0), (1.0, 5.0)]})
+        assert "o" in chart
+
+    def test_fixed_height_grid(self):
+        chart = render_series(simple_series(), width=40, height=8)
+        assert len(self.grid_rows(chart)) == 8
+
+
+class TestRenderResult:
+    def make_result(self):
+        return ExperimentResult(
+            experiment_id="figX",
+            title="test",
+            x_label="n",
+            x_values=[100.0, 200.0],
+            series={"U(T)": [1.0, 2.0], "U(M)": [1.0, 1.5]},
+        )
+
+    def test_all_series(self):
+        chart = render_result(self.make_result())
+        assert "o=U(T)" in chart and "x=U(M)" in chart
+        assert chart.splitlines()[0].startswith("figX")
+
+    def test_subset(self):
+        chart = render_result(self.make_result(), series_names=["U(M)"])
+        assert "o=U(M)" in chart
+        assert "U(T)" not in chart
+
+    def test_unknown_series(self):
+        with pytest.raises(ParameterError, match="unknown series"):
+            render_result(self.make_result(), series_names=["nope"])

@@ -1,0 +1,70 @@
+"""Tests for the experiment registry."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.registry import (
+    experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+
+EXPECTED_IDS = [
+    "fig01",
+    "table1",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+]
+
+EXPECTED_EXTENSIONS = [
+    "ext-monitor",
+    "ext-mrai",
+    "ext-exploration",
+    "ext-heterogeneity",
+    "ext-load",
+    "ext-evolution",
+    "ext-damping",
+]
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert experiment_ids(include_extensions=False) == EXPECTED_IDS
+
+    def test_extensions_registered_after_figures(self):
+        assert experiment_ids() == EXPECTED_IDS + EXPECTED_EXTENSIONS
+
+    def test_extension_flagging(self):
+        assert get_experiment("fig04").paper_artifact
+        assert not get_experiment("ext-load").paper_artifact
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("FIG04").experiment_id == "fig04"
+
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_specs_have_titles(self):
+        for experiment_id in experiment_ids():
+            spec = get_experiment(experiment_id)
+            assert spec.title
+            assert callable(spec.run)
+
+
+class TestRunExperiment:
+    def test_fig01_runs_cheaply(self):
+        from repro.experiments.scale import PRESETS
+
+        result = run_experiment("fig01", PRESETS["smoke"], seed=1)
+        assert result.experiment_id == "fig01"
+        assert result.series
+        assert result.checks

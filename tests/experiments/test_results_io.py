@@ -1,0 +1,74 @@
+"""Tests for experiment-result persistence."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.experiments.report import ExperimentResult
+from repro.experiments.results_io import (
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+
+
+def make_result(experiment_id="figX"):
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title="A figure",
+        x_label="n",
+        x_values=[100.0, 200.0],
+        series={"U(T)": [1.0, 2.0]},
+        notes=["reduced scale"],
+    )
+    result.add_check("ordering", True, "T wins", "T=2.0")
+    return result
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        original = make_result()
+        rebuilt = result_from_dict(result_to_dict(original))
+        assert rebuilt.experiment_id == original.experiment_id
+        assert rebuilt.series == original.series
+        assert rebuilt.notes == original.notes
+        assert rebuilt.checks == original.checks
+        assert rebuilt.passed == original.passed
+
+    def test_file_round_trip(self, tmp_path):
+        results = [make_result("fig01"), make_result("fig02")]
+        path = tmp_path / "campaign.json"
+        save_results(results, path)
+        loaded = load_results(path)
+        assert [r.experiment_id for r in loaded] == ["fig01", "fig02"]
+        assert loaded[0].to_text() == results[0].to_text()
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_results(tmp_path / "nope.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{oops", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            load_results(path)
+
+    def test_non_list_document(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"a": 1}', encoding="utf-8")
+        with pytest.raises(SerializationError, match="list"):
+            load_results(path)
+
+    def test_wrong_version(self):
+        data = result_to_dict(make_result())
+        data["format_version"] = 99
+        with pytest.raises(SerializationError, match="version"):
+            result_from_dict(data)
+
+    def test_missing_field(self):
+        data = result_to_dict(make_result())
+        del data["series"]
+        with pytest.raises(SerializationError):
+            result_from_dict(data)

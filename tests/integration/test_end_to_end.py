@@ -1,0 +1,121 @@
+"""Integration tests: the paper's headline shape claims on small networks.
+
+These run real generator → simulator → factor pipelines at sizes where a
+test suite stays fast, asserting the claims that are robust at that scale
+(the full-scale claims are exercised by the benchmark harness).
+"""
+
+import pytest
+
+from repro.bgp.config import BGPConfig
+from repro.core.cevent import run_c_event_experiment
+from repro.core.factors import predicted_u
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+from repro.topology.scenarios import scenario_params
+from repro.topology.types import NodeType, Relationship
+
+FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+
+
+@pytest.fixture(scope="module")
+def baseline_stats():
+    graph = generate_topology(baseline_params(400), seed=11)
+    return run_c_event_experiment(graph, FAST, num_origins=6, seed=11)
+
+
+class TestFig4Shapes:
+    def test_type_ordering(self, baseline_stats):
+        """U(T) > U(M) >= U(CP) > U(C) (Fig. 4)."""
+        u = {t: baseline_stats.u(t) for t in baseline_stats.per_type}
+        assert u[NodeType.T] > u[NodeType.C]
+        assert u[NodeType.M] > u[NodeType.C]
+        assert u[NodeType.T] >= 0.9 * u[NodeType.M]
+
+    def test_everyone_hears_both_phases(self, baseline_stats):
+        for node_type in (NodeType.T, NodeType.M):
+            assert baseline_stats.down_updates_per_type[node_type] > 0
+            assert baseline_stats.up_updates_per_type[node_type] > 0
+
+
+class TestEq1Identity:
+    def test_u_equals_mqe_for_every_type(self, baseline_stats):
+        """Eq. (1) must hold exactly on real simulation output."""
+        for factors in baseline_stats.per_type.values():
+            assert factors.u_total == pytest.approx(
+                predicted_u(factors), abs=1e-9
+            )
+
+
+class TestFig5Shapes:
+    def test_m_nodes_dominated_by_providers(self, baseline_stats):
+        """U(M) ≈ Ud(M) (Fig. 5 bottom)."""
+        factors = baseline_stats.factors(NodeType.M)
+        provider_share = factors.u(Relationship.PROVIDER) / factors.u_total
+        assert provider_share > 0.6
+
+    def test_qd_m_near_one(self, baseline_stats):
+        """Providers almost always notify their customers (Fig. 7)."""
+        assert baseline_stats.factors(NodeType.M).q(Relationship.PROVIDER) > 0.9
+
+
+class TestNoWrateEFactors:
+    def test_e_factors_near_two(self, baseline_stats):
+        """NO-WRATE suppresses path exploration: e ≈ 2 (Sec. 4)."""
+        for node_type in (NodeType.T, NodeType.M):
+            factors = baseline_stats.factors(node_type)
+            for rel in Relationship:
+                e = factors.e(rel)
+                if e > 0:
+                    assert 1.9 <= e <= 2.6
+
+
+class TestTreeCornerCase:
+    def test_tree_gives_exactly_two_updates(self):
+        """Sec. 5.2: in TREE, U(T) is pinned at 2 updates per C-event."""
+        graph = generate_topology(scenario_params("TREE", 300), seed=5)
+        stats = run_c_event_experiment(graph, FAST, num_origins=5, seed=5)
+        assert stats.u(NodeType.T) == pytest.approx(2.0, abs=0.05)
+        assert stats.down_updates_per_type[NodeType.T] == pytest.approx(1.0, abs=0.05)
+
+
+class TestWrateClaims:
+    def test_wrate_increases_churn_everywhere(self):
+        """Sec. 6: WRATE raises churn for every node type."""
+        graph = generate_topology(baseline_params(400), seed=13)
+        no_wrate = run_c_event_experiment(
+            graph, FAST.replace(wrate=False), num_origins=5, seed=13
+        )
+        wrate = run_c_event_experiment(
+            graph, FAST.replace(wrate=True), num_origins=5, seed=13
+        )
+        for node_type in (NodeType.T, NodeType.M, NodeType.CP, NodeType.C):
+            assert wrate.u(node_type) > no_wrate.u(node_type) * 0.95
+        # the edge suffers relatively more (longer paths -> exploration)
+        t_ratio = wrate.u(NodeType.T) / no_wrate.u(NodeType.T)
+        c_ratio = wrate.u(NodeType.C) / no_wrate.u(NodeType.C)
+        assert c_ratio > t_ratio * 0.9
+
+    def test_wrate_slows_down_convergence(self):
+        """Rate-limited withdrawals crawl hop by hop."""
+        graph = generate_topology(baseline_params(300), seed=17)
+        no_wrate = run_c_event_experiment(
+            graph, FAST.replace(wrate=False), num_origins=3, seed=17
+        )
+        wrate = run_c_event_experiment(
+            graph, FAST.replace(wrate=True), num_origins=3, seed=17
+        )
+        assert wrate.mean_down_convergence > 2 * no_wrate.mean_down_convergence
+
+
+class TestPeeringIrrelevance:
+    def test_peering_scenarios_close(self):
+        """Sec. 5.3: peering density does not move U(M) much."""
+        results = {}
+        for scenario in ("BASELINE", "NO-PEERING", "STRONG-CORE-PEERING"):
+            graph = generate_topology(scenario_params(scenario, 300), seed=19)
+            stats = run_c_event_experiment(graph, FAST, num_origins=5, seed=19)
+            results[scenario] = stats.u(NodeType.M)
+        base = results["BASELINE"]
+        for scenario, value in results.items():
+            assert value == pytest.approx(base, rel=0.4), scenario

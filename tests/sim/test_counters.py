@@ -1,0 +1,52 @@
+"""Tests for the update counter."""
+
+from repro.sim.counters import UpdateCounter
+from repro.topology.types import Relationship
+
+CUST = Relationship.CUSTOMER
+PEER = Relationship.PEER
+PROV = Relationship.PROVIDER
+
+
+class TestRecording:
+    def test_basic_counts(self):
+        counter = UpdateCounter()
+        counter.record(1, 2, CUST, is_withdrawal=False)
+        counter.record(1, 2, CUST, is_withdrawal=True)
+        counter.record(1, 3, PEER, is_withdrawal=False)
+        assert counter.total == 3
+        assert counter.updates_at(1) == 3
+        assert counter.updates_at(9) == 0
+        assert counter.updates_at_by_relationship(1, CUST) == 2
+        assert counter.updates_at_by_relationship(1, PEER) == 1
+        assert counter.updates_at_by_relationship(1, PROV) == 0
+        assert counter.announcements[1] == 2
+        assert counter.withdrawals[1] == 1
+
+    def test_disabled_counter_ignores(self):
+        counter = UpdateCounter()
+        counter.enabled = False
+        counter.record(1, 2, CUST, is_withdrawal=False)
+        assert counter.total == 0
+        counter.enabled = True
+        counter.record(1, 2, CUST, is_withdrawal=False)
+        assert counter.total == 1
+
+    def test_active_senders(self):
+        counter = UpdateCounter()
+        counter.record(1, 2, CUST, is_withdrawal=False)
+        counter.record(1, 2, CUST, is_withdrawal=False)
+        counter.record(1, 3, PEER, is_withdrawal=False)
+        counter.record(4, 2, PROV, is_withdrawal=False)
+        assert counter.active_senders(1) == {2: 2, 3: 1}
+        assert counter.active_senders(4) == {2: 1}
+        assert counter.active_senders(9) == {}
+
+    def test_reset(self):
+        counter = UpdateCounter()
+        counter.record(1, 2, CUST, is_withdrawal=True)
+        counter.reset()
+        assert counter.total == 0
+        assert counter.updates_at(1) == 0
+        assert counter.active_senders(1) == {}
+        assert counter.enabled  # reset keeps the enabled flag

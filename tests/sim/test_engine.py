@@ -1,0 +1,146 @@
+"""Tests for the discrete-event engine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConvergenceError, SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 3.0
+
+    def test_fifo_tie_break(self):
+        engine = Engine()
+        order = []
+        for label in "abc":
+            engine.schedule(1.0, lambda lbl=label: order.append(lbl))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_schedule_at_absolute(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(5.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [5.0]
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-0.1, lambda: None)
+
+    def test_past_absolute_time_rejected(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        seen = []
+
+        def first():
+            seen.append(engine.now)
+            engine.schedule(1.0, lambda: seen.append(engine.now))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert seen == [1.0, 2.0]
+
+
+class TestRunControl:
+    def test_run_until_pauses(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(1))
+        engine.schedule(5.0, lambda: seen.append(5))
+        engine.run(until=2.0)
+        assert seen == [1]
+        assert engine.now == 2.0
+        assert engine.pending_events == 1
+        engine.run()
+        assert seen == [1, 5]
+
+    def test_run_until_advances_clock_on_empty_queue(self):
+        """run(until=...) with nothing queued acts as a settle period."""
+        engine = Engine()
+        engine.run(until=42.0)
+        assert engine.now == 42.0
+
+    def test_event_budget(self):
+        engine = Engine()
+
+        def rescheduling():
+            engine.schedule(1.0, rescheduling)
+
+        engine.schedule(1.0, rescheduling)
+        with pytest.raises(ConvergenceError, match="budget"):
+            engine.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_executed_events_counter(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.executed_events == 5
+
+    def test_reset(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        engine.schedule(9.0, lambda: None)
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.pending_events == 0
+        assert engine.executed_events == 0
+
+
+class TestEngineProperties:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_execution_times_monotone(self, delays):
+        engine = Engine()
+        times = []
+        for delay in delays:
+            engine.schedule(delay, lambda: times.append(engine.now))
+        engine.run()
+        assert times == sorted(times)
+        assert len(times) == len(delays)
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_random_cascades_terminate(self, seed):
+        """Random finite cascades execute exactly once per scheduled event."""
+        rng = random.Random(seed)
+        engine = Engine()
+        counter = {"n": 0}
+
+        def spawn(depth):
+            counter["n"] += 1
+            if depth > 0:
+                for _ in range(rng.randrange(3)):
+                    engine.schedule(rng.uniform(0, 2), lambda d=depth - 1: spawn(d))
+
+        engine.schedule(0.0, lambda: spawn(4))
+        engine.run()
+        assert counter["n"] == engine.executed_events

@@ -1,0 +1,91 @@
+"""Tests for the SimNetwork wiring (links, counting, determinism)."""
+
+import pytest
+
+from repro.bgp.config import BGPConfig
+from repro.errors import SimulationError
+from repro.sim.network import SimNetwork
+from repro.topology.types import NodeType, Relationship
+
+
+class TestConstruction:
+    def test_one_bgp_node_per_as(self, diamond, fast_config):
+        network = SimNetwork(diamond, fast_config)
+        assert set(network.nodes) == set(diamond.node_ids)
+        assert network.node(0).node_type is NodeType.T
+
+    def test_neighbor_wiring_matches_graph(self, diamond, fast_config):
+        network = SimNetwork(diamond, fast_config)
+        assert network.node(4).neighbors == {
+            2: Relationship.PROVIDER,
+            3: Relationship.PROVIDER,
+        }
+
+    def test_unknown_node_lookup(self, diamond_network):
+        with pytest.raises(SimulationError):
+            diamond_network.node(77)
+
+
+class TestCounting:
+    def test_counts_only_while_enabled(self, diamond, fast_config):
+        network = SimNetwork(diamond, fast_config, seed=1)
+        network.stop_counting()
+        network.originate(4, 0)
+        network.run_to_convergence()
+        assert network.counter.total == 0
+        assert network.delivered_messages > 0
+
+        network.start_counting()
+        network.withdraw(4, 0)
+        network.run_to_convergence()
+        assert network.counter.total > 0
+
+    def test_updates_per_type_averages(self, diamond, fast_config):
+        network = SimNetwork(diamond, fast_config, seed=1)
+        network.originate(4, 0)
+        network.run_to_convergence()
+        per_type = network.updates_per_type()
+        assert per_type[NodeType.T] > 0
+        assert per_type[NodeType.C] == 0.0  # the origin hears nothing back
+
+    def test_sender_relationship_classification(self, diamond, fast_config):
+        network = SimNetwork(diamond, fast_config, seed=1)
+        network.originate(4, 0)
+        network.run_to_convergence()
+        # M2 heard the announcement from its customer C4
+        assert network.counter.updates_at_by_relationship(
+            2, Relationship.CUSTOMER
+        ) >= 1
+
+    def test_nodes_with_route(self, diamond, fast_config):
+        network = SimNetwork(diamond, fast_config, seed=1)
+        network.originate(4, 0)
+        network.run_to_convergence()
+        assert set(network.nodes_with_route(0)) == {0, 1, 2, 3, 4}
+        network.withdraw(4, 0)
+        network.run_to_convergence()
+        assert network.nodes_with_route(0) == []
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self, diamond, fast_config):
+        def run(seed):
+            network = SimNetwork(diamond, fast_config, seed=seed)
+            network.originate(4, 0)
+            network.run_to_convergence()
+            return (
+                network.delivered_messages,
+                network.engine.now,
+                {n: network.node(n).best_route(0) for n in network.nodes},
+            )
+
+        assert run(11) == run(11)
+
+    def test_different_seed_different_timing(self, diamond, fast_config):
+        def run(seed):
+            network = SimNetwork(diamond, fast_config, seed=seed)
+            network.originate(4, 0)
+            network.run_to_convergence()
+            return network.engine.now
+
+        assert run(1) != run(2)

@@ -1,0 +1,30 @@
+"""Tests for seed derivation."""
+
+from repro.sim.rng import derive_rng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(1, 2) != derive_seed(1, 3)
+        assert derive_seed(1, 2) != derive_seed(2, 2)
+
+    def test_streams_uncorrelated(self):
+        """Adjacent master seeds yield wildly different child seeds."""
+        a = derive_seed(0, 1)
+        b = derive_seed(1, 1)
+        assert bin(a ^ b).count("1") > 10
+
+
+class TestDeriveRng:
+    def test_same_labels_same_stream(self):
+        r1 = derive_rng(5, 7)
+        r2 = derive_rng(5, 7)
+        assert [r1.random() for _ in range(5)] == [r2.random() for _ in range(5)]
+
+    def test_different_labels_different_stream(self):
+        r1 = derive_rng(5, 7)
+        r2 = derive_rng(5, 8)
+        assert [r1.random() for _ in range(5)] != [r2.random() for _ in range(5)]

@@ -1,0 +1,92 @@
+"""Tests for descriptive statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.stats.descriptive import (
+    coefficient_of_variation,
+    geometric_mean,
+    percentile,
+    summarize,
+)
+
+
+class TestPercentile:
+    def test_extremes(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 4.0
+
+    def test_median_interpolation(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.9) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            percentile([], 0.5)
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(ParameterError):
+            percentile([1.0], 1.5)
+
+    @given(
+        data=st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50),
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_result_within_range(self, data, fraction):
+        value = percentile(sorted(data), fraction)
+        assert min(data) <= value <= max(data)
+
+
+class TestSummarize:
+    def test_known_sample(self):
+        summary = summarize([4.0, 1.0, 3.0, 2.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == pytest.approx(2.5)
+
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.std == 0.0
+        assert summary.p95 == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            summarize([])
+
+    @given(data=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_ordering_invariants(self, data):
+        s = summarize(data)
+        assert s.minimum <= s.p25 <= s.median <= s.p75 <= s.p95 <= s.maximum
+        # sum()/n can exceed max() by one ulp on identical values
+        slack = 1e-9 * max(1.0, abs(s.maximum))
+        assert s.minimum - slack <= s.mean <= s.maximum + slack
+
+
+class TestDerived:
+    def test_coefficient_of_variation(self):
+        assert coefficient_of_variation([10.0, 10.0, 10.0]) == 0.0
+        assert coefficient_of_variation([5.0, 15.0]) > 0.5
+
+    def test_cv_zero_mean_rejected(self):
+        with pytest.raises(ParameterError):
+            coefficient_of_variation([-1.0, 1.0])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_requires_positive(self):
+        with pytest.raises(ParameterError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ParameterError):
+            geometric_mean([])

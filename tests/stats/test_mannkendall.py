@@ -1,0 +1,117 @@
+"""Tests for the Mann–Kendall trend test and Sen slope."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.stats.mannkendall import (
+    mann_kendall,
+    sen_slope,
+    trend_total_growth,
+)
+
+
+class TestMannKendall:
+    def test_strictly_increasing(self):
+        result = mann_kendall([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        assert result.trend == "increasing"
+        assert result.s == 15  # all pairs concordant
+        assert result.tau == pytest.approx(1.0)
+        assert result.p_value < 0.05
+        assert result.significant
+
+    def test_strictly_decreasing(self):
+        result = mann_kendall([6.0, 5.0, 4.0, 3.0, 2.0, 1.0])
+        assert result.trend == "decreasing"
+        assert result.tau == pytest.approx(-1.0)
+
+    def test_no_trend_in_noise(self):
+        """The false-positive rate on iid noise must be near alpha."""
+        rng = random.Random(3)
+        rejections = 0
+        trials = 60
+        for _ in range(trials):
+            series = [rng.random() for _ in range(40)]
+            if mann_kendall(series).trend != "no trend":
+                rejections += 1
+        assert rejections / trials < 0.15
+
+    def test_trend_recovered_under_heavy_noise(self):
+        """The paper's use case: trend despite huge variability."""
+        rng = random.Random(5)
+        series = [
+            (1.0 + 0.02 * i) * rng.lognormvariate(0, 0.4) for i in range(200)
+        ]
+        result = mann_kendall(series)
+        assert result.trend == "increasing"
+
+    def test_tie_correction(self):
+        result = mann_kendall([1.0, 1.0, 1.0, 2.0, 2.0, 3.0])
+        assert result.trend == "increasing" or result.p_value >= 0.05
+        # variance must be reduced relative to the tie-free formula
+        n = 6
+        untied_var = n * (n - 1) * (2 * n + 5) / 18.0
+        assert result.variance < untied_var
+
+    def test_minimum_length(self):
+        with pytest.raises(ParameterError):
+            mann_kendall([1.0, 2.0])
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ParameterError):
+            mann_kendall([1.0, 2.0, 3.0], alpha=1.5)
+
+    def test_constant_series(self):
+        result = mann_kendall([5.0] * 10)
+        assert result.s == 0
+        assert result.trend == "no trend"
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=3, max_size=40
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_s_antisymmetric_under_reversal(self, values):
+        forward = mann_kendall(values)
+        backward = mann_kendall(values[::-1])
+        assert forward.s == -backward.s
+
+
+class TestSenSlope:
+    def test_exact_linear(self):
+        assert sen_slope([1.0, 3.0, 5.0, 7.0]) == pytest.approx(2.0)
+
+    def test_robust_to_outlier(self):
+        clean = [float(i) for i in range(20)]
+        dirty = list(clean)
+        dirty[10] = 1e6
+        assert sen_slope(dirty) == pytest.approx(1.0, rel=0.2)
+
+    def test_minimum_length(self):
+        with pytest.raises(ParameterError):
+            sen_slope([1.0])
+
+    def test_negative_slope(self):
+        assert sen_slope([9.0, 6.0, 3.0, 0.0]) == pytest.approx(-3.0)
+
+
+class TestTotalGrowth:
+    def test_doubling_series(self):
+        series = [100.0 + 100.0 * i / 9 for i in range(10)]
+        # start 100, end 200 -> +100%
+        assert trend_total_growth(series) == pytest.approx(1.0, rel=0.05)
+
+    def test_flat_series(self):
+        assert trend_total_growth([50.0] * 10) == pytest.approx(0.0, abs=1e-9)
+
+    def test_robust_to_bursts(self):
+        rng = random.Random(1)
+        series = [100.0 * (1.0 + 2.0 * i / 299) for i in range(300)]
+        for i in range(0, 300, 50):
+            series[i] *= 50  # burst days
+        growth = trend_total_growth(series)
+        assert growth == pytest.approx(2.0, rel=0.25)

@@ -1,0 +1,76 @@
+"""Tests for discrete power-law fitting."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.stats.powerlaw import best_minimum, fit_power_law
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+
+
+def sample_power_law(alpha, d_min, size, seed):
+    """Inverse-CDF-ish sampler for a discrete power law (rejection)."""
+    rng = random.Random(seed)
+    out = []
+    while len(out) < size:
+        # continuous approximation, rounded (good enough for testing)
+        u = rng.random()
+        # continuous draw from x >= d_min - 0.5, rounded to the nearest
+        # integer: the discretization the -0.5 MLE correction assumes
+        x = (d_min - 0.5) * (1.0 - u) ** (-1.0 / (alpha - 1.0))
+        out.append(int(x + 0.5))
+    return out
+
+
+class TestFit:
+    def test_recovers_known_exponent(self):
+        sample = sample_power_law(2.5, 2, 5000, seed=1)
+        fit = fit_power_law(sample, d_min=2)
+        assert fit.alpha == pytest.approx(2.5, abs=0.25)
+        assert fit.plausible
+
+    def test_rejects_tiny_tail(self):
+        with pytest.raises(ParameterError):
+            fit_power_law([5, 6, 7], d_min=2)
+
+    def test_rejects_degenerate_tail(self):
+        with pytest.raises(ParameterError):
+            fit_power_law([3] * 50, d_min=2)
+
+    def test_rejects_bad_dmin(self):
+        with pytest.raises(ParameterError):
+            fit_power_law([1, 2, 3], d_min=0)
+
+    def test_exponential_sample_fits_poorly(self):
+        """A light-tailed sample must produce a worse KS distance than a
+        genuine power-law sample."""
+        rng = random.Random(2)
+        light = [max(2, round(rng.expovariate(0.2))) for _ in range(3000)]
+        heavy = sample_power_law(2.3, 2, 3000, seed=2)
+        light_fit = fit_power_law(light, d_min=2)
+        heavy_fit = fit_power_law(heavy, d_min=2)
+        assert heavy_fit.ks_distance < light_fit.ks_distance
+
+    def test_generated_topology_degrees_plausible(self):
+        graph = generate_topology(baseline_params(1200), seed=4)
+        degrees = [graph.degree(v) for v in graph.node_ids]
+        fit = best_minimum(degrees)
+        assert 1.3 < fit.alpha < 3.5
+        assert fit.plausible, fit
+
+
+class TestBestMinimum:
+    def test_picks_lowest_ks(self):
+        sample = sample_power_law(2.5, 3, 4000, seed=5)
+        fit = best_minimum(sample, candidates=(1, 2, 3, 4))
+        others = [
+            fit_power_law(sample, d_min=c).ks_distance
+            for c in (1, 2, 3, 4)
+        ]
+        assert fit.ks_distance == pytest.approx(min(others))
+
+    def test_all_candidates_fail(self):
+        with pytest.raises(ParameterError):
+            best_minimum([1, 1, 1], candidates=(2, 3))

@@ -1,0 +1,84 @@
+"""Tests for the synthetic churn series (the Fig. 1 substitute)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.stats.mannkendall import mann_kendall, trend_total_growth
+from repro.stats.timeseries import (
+    ChurnSeriesSpec,
+    daily_to_cumulative,
+    synthesize_churn_series,
+)
+
+
+class TestSynthesis:
+    def test_length_and_positivity(self):
+        series = synthesize_churn_series(ChurnSeriesSpec(days=365), seed=0)
+        assert len(series) == 365
+        assert all(v > 0 for v in series)
+
+    def test_deterministic_for_seed(self):
+        spec = ChurnSeriesSpec(days=100)
+        assert synthesize_churn_series(spec, seed=5) == synthesize_churn_series(
+            spec, seed=5
+        )
+        assert synthesize_churn_series(spec, seed=5) != synthesize_churn_series(
+            spec, seed=6
+        )
+
+    def test_default_spec_used_when_none(self):
+        series = synthesize_churn_series(seed=1)
+        assert len(series) == 1095
+
+    def test_trend_calibration(self):
+        """The Mann-Kendall pipeline must recover the configured growth."""
+        spec = ChurnSeriesSpec(days=1095, total_growth=2.0)
+        series = synthesize_churn_series(spec, seed=3)
+        assert mann_kendall(series).trend == "increasing"
+        assert trend_total_growth(series) == pytest.approx(2.0, rel=0.35)
+
+    def test_zero_growth_yields_no_trend(self):
+        spec = ChurnSeriesSpec(days=400, total_growth=0.0)
+        series = synthesize_churn_series(spec, seed=3)
+        growth = trend_total_growth(series)
+        assert abs(growth) < 0.4
+
+    def test_bursts_present(self):
+        spec = ChurnSeriesSpec(days=1095, burst_probability=0.02)
+        series = synthesize_churn_series(spec, seed=2)
+        mean = sum(series) / len(series)
+        assert max(series) > 5 * mean
+
+    def test_no_bursts_when_disabled(self):
+        spec = ChurnSeriesSpec(days=400, burst_probability=0.0, noise_sigma=0.0,
+                               weekly_amplitude=0.0, total_growth=0.0)
+        series = synthesize_churn_series(spec, seed=2)
+        assert max(series) == pytest.approx(min(series))
+
+
+class TestSpecValidation:
+    def test_too_few_days(self):
+        with pytest.raises(ParameterError):
+            ChurnSeriesSpec(days=1)
+
+    def test_negative_base_level(self):
+        with pytest.raises(ParameterError):
+            ChurnSeriesSpec(base_level=-5.0)
+
+    def test_burst_probability_range(self):
+        with pytest.raises(ParameterError):
+            ChurnSeriesSpec(burst_probability=1.5)
+
+    def test_burst_scale_minimum(self):
+        with pytest.raises(ParameterError):
+            ChurnSeriesSpec(burst_scale=0.5)
+
+    def test_impossible_growth(self):
+        with pytest.raises(ParameterError):
+            ChurnSeriesSpec(total_growth=-2.0)
+
+
+class TestCumulative:
+    def test_cumulative_monotone(self):
+        series = [1.0, 2.0, 3.0]
+        assert daily_to_cumulative(series) == [1.0, 3.0, 6.0]

@@ -1,0 +1,94 @@
+"""Tests for attachment helpers (preferential choice, link-count draws)."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.topology.attachment import (
+    draw_link_count,
+    preferential_choice,
+    uniform_choice,
+)
+
+
+class TestPreferentialChoice:
+    def test_empty_candidates(self):
+        with pytest.raises(ParameterError):
+            preferential_choice([], lambda _: 1, random.Random(0))
+
+    def test_single_candidate(self):
+        rng = random.Random(0)
+        assert preferential_choice([7], lambda _: 0, rng) == 7
+
+    def test_weight_proportionality(self):
+        """A candidate with weight 99 is drawn ~50x more often than weight 1."""
+        rng = random.Random(5)
+        weights = {0: 99, 1: 1}
+        draws = [
+            preferential_choice([0, 1], weights.__getitem__, rng)
+            for _ in range(5000)
+        ]
+        heavy = draws.count(0)
+        # expected ratio (99+1)/(1+1) = 50 -> p(0) = 50/51 ~ 0.98
+        assert heavy / 5000 > 0.94
+
+    def test_zero_weight_still_selectable(self):
+        """The +1 offset keeps newborn nodes reachable."""
+        rng = random.Random(9)
+        draws = {
+            preferential_choice([0, 1], lambda _: 0, rng) for _ in range(200)
+        }
+        assert draws == {0, 1}
+
+
+class TestUniformChoice:
+    def test_empty(self):
+        with pytest.raises(ParameterError):
+            uniform_choice([], random.Random(0))
+
+    def test_covers_all(self):
+        rng = random.Random(2)
+        draws = {uniform_choice([1, 2, 3], rng) for _ in range(200)}
+        assert draws == {1, 2, 3}
+
+
+class TestDrawLinkCount:
+    def test_negative_average_rejected(self):
+        with pytest.raises(ParameterError):
+            draw_link_count(-0.5, random.Random(0))
+
+    def test_zero_average(self):
+        rng = random.Random(0)
+        assert all(draw_link_count(0.0, rng) == 0 for _ in range(20))
+
+    def test_minimum_respected(self):
+        rng = random.Random(1)
+        assert all(
+            draw_link_count(2.5, rng, minimum=1) >= 1 for _ in range(500)
+        )
+
+    def test_average_at_minimum_is_deterministic(self):
+        rng = random.Random(1)
+        assert all(draw_link_count(1.0, rng, minimum=1) == 1 for _ in range(50))
+
+    def test_mean_preserved_provider_style(self):
+        """Provider draws (minimum=1) keep the requested mean."""
+        rng = random.Random(3)
+        for average in (1.05, 2.0, 2.25, 4.5):
+            draws = [
+                draw_link_count(average, rng, minimum=1) for _ in range(20000)
+            ]
+            assert sum(draws) / len(draws) == pytest.approx(average, rel=0.05)
+
+    def test_mean_preserved_fractional_peering(self):
+        """Tiny peering averages become Bernoulli draws with the right mean."""
+        rng = random.Random(4)
+        draws = [draw_link_count(0.05, rng, minimum=0) for _ in range(40000)]
+        assert sum(draws) / len(draws) == pytest.approx(0.05, rel=0.15)
+        assert set(draws) <= {0, 1}
+
+    def test_upper_bound_roughly_twice_average(self):
+        rng = random.Random(5)
+        draws = [draw_link_count(3.0, rng, minimum=1) for _ in range(5000)]
+        assert max(draws) <= 6  # 2*average, +1 from probabilistic rounding

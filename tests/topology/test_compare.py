@@ -1,0 +1,60 @@
+"""Tests for structural topology comparison."""
+
+import pytest
+
+from repro.topology.compare import compare_topologies
+from repro.topology.evolve import evolve_topology
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+from repro.topology.scenarios import scenario_params
+from repro.topology.types import NodeType
+
+
+class TestCompare:
+    def test_identical_instances_similar(self):
+        a = generate_topology(baseline_params(300), seed=1)
+        b = generate_topology(baseline_params(300), seed=1)
+        comparison = compare_topologies(a, b)
+        assert comparison.mix_divergence == 0.0
+        assert comparison.degree_ks_statistic == 0.0
+        assert comparison.depth_difference == 0
+        assert comparison.similar()
+
+    def test_two_seeds_same_params_similar(self):
+        a = generate_topology(baseline_params(400), seed=1)
+        b = generate_topology(baseline_params(400), seed=2)
+        comparison = compare_topologies(a, b)
+        assert comparison.similar(), comparison
+
+    def test_dense_core_differs_in_mhd(self):
+        a = generate_topology(baseline_params(400), seed=3)
+        b = generate_topology(scenario_params("DENSE-CORE", 400), seed=3)
+        comparison = compare_topologies(a, b)
+        assert comparison.mhd_gap[NodeType.M] > 1.0
+        assert not comparison.similar()
+
+    def test_no_middle_differs_in_mix_and_depth(self):
+        a = generate_topology(baseline_params(400), seed=4)
+        b = generate_topology(scenario_params("NO-MIDDLE", 400), seed=4)
+        comparison = compare_topologies(a, b)
+        assert comparison.mix_divergence > 0.1
+        assert comparison.depth_difference < 0
+        assert not comparison.similar()
+
+    def test_evolved_similar_to_regenerated(self):
+        """Evolution must land in the same structural neighbourhood as
+        regeneration at the target size."""
+        evolved = generate_topology(baseline_params(300), seed=5)
+        n_t = evolved.type_counts()[NodeType.T]
+        evolve_topology(evolved, baseline_params(600, n_t=n_t), seed=6)
+        regenerated = generate_topology(baseline_params(600, n_t=n_t), seed=7)
+        comparison = compare_topologies(evolved, regenerated)
+        assert comparison.mix_divergence < 0.02
+        assert comparison.mhd_gap[NodeType.C] < 0.3
+        assert abs(comparison.depth_difference) <= 1
+
+    def test_prefer_middle_deepens_chains(self):
+        a = generate_topology(baseline_params(400), seed=8)
+        b = generate_topology(scenario_params("PREFER-MIDDLE", 400), seed=8)
+        comparison = compare_topologies(a, b)
+        assert comparison.chain_length_difference > 0

@@ -1,0 +1,49 @@
+"""Tests for Graphviz DOT export."""
+
+import pytest
+
+from repro.topology.dot import save_dot, to_dot
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+
+
+class TestToDot:
+    def test_contains_all_nodes_and_edges(self, diamond):
+        dot = to_dot(diamond)
+        for node_id in diamond.node_ids:
+            assert f"n{node_id} [" in dot
+        # transit drawn provider -> customer
+        assert "n0 -> n2;" in dot
+        # peering dashed, undirected
+        assert "n0 -> n1 [dir=none, style=dashed" in dot
+
+    def test_tiers_grouped(self, diamond):
+        dot = to_dot(diamond)
+        assert "subgraph tier_T" in dot
+        assert "subgraph tier_M" in dot
+        assert "subgraph tier_C" in dot
+        assert "subgraph tier_CP" not in dot  # diamond has no CP nodes
+
+    def test_labels_optional(self, diamond):
+        assert 'label="T0"' in to_dot(diamond, include_labels=True)
+        assert 'label="T0"' not in to_dot(diamond, include_labels=False)
+
+    def test_max_nodes_guard(self):
+        graph = generate_topology(baseline_params(120), seed=1)
+        with pytest.raises(ValueError, match="max_nodes"):
+            to_dot(graph, max_nodes=50)
+        assert to_dot(graph, max_nodes=None).startswith("digraph")
+
+    def test_scenario_in_header(self, diamond):
+        assert 'digraph "diamond"' in to_dot(diamond)
+
+    def test_valid_brace_balance(self, diamond):
+        dot = to_dot(diamond)
+        assert dot.count("{") == dot.count("}")
+
+
+class TestSaveDot:
+    def test_writes_file(self, diamond, tmp_path):
+        path = tmp_path / "topo.dot"
+        save_dot(diamond, path)
+        assert path.read_text(encoding="utf-8").startswith("digraph")

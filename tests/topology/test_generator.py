@@ -1,0 +1,182 @@
+"""Tests for the topology generator."""
+
+import random
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.generator import generate_topology
+from repro.topology.graph import ASGraph
+from repro.topology.metrics import (
+    mean_multihoming_degree,
+    mean_peering_degree,
+)
+from repro.topology.params import baseline_params
+from repro.topology.scenarios import scenario_params
+from repro.topology.types import NodeType, Relationship
+from repro.topology.validation import find_violations
+
+
+class TestBasicGeneration:
+    def test_node_counts_match_params(self):
+        params = baseline_params(300)
+        graph = generate_topology(params, seed=0)
+        counts = graph.type_counts()
+        assert counts[NodeType.T] == params.n_t
+        assert counts[NodeType.M] == params.n_m
+        assert counts[NodeType.CP] == params.n_cp
+        assert counts[NodeType.C] == params.n_c
+
+    def test_deterministic_for_seed(self):
+        a = generate_topology(baseline_params(200), seed=5)
+        b = generate_topology(baseline_params(200), seed=5)
+        assert list(a.edges()) == list(b.edges())
+        assert [n.regions for n in a.nodes()] == [n.regions for n in b.nodes()]
+
+    def test_different_seeds_differ(self):
+        a = generate_topology(baseline_params(200), seed=1)
+        b = generate_topology(baseline_params(200), seed=2)
+        assert list(a.edges()) != list(b.edges())
+
+    def test_seed_and_rng_mutually_exclusive(self):
+        with pytest.raises(TopologyError):
+            generate_topology(baseline_params(100), seed=1, rng=random.Random(1))
+
+    def test_explicit_rng(self):
+        a = generate_topology(baseline_params(150), rng=random.Random(3))
+        b = generate_topology(baseline_params(150), seed=3)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_t_clique_complete(self):
+        graph = generate_topology(baseline_params(200, n_t=5), seed=1)
+        t_nodes = graph.nodes_of_type(NodeType.T)
+        for i, a in enumerate(t_nodes):
+            for b in t_nodes[i + 1 :]:
+                assert graph.relationship(a, b) is Relationship.PEER
+
+    def test_all_invariants_hold(self):
+        graph = generate_topology(baseline_params(400), seed=9)
+        assert find_violations(graph) == []
+
+
+class TestDegreeTargets:
+    def test_mhd_close_to_spec(self):
+        params = baseline_params(1200)
+        graph = generate_topology(params, seed=2)
+        assert mean_multihoming_degree(graph, NodeType.M) == pytest.approx(
+            params.d_m, rel=0.25
+        )
+        assert mean_multihoming_degree(graph, NodeType.C) == pytest.approx(
+            params.d_c, rel=0.15
+        )
+
+    def test_peering_degree_close_to_spec(self):
+        params = baseline_params(1200)
+        graph = generate_topology(params, seed=2)
+        # Each M node initiates ~p_m links; targets also gain degree, so the
+        # realized mean is up to ~2x the initiation average.
+        realized = mean_peering_degree(graph, NodeType.M)
+        assert params.p_m * 0.8 <= realized <= params.p_m * 2.5
+
+    def test_t_provider_fraction(self):
+        """~37.5% of M provider links should terminate at T nodes."""
+        graph = generate_topology(baseline_params(2000), seed=4)
+        t_links = 0
+        total = 0
+        for m in graph.nodes_of_type(NodeType.M):
+            for p in graph.providers_of(m):
+                total += 1
+                if graph.node(p).node_type is NodeType.T:
+                    t_links += 1
+        assert 0.25 < t_links / total < 0.55
+
+
+class TestScenarioGeneration:
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            "NO-MIDDLE",
+            "RICH-MIDDLE",
+            "TRANSIT-CLIQUE",
+            "DENSE-CORE",
+            "DENSE-EDGE",
+            "TREE",
+            "CONSTANT-MHD",
+            "NO-PEERING",
+            "STRONG-CORE-PEERING",
+            "STRONG-EDGE-PEERING",
+            "PREFER-MIDDLE",
+            "PREFER-TOP",
+        ],
+    )
+    def test_all_scenarios_generate_valid_topologies(self, scenario):
+        params = scenario_params(scenario, 250)
+        graph = generate_topology(params, seed=1)
+        assert len(graph) == 250
+        assert find_violations(graph) == []
+
+    def test_no_middle_has_no_m_nodes(self):
+        graph = generate_topology(scenario_params("NO-MIDDLE", 300), seed=1)
+        assert graph.nodes_of_type(NodeType.M) == []
+        # every stub must still find a provider (a T node)
+        for c in graph.nodes_of_type(NodeType.C):
+            assert graph.providers_of(c)
+
+    def test_tree_is_single_homed(self):
+        graph = generate_topology(scenario_params("TREE", 300), seed=1)
+        for node in graph.nodes():
+            if node.node_type is not NodeType.T:
+                assert len(graph.providers_of(node.node_id)) == 1
+
+    def test_no_peering_only_t_clique_peers(self):
+        graph = generate_topology(scenario_params("NO-PEERING", 300), seed=1)
+        for node in graph.nodes():
+            if node.node_type is not NodeType.T:
+                assert graph.peers_of(node.node_id) == []
+
+    def test_prefer_middle_caps_t_providers_of_m(self):
+        graph = generate_topology(scenario_params("PREFER-MIDDLE", 400), seed=1)
+        for m in graph.nodes_of_type(NodeType.M):
+            t_providers = [
+                p
+                for p in graph.providers_of(m)
+                if graph.node(p).node_type is NodeType.T
+            ]
+            assert len(t_providers) <= 1
+
+    def test_prefer_top_caps_m_providers(self):
+        graph = generate_topology(scenario_params("PREFER-TOP", 400), seed=1)
+        for node in graph.nodes():
+            if node.node_type is NodeType.T:
+                continue
+            m_providers = [
+                p
+                for p in graph.providers_of(node.node_id)
+                if graph.node(p).node_type is NodeType.M
+            ]
+            assert len(m_providers) <= 1
+
+    def test_dense_core_triples_m_mhd(self):
+        base = generate_topology(baseline_params(600), seed=3)
+        dense = generate_topology(scenario_params("DENSE-CORE", 600), seed=3)
+        assert mean_multihoming_degree(dense, NodeType.M) > 2.0 * mean_multihoming_degree(
+            base, NodeType.M
+        )
+
+
+class TestEdgeCases:
+    def test_tiny_topology(self):
+        graph = generate_topology(baseline_params(60), seed=1)
+        assert len(graph) == 60
+        assert find_violations(graph) == []
+
+    def test_single_region(self):
+        graph = generate_topology(baseline_params(200, regions=1), seed=1)
+        assert find_violations(graph) == []
+
+    def test_many_regions(self):
+        graph = generate_topology(baseline_params(200, regions=10), seed=1)
+        assert find_violations(graph) == []
+
+    def test_returns_asgraph(self):
+        assert isinstance(generate_topology(baseline_params(80), seed=0), ASGraph)

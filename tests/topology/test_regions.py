@@ -1,0 +1,72 @@
+"""Tests for region assignment."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.topology.regions import all_regions, draw_regions
+from repro.topology.types import NodeType
+
+
+class TestAllRegions:
+    def test_full_set(self):
+        assert all_regions(3) == frozenset({0, 1, 2})
+
+    def test_invalid_count(self):
+        with pytest.raises(ParameterError):
+            all_regions(0)
+
+
+class TestDrawRegions:
+    def test_t_nodes_span_all_regions(self):
+        rng = random.Random(1)
+        assert draw_regions(NodeType.T, 5, rng) == frozenset(range(5))
+
+    def test_c_nodes_single_region(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            regions = draw_regions(NodeType.C, 5, rng)
+            assert len(regions) == 1
+            assert all(0 <= r < 5 for r in regions)
+
+    def test_single_region_world(self):
+        rng = random.Random(1)
+        for node_type in NodeType:
+            assert draw_regions(node_type, 1, rng) == frozenset({0})
+
+    def test_m_two_region_fraction(self):
+        """~20% of M nodes should span two regions."""
+        rng = random.Random(7)
+        two = sum(
+            1 for _ in range(4000) if len(draw_regions(NodeType.M, 5, rng)) == 2
+        )
+        assert 0.16 < two / 4000 < 0.24
+
+    def test_cp_two_region_fraction(self):
+        rng = random.Random(7)
+        two = sum(
+            1 for _ in range(4000) if len(draw_regions(NodeType.CP, 5, rng)) == 2
+        )
+        assert 0.03 < two / 4000 < 0.08
+
+    def test_two_regions_are_distinct(self):
+        rng = random.Random(3)
+        for _ in range(200):
+            regions = draw_regions(
+                NodeType.M, 3, rng, m_two_region_fraction=1.0
+            )
+            assert len(regions) == 2
+
+    def test_regions_cover_uniformly(self):
+        rng = random.Random(11)
+        counts = [0] * 5
+        for _ in range(5000):
+            (region,) = draw_regions(NodeType.C, 5, rng)
+            counts[region] += 1
+        for count in counts:
+            assert 800 < count < 1200
+
+    def test_invalid_region_count(self):
+        with pytest.raises(ParameterError):
+            draw_regions(NodeType.C, 0, random.Random(0))

@@ -1,0 +1,149 @@
+"""Tests for the scenario registry and parameter transforms."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.topology.params import baseline_params
+from repro.topology.scenarios import (
+    STATIC_MIDDLE_REFERENCE_N,
+    register_scenario,
+    scenario_names,
+    scenario_params,
+)
+
+ALL_SCENARIOS = [
+    "BASELINE",
+    "NO-MIDDLE",
+    "RICH-MIDDLE",
+    "STATIC-MIDDLE",
+    "TRANSIT-CLIQUE",
+    "DENSE-CORE",
+    "DENSE-EDGE",
+    "TREE",
+    "CONSTANT-MHD",
+    "NO-PEERING",
+    "STRONG-CORE-PEERING",
+    "STRONG-EDGE-PEERING",
+    "PREFER-MIDDLE",
+    "PREFER-TOP",
+]
+
+
+class TestRegistry:
+    def test_all_paper_scenarios_registered(self):
+        assert set(ALL_SCENARIOS) <= set(scenario_names())
+
+    def test_case_insensitive(self):
+        assert scenario_params("baseline", 500) == scenario_params("BASELINE", 500)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ParameterError, match="unknown scenario"):
+            scenario_params("MYSTERY", 500)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ParameterError, match="already registered"):
+            register_scenario("BASELINE")(lambda n: baseline_params(n))
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_counts_always_sum_to_n(self, name):
+        params = scenario_params(name, 1234)
+        assert params.n_t + params.n_m + params.n_cp + params.n_c == 1234
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_scenario_label_set(self, name):
+        assert scenario_params(name, 500).scenario == name
+
+
+class TestPopulationMix:
+    def test_no_middle(self):
+        params = scenario_params("NO-MIDDLE", 1000)
+        assert params.n_m == 0
+        # CP:C ratio preserved (0.05 : 0.80)
+        assert params.n_cp / params.n_c == pytest.approx(0.0625, rel=0.15)
+
+    def test_rich_middle_triples_m(self):
+        base = baseline_params(1000)
+        rich = scenario_params("RICH-MIDDLE", 1000)
+        assert rich.n_m == pytest.approx(3 * base.n_m, rel=0.01)
+
+    def test_static_middle_freezes_transit(self):
+        params = scenario_params("STATIC-MIDDLE", 5000)
+        reference = baseline_params(STATIC_MIDDLE_REFERENCE_N)
+        assert params.n_m == reference.n_m
+        assert params.n_t == reference.n_t
+        assert params.n_cp + params.n_c == 5000 - params.n_t - params.n_m
+
+    def test_static_middle_custom_reference(self):
+        params = scenario_params("STATIC-MIDDLE", 5000, reference_n=400)
+        reference = baseline_params(400)
+        assert params.n_m == reference.n_m
+
+    def test_static_middle_below_reference_is_baseline(self):
+        params = scenario_params("STATIC-MIDDLE", 400)
+        base = baseline_params(400)
+        assert params.n_m == base.n_m
+
+    def test_transit_clique(self):
+        params = scenario_params("TRANSIT-CLIQUE", 2000)
+        assert params.n_t == 300  # 0.15 n
+        assert params.n_m == 0
+
+
+class TestMultihoming:
+    def test_dense_core(self):
+        base = baseline_params(2000)
+        params = scenario_params("DENSE-CORE", 2000)
+        assert params.d_m == pytest.approx(3 * base.d_m)
+        assert params.d_c == base.d_c
+
+    def test_dense_edge(self):
+        base = baseline_params(2000)
+        params = scenario_params("DENSE-EDGE", 2000)
+        assert params.d_c == pytest.approx(3 * base.d_c)
+        assert params.d_cp == pytest.approx(3 * base.d_cp)
+        assert params.d_m == base.d_m
+
+    def test_tree(self):
+        params = scenario_params("TREE", 2000)
+        assert params.d_m == params.d_cp == params.d_c == 1.0
+
+    def test_constant_mhd_size_independent(self):
+        small = scenario_params("CONSTANT-MHD", 1000)
+        large = scenario_params("CONSTANT-MHD", 9000)
+        assert small.d_m == large.d_m == 2.0
+        assert small.d_c == large.d_c == 1.0
+
+
+class TestPeering:
+    def test_no_peering(self):
+        params = scenario_params("NO-PEERING", 1500)
+        assert params.p_m == params.p_cp_m == params.p_cp_cp == 0.0
+
+    def test_strong_core_peering_doubles_pm(self):
+        base = baseline_params(1500)
+        params = scenario_params("STRONG-CORE-PEERING", 1500)
+        assert params.p_m == pytest.approx(2 * base.p_m)
+        assert params.p_cp_m == base.p_cp_m
+
+    def test_strong_edge_peering_triples_cp(self):
+        base = baseline_params(1500)
+        params = scenario_params("STRONG-EDGE-PEERING", 1500)
+        assert params.p_cp_m == pytest.approx(3 * base.p_cp_m)
+        assert params.p_cp_cp == pytest.approx(3 * base.p_cp_cp)
+        assert params.p_m == base.p_m
+
+
+class TestProviderPreference:
+    def test_prefer_middle(self):
+        params = scenario_params("PREFER-MIDDLE", 1500)
+        assert params.t_cp == 0.0
+        assert params.t_c == 0.0
+        assert params.max_t_providers == 1
+        assert params.max_m_providers is None
+
+    def test_prefer_top(self):
+        params = scenario_params("PREFER-TOP", 1500)
+        assert params.max_m_providers == 1
+        assert params.max_t_providers is None
+        # T-selection probabilities unchanged from Baseline
+        assert params.t_c == 0.125

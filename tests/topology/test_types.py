@@ -1,0 +1,66 @@
+"""Tests for the node-type / relationship vocabulary."""
+
+import pytest
+
+from repro.topology.types import (
+    LOCAL_PREFERENCE,
+    NODE_TYPE_ORDER,
+    RELATIONSHIP_ORDER,
+    NodeType,
+    Relationship,
+)
+
+
+class TestNodeType:
+    def test_transit_types(self):
+        assert NodeType.T.is_transit
+        assert NodeType.M.is_transit
+        assert not NodeType.CP.is_transit
+        assert not NodeType.C.is_transit
+
+    def test_stub_types(self):
+        assert NodeType.CP.is_stub
+        assert NodeType.C.is_stub
+        assert not NodeType.T.is_stub
+        assert not NodeType.M.is_stub
+
+    def test_only_c_nodes_cannot_peer(self):
+        assert not NodeType.C.may_peer
+        assert all(t.may_peer for t in NodeType if t is not NodeType.C)
+
+    def test_order_covers_all_types(self):
+        assert set(NODE_TYPE_ORDER) == set(NodeType)
+        assert NODE_TYPE_ORDER[0] is NodeType.T
+
+    def test_value_round_trip(self):
+        for node_type in NodeType:
+            assert NodeType(node_type.value) is node_type
+
+    def test_str(self):
+        assert str(NodeType.CP) == "CP"
+
+
+class TestRelationship:
+    def test_inverse_pairs(self):
+        assert Relationship.CUSTOMER.inverse is Relationship.PROVIDER
+        assert Relationship.PROVIDER.inverse is Relationship.CUSTOMER
+        assert Relationship.PEER.inverse is Relationship.PEER
+
+    def test_inverse_is_involution(self):
+        for rel in Relationship:
+            assert rel.inverse.inverse is rel
+
+    def test_order_covers_all(self):
+        assert set(RELATIONSHIP_ORDER) == set(Relationship)
+
+    def test_local_preference_ordering(self):
+        """Customer routes outrank peer routes outrank provider routes."""
+        assert (
+            LOCAL_PREFERENCE[Relationship.CUSTOMER]
+            > LOCAL_PREFERENCE[Relationship.PEER]
+            > LOCAL_PREFERENCE[Relationship.PROVIDER]
+        )
+
+    @pytest.mark.parametrize("rel", list(Relationship))
+    def test_every_relationship_has_preference(self, rel):
+        assert rel in LOCAL_PREFERENCE

@@ -1,0 +1,77 @@
+"""Tests for topology validation (violations must be detected)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.graph import ASGraph
+from repro.topology.types import NodeType
+from repro.topology.validation import find_violations, validate
+
+
+def build(*nodes, transit=(), peering=()):
+    graph = ASGraph()
+    for node_id, node_type in nodes:
+        graph.add_node(node_id, node_type, [0])
+    for customer, provider in transit:
+        graph.add_transit_link(customer, provider)
+    for a, b in peering:
+        graph.add_peering_link(a, b)
+    return graph
+
+
+class TestRoleChecks:
+    def test_orphan_m_node_detected(self):
+        graph = build((0, NodeType.T), (1, NodeType.M))
+        violations = find_violations(graph)
+        assert any("no provider" in v for v in violations)
+
+    def test_stub_with_customers_detected(self):
+        graph = build((0, NodeType.CP), (1, NodeType.C))
+        graph.add_transit_link(1, 0)  # CP 0 acquires a customer
+        violations = find_violations(graph)
+        assert any("has customers" in v for v in violations)
+
+    def test_c_node_with_peers_detected(self):
+        graph = build((0, NodeType.T), (1, NodeType.C), transit=())
+        graph.add_peering_link(0, 1)
+        violations = find_violations(graph)
+        assert any("C node" in v and "peers" in v for v in violations)
+
+    def test_valid_diamond_passes(self, diamond):
+        assert find_violations(diamond) == []
+        validate(diamond)  # no raise
+
+
+class TestCliqueCheck:
+    def test_missing_t_link_detected(self):
+        graph = build((0, NodeType.T), (1, NodeType.T), (2, NodeType.C))
+        graph.add_transit_link(2, 0)
+        violations = find_violations(graph)
+        assert any("not connected" in v for v in violations)
+
+
+class TestValidateRaises:
+    def test_validate_raises_with_summary(self):
+        graph = build((0, NodeType.T), (1, NodeType.M))
+        with pytest.raises(TopologyError, match="violation"):
+            validate(graph)
+
+
+class TestRegionCheck:
+    def test_t_node_missing_region_detected(self):
+        graph = ASGraph()
+        graph.add_node(0, NodeType.T, [0])  # only region 0
+        graph.add_node(1, NodeType.C, [0, 1])  # world has regions {0, 1}
+        graph.add_transit_link(1, 0)
+        violations = find_violations(graph)
+        assert any("all regions" in v for v in violations)
+
+    def test_cross_region_link_detected(self):
+        graph = ASGraph()
+        graph.add_node(0, NodeType.M, [0, 1])
+        graph.add_node(1, NodeType.M, [1])
+        graph.add_node(2, NodeType.M, [2])
+        graph.add_transit_link(1, 0)
+        graph.add_transit_link(2, 0)  # 0 spans {0,1}; 2 lives in {2}
+        violations = find_violations(graph)
+        assert any("disjoint regions" in v for v in violations)
