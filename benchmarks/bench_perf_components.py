@@ -1,13 +1,20 @@
 """Performance benchmarks of the library's building blocks.
 
 Not paper artifacts — these track the cost of the topology generator, the
-event kernel and a full C-event, so regressions in the hot paths show up
-in ``pytest benchmarks/ --benchmark-only``.
+event kernel, a full C-event and the parallel sweep executor, so
+regressions in the hot paths show up in
+``pytest benchmarks/ --benchmark-only``.
 """
+
+import json
+import os
+import time
 
 from repro.bgp.config import BGPConfig
 from repro.core.cevent import run_c_event_experiment
 from repro.core.reference import steady_state_routes
+from repro.core.sweep import run_growth_sweep
+from repro.experiments.results_io import sweep_result_to_dict
 from repro.sim.engine import Engine
 from repro.sim.network import SimNetwork
 from repro.topology.generator import generate_topology
@@ -15,6 +22,19 @@ from repro.topology.params import baseline_params
 from repro.topology.types import NodeType
 
 FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+
+#: Workers for the sweep-parallelism benchmark: one per available core,
+#: capped at 4 — on a single-core box the executor degrades to serial
+#: rather than benchmarking pure scheduling contention.
+SWEEP_JOBS = max(
+    1,
+    min(
+        4,
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else (os.cpu_count() or 1),
+    ),
+)
 
 
 def test_topology_generation_n1000(benchmark):
@@ -67,6 +87,51 @@ def test_announcement_flood_n400(benchmark):
 
     delivered = benchmark(run)
     assert delivered > 400
+
+
+def test_sweep_parallel_speedup(benchmark, results_dir):
+    """Parallel sweep executor vs serial on one small Baseline sweep.
+
+    Asserts the bit-identical guarantee (same numbers from both paths)
+    and records the measured speedup under ``benchmark_results/``.
+    """
+    kwargs = dict(
+        sizes=(300, 400, 500), config=FAST, num_origins=6, seed=7, origin_batch_size=2
+    )
+
+    started = time.perf_counter()
+    serial = run_growth_sweep("BASELINE", jobs=1, **kwargs)
+    serial_seconds = time.perf_counter() - started
+
+    timings = []
+
+    def timed_parallel():
+        t0 = time.perf_counter()
+        result = run_growth_sweep("BASELINE", jobs=SWEEP_JOBS, **kwargs)
+        timings.append(time.perf_counter() - t0)
+        return result
+
+    parallel = benchmark.pedantic(timed_parallel, rounds=1, iterations=1)
+    parallel_seconds = timings[-1]
+
+    def measured(sweep):
+        data = sweep_result_to_dict(sweep)
+        for stats in data["stats"]:
+            del stats["wall_clock_seconds"]  # the only nondeterministic field
+        return data
+
+    assert measured(parallel) == measured(serial)
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
+    payload = {
+        "jobs": SWEEP_JOBS,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": speedup,
+    }
+    (results_dir / "sweep_parallelism.json").write_text(
+        json.dumps(payload, indent=1) + "\n", encoding="utf-8"
+    )
+    print(f"\nsweep parallelism: {speedup:.2f}x with {SWEEP_JOBS} jobs")
 
 
 def test_oracle_n1000(benchmark):

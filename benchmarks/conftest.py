@@ -8,6 +8,9 @@ paper's shape checks.
 Scale is controlled by ``REPRO_SCALE`` (default ``smoke`` here, so the
 whole harness runs in minutes; use ``REPRO_SCALE=default`` or ``full``
 for higher-fidelity sweeps — see EXPERIMENTS.md for recorded campaigns).
+Execution is controlled by ``REPRO_JOBS`` (sweep worker processes) and
+``REPRO_CACHE_DIR`` (persistent sweep cache); neither changes any
+measured number, so benchmarked results stay comparable across runs.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.experiments.cache import sweep_execution
 from repro.experiments.registry import get_experiment
 from repro.experiments.report import ExperimentResult
 from repro.experiments.scale import get_scale
@@ -29,6 +33,15 @@ BENCH_SEED = 0
 def bench_scale():
     """The scale preset for this benchmark session."""
     return get_scale(os.environ.get("REPRO_SCALE", "smoke"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_execution():
+    """Session-wide sweep execution policy from REPRO_JOBS/REPRO_CACHE_DIR."""
+    jobs = int(os.environ.get("REPRO_JOBS", "0")) or None
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    with sweep_execution(jobs=jobs, cache_dir=cache_dir) as execution:
+        yield execution
 
 
 @pytest.fixture(scope="session")

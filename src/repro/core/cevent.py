@@ -26,7 +26,13 @@ import time as _time
 from typing import Dict, List, Optional, Sequence
 
 from repro.bgp.config import BGPConfig
-from repro.core.factors import FactorAccumulator, TypeFactors
+from repro.core.factors import (
+    FactorAccumulator,
+    GraphSummary,
+    RawFactorSums,
+    TypeFactors,
+    compute_all_type_factors,
+)
 from repro.errors import ExperimentError
 from repro.sim.engine import DEFAULT_MAX_EVENTS
 from repro.sim.network import SimNetwork
@@ -81,35 +87,57 @@ def pick_origins(graph: ASGraph, how_many: int, seed: int) -> List[int]:
     return sorted(rng.sample(pool, how_many))
 
 
-def run_c_event_experiment(
+@dataclasses.dataclass(frozen=True)
+class CEventBatchResult:
+    """One origin batch's raw measurements on one topology.
+
+    Picklable and mergeable: a batch is the unit of work the parallel
+    sweep executor ships between processes.  All numeric fields are sums
+    (over events and nodes), so :func:`merge_c_event_batches` combines
+    disjoint batches of the same topology without any loss — the averages
+    in :class:`CEventStats` are only formed after the merge.
+    """
+
+    summary: GraphSummary
+    config: BGPConfig
+    seed: int
+    origins: List[int]
+    raw: RawFactorSums
+    down_totals: Dict[NodeType, float]
+    up_totals: Dict[NodeType, float]
+    down_convergence: float
+    up_convergence: float
+    measured_messages: int
+    wall_clock_seconds: float
+
+    @property
+    def events(self) -> int:
+        """Number of C-events measured in this batch."""
+        return self.raw.events
+
+
+def run_c_event_batch(
     graph: ASGraph,
     config: Optional[BGPConfig] = None,
     *,
-    origins: Optional[Sequence[int]] = None,
-    num_origins: int = 100,
+    origins: Sequence[int],
     seed: int = 0,
     settle_factor: float = 2.0,
     max_events: int = DEFAULT_MAX_EVENTS,
-) -> CEventStats:
-    """Run the paper's C-event measurement on one topology.
+) -> CEventBatchResult:
+    """Measure one batch of C-event origins on a fresh network.
 
-    ``origins`` overrides the sampled origin set; ``settle_factor`` scales
-    the inter-phase idle gap in units of the MRAI interval (2 × MRAI lets
-    every jittered gate expire before the next phase starts).
+    An empty batch is legal (it contributes zero events to a merge); this
+    happens when a topology yields fewer origins than the batching
+    expected.
     """
     config = config if config is not None else BGPConfig()
-    if origins is None:
-        origin_list = pick_origins(graph, num_origins, seed)
-    else:
-        origin_list = list(origins)
-        for origin in origin_list:
-            if origin not in graph:
-                raise ExperimentError(f"origin {origin} not in topology")
-    if not origin_list:
-        raise ExperimentError("no origins to run")
+    origin_list = list(origins)
+    for origin in origin_list:
+        if origin not in graph:
+            raise ExperimentError(f"origin {origin} not in topology")
 
     started = _time.monotonic()
-    network = SimNetwork(graph, config, seed=seed)
     accumulator = FactorAccumulator(graph)
     settle = settle_factor * config.mrai if config.mrai > 0 else 1.0
     down_totals: Dict[NodeType, float] = {t: 0.0 for t in NodeType}
@@ -118,6 +146,7 @@ def run_c_event_experiment(
     up_convergence = 0.0
     measured_messages = 0
     node_types = {node.node_id: node.node_type for node in graph.nodes()}
+    network = SimNetwork(graph, config, seed=seed) if origin_list else None
 
     for index, origin in enumerate(origin_list):
         prefix = index  # one fresh prefix per origin keeps state disjoint
@@ -150,16 +179,72 @@ def run_c_event_experiment(
         accumulator.add_event(network.counter)
         network.stop_counting()
 
-    events = len(origin_list)
-    per_type = accumulator.all_type_factors()
-    type_counts = graph.type_counts()
-    return CEventStats(
-        n=len(graph),
-        scenario=graph.scenario,
+    return CEventBatchResult(
+        summary=accumulator.summary,
+        config=config,
         seed=seed,
+        origins=origin_list,
+        raw=accumulator.raw_sums(),
+        down_totals=down_totals,
+        up_totals=up_totals,
+        down_convergence=down_convergence,
+        up_convergence=up_convergence,
+        measured_messages=measured_messages,
+        wall_clock_seconds=_time.monotonic() - started,
+    )
+
+
+def merge_c_event_batches(
+    batches: Sequence[CEventBatchResult], *, seed: Optional[int] = None
+) -> CEventStats:
+    """Combine origin batches of one topology into a :class:`CEventStats`.
+
+    Batches must be passed in a fixed, deterministic order (the sweep
+    executor uses batch-index order): the float sums below are then
+    reproducible regardless of which process produced each batch.  For a
+    single batch the result is bit-identical to the historical unbatched
+    implementation.
+    """
+    if not batches:
+        raise ExperimentError("no batches to merge")
+    summary = batches[0].summary
+    config = batches[0].config
+    for batch in batches[1:]:
+        if batch.summary.node_ids != summary.node_ids:
+            raise ExperimentError("cannot merge batches of different topologies")
+        if batch.config != config:
+            raise ExperimentError("cannot merge batches with different configs")
+
+    raw = RawFactorSums.zeros(summary.node_ids)
+    origin_list: List[int] = []
+    down_totals: Dict[NodeType, float] = {t: 0.0 for t in NodeType}
+    up_totals: Dict[NodeType, float] = {t: 0.0 for t in NodeType}
+    down_convergence = 0.0
+    up_convergence = 0.0
+    measured_messages = 0
+    wall_clock = 0.0
+    for batch in batches:
+        raw.absorb(batch.raw)
+        origin_list.extend(batch.origins)
+        for node_type in NodeType:
+            down_totals[node_type] += batch.down_totals[node_type]
+            up_totals[node_type] += batch.up_totals[node_type]
+        down_convergence += batch.down_convergence
+        up_convergence += batch.up_convergence
+        measured_messages += batch.measured_messages
+        wall_clock += batch.wall_clock_seconds
+
+    events = raw.events
+    if events == 0:
+        raise ExperimentError("no origins to run")
+    type_counts = summary.type_counts()
+    return CEventStats(
+        n=len(summary),
+        scenario=summary.scenario,
+        seed=seed if seed is not None else batches[0].seed,
         config=config,
         origins=origin_list,
-        per_type=per_type,
+        per_type=compute_all_type_factors(summary, raw),
         down_updates_per_type={
             t: down_totals[t] / (events * type_counts[t]) if type_counts[t] else 0.0
             for t in NodeType
@@ -171,5 +256,43 @@ def run_c_event_experiment(
         mean_down_convergence=down_convergence / events,
         mean_up_convergence=up_convergence / events,
         measured_messages=measured_messages,
-        wall_clock_seconds=_time.monotonic() - started,
+        wall_clock_seconds=wall_clock,
     )
+
+
+def run_c_event_experiment(
+    graph: ASGraph,
+    config: Optional[BGPConfig] = None,
+    *,
+    origins: Optional[Sequence[int]] = None,
+    num_origins: int = 100,
+    seed: int = 0,
+    settle_factor: float = 2.0,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> CEventStats:
+    """Run the paper's C-event measurement on one topology.
+
+    ``origins`` overrides the sampled origin set; ``settle_factor`` scales
+    the inter-phase idle gap in units of the MRAI interval (2 × MRAI lets
+    every jittered gate expire before the next phase starts).
+
+    Implemented as a single origin batch, so it shares the measurement
+    loop with the parallel sweep executor while keeping the historical
+    single-network behaviour (and exact numbers) of the serial code path.
+    """
+    config = config if config is not None else BGPConfig()
+    if origins is None:
+        origin_list = pick_origins(graph, num_origins, seed)
+    else:
+        origin_list = list(origins)
+    if not origin_list:
+        raise ExperimentError("no origins to run")
+    batch = run_c_event_batch(
+        graph,
+        config,
+        origins=origin_list,
+        seed=seed,
+        settle_factor=settle_factor,
+        max_events=max_events,
+    )
+    return merge_c_event_batches([batch], seed=seed)

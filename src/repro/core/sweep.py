@@ -6,18 +6,32 @@ Every figure in the paper is a sweep of some metric over the network size
 aggregation; the returned :class:`SweepResult` offers the series
 extractors the figures need (U(X) vs n, factor curves, relative
 increases).
+
+Execution model: a sweep is decomposed into independent, picklable
+:class:`SweepUnit` work items — one ``(scenario, n, origin-batch)``
+simulation each — which run either inline or fanned out over a
+``ProcessPoolExecutor`` (``jobs=N``).  Every unit derives its seeds from
+the sweep's master seed alone, and unit results are merged in a fixed
+order, so serial and parallel runs of the same sweep are bit-identical.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bgp.config import BGPConfig
-from repro.core.cevent import CEventStats, run_c_event_experiment
+from repro.core.cevent import (
+    CEventBatchResult,
+    CEventStats,
+    merge_c_event_batches,
+    pick_origins,
+    run_c_event_batch,
+)
 from repro.core.regression import relative_increase
 from repro.errors import ExperimentError
-from repro.sim.rng import derive_seed
+from repro.sim.rng import origin_batch_seed, sweep_point_seeds
 from repro.topology.generator import generate_topology
 from repro.topology.scenarios import scenario_params
 from repro.topology.types import NodeType, Relationship
@@ -74,6 +88,112 @@ class SweepResult:
         raise ExperimentError(f"size {n} not in sweep {self.sizes}")
 
 
+@dataclasses.dataclass(frozen=True)
+class SweepUnit:
+    """One independent, picklable work item of a growth sweep.
+
+    A unit is one ``(scenario, n, origin-batch)`` simulation.  It carries
+    everything a worker process needs to reproduce its slice of the sweep
+    from scratch: the worker regenerates the topology deterministically
+    (cheap next to simulating on it) rather than receiving a pickled
+    graph, so unit results do not depend on which process ran them.
+    """
+
+    scenario: str
+    n: int
+    num_origins: int
+    batch_index: int
+    num_batches: int
+    seed: int
+    config: BGPConfig
+    #: (key, value) pairs, sorted by key — kept as a tuple so the unit
+    #: itself stays immutable; values only need to be picklable.
+    scenario_kwargs: tuple
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.batch_index < self.num_batches:
+            raise ExperimentError(
+                f"batch index {self.batch_index} outside 0..{self.num_batches - 1}"
+            )
+
+
+def split_origins(origins: Sequence[int], num_batches: int) -> List[List[int]]:
+    """Deterministic contiguous split of an origin list into batches.
+
+    Sizes differ by at most one; the concatenation of all batches equals
+    the input order, which is what keeps merged results independent of
+    the batching granularity's *execution* (though not of the batch
+    count itself, since each batch simulates on its own seeded network).
+    """
+    if num_batches < 1:
+        raise ExperimentError(f"num_batches must be >= 1, got {num_batches}")
+    origin_list = list(origins)
+    base, extra = divmod(len(origin_list), num_batches)
+    batches: List[List[int]] = []
+    start = 0
+    for index in range(num_batches):
+        size = base + (1 if index < extra else 0)
+        batches.append(origin_list[start : start + size])
+        start += size
+    return batches
+
+
+def execute_sweep_unit(unit: SweepUnit) -> CEventBatchResult:
+    """Run one sweep unit from scratch (topology + origin batch).
+
+    Module-level so ``ProcessPoolExecutor`` can pickle it by reference;
+    also the serial executor's inner loop, so both paths are one code
+    path by construction.
+    """
+    params = scenario_params(unit.scenario, unit.n, **dict(unit.scenario_kwargs))
+    topo_seed, sim_seed = sweep_point_seeds(unit.seed, unit.n)
+    graph = generate_topology(params, seed=topo_seed)
+    origin_list = pick_origins(graph, unit.num_origins, sim_seed)
+    batch = split_origins(origin_list, unit.num_batches)[unit.batch_index]
+    return run_c_event_batch(
+        graph,
+        unit.config,
+        origins=batch,
+        seed=origin_batch_seed(sim_seed, unit.batch_index, unit.num_batches),
+    )
+
+
+def _sweep_units(
+    scenario: str,
+    sizes: Sequence[int],
+    config: BGPConfig,
+    num_origins: int,
+    seed: int,
+    scenario_kwargs: Dict[str, object],
+    origin_batch_size: Optional[int],
+) -> List[SweepUnit]:
+    """The full work list, in deterministic (size, batch) order."""
+    if origin_batch_size is not None and origin_batch_size < 1:
+        raise ExperimentError(
+            f"origin_batch_size must be >= 1, got {origin_batch_size}"
+        )
+    num_batches = (
+        1
+        if origin_batch_size is None
+        else -(-num_origins // origin_batch_size)
+    )
+    kwargs_items = tuple(sorted(scenario_kwargs.items(), key=lambda kv: kv[0]))
+    return [
+        SweepUnit(
+            scenario=scenario,
+            n=n,
+            num_origins=num_origins,
+            batch_index=batch_index,
+            num_batches=num_batches,
+            seed=seed,
+            config=config,
+            scenario_kwargs=kwargs_items,
+        )
+        for n in sizes
+        for batch_index in range(num_batches)
+    ]
+
+
 def run_growth_sweep(
     scenario: str,
     *,
@@ -83,29 +203,56 @@ def run_growth_sweep(
     seed: int = 0,
     scenario_kwargs: Optional[Dict[str, object]] = None,
     progress: Optional[ProgressFn] = None,
+    jobs: Optional[int] = None,
+    origin_batch_size: Optional[int] = None,
 ) -> SweepResult:
     """Run a full size sweep for one named growth scenario.
 
     Topology and simulation seeds are derived per size from ``seed`` so
     different scenarios at the same (seed, size) share nothing but remain
     individually reproducible.
+
+    ``jobs`` > 1 fans the work units out over a process pool; results are
+    merged in fixed (size, batch) order, so the returned numbers are
+    bit-identical to a serial run.  ``origin_batch_size`` bounds how many
+    origins one unit simulates: smaller batches expose more parallelism
+    within a single size (each batch runs on its own deterministically
+    seeded network, so the batch size — unlike ``jobs`` — is part of the
+    sweep's reproducibility key).
     """
     if not sizes:
         raise ExperimentError("empty size grid")
     config = config if config is not None else BGPConfig()
-    scenario_kwargs = dict(scenario_kwargs or {})
+    units = _sweep_units(
+        scenario,
+        sizes,
+        config,
+        num_origins,
+        seed,
+        dict(scenario_kwargs or {}),
+        origin_batch_size,
+    )
+    effective_jobs = 1 if jobs is None else jobs
+    if effective_jobs < 0:
+        raise ExperimentError(f"jobs must be >= 0, got {jobs}")
+    if effective_jobs > 1 and len(units) > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(effective_jobs, len(units))
+        ) as pool:
+            # map() preserves submission order — the merge below relies
+            # on it to stay deterministic.
+            batch_results = list(pool.map(execute_sweep_unit, units))
+    else:
+        batch_results = [execute_sweep_unit(unit) for unit in units]
+
+    num_batches = units[0].num_batches
     stats: List[CEventStats] = []
-    for n in sizes:
-        params = scenario_params(scenario, n, **scenario_kwargs)
-        topo_seed = derive_seed(seed, n, 1)
-        sim_seed = derive_seed(seed, n, 2)
-        graph = generate_topology(params, seed=topo_seed)
-        result = run_c_event_experiment(
-            graph,
-            config,
-            num_origins=num_origins,
-            seed=sim_seed,
-        )
+    for size_index, n in enumerate(sizes):
+        _, sim_seed = sweep_point_seeds(seed, n)
+        per_size = batch_results[
+            size_index * num_batches : (size_index + 1) * num_batches
+        ]
+        result = merge_c_event_batches(per_size, seed=sim_seed)
         stats.append(result)
         if progress is not None:
             progress(scenario, n, result)
@@ -125,6 +272,8 @@ def run_scenario_comparison(
     num_origins: int = 20,
     seed: int = 0,
     progress: Optional[ProgressFn] = None,
+    jobs: Optional[int] = None,
+    origin_batch_size: Optional[int] = None,
 ) -> Dict[str, SweepResult]:
     """Sweep several scenarios over the same size grid (Fig. 8–11 style)."""
     results: Dict[str, SweepResult] = {}
@@ -136,5 +285,7 @@ def run_scenario_comparison(
             num_origins=num_origins,
             seed=seed,
             progress=progress,
+            jobs=jobs,
+            origin_batch_size=origin_batch_size,
         )
     return results

@@ -1,20 +1,164 @@
-"""In-process memoization of expensive sweeps.
+"""Two-level memoization of expensive sweeps.
 
 Figures 4–7 are different projections of the *same* Baseline growth sweep;
 Fig. 12 reuses the Baseline NO-WRATE sweep as its denominator.  Caching by
-(scenario, sizes, origins, config, seed) lets a full figure campaign run
-each simulation exactly once.
+a canonical content key — scenario, sizes, origins, the full
+:class:`BGPConfig`, seed, scenario kwargs and the code version — lets a
+full figure campaign run each simulation exactly once.
+
+Two layers share one key:
+
+* an **in-process** dict, as before, for sweeps reused within one run;
+* an optional **on-disk** store (``cache_dir``) holding each sweep as
+  JSON via :mod:`repro.experiments.results_io`, so re-running a campaign
+  in a new process is near-instant.  The round trip is float-exact, so a
+  cache-warm campaign produces byte-identical artifacts.
+
+The key is a SHA-256 of canonical JSON, never of live Python objects:
+unhashable scenario kwargs (lists, dicts) are legal and mutation-proof,
+and the key is stable across processes and hash randomization.
+
+:func:`sweep_execution` installs ambient execution policy (parallel
+``jobs``, ``cache_dir``, origin batching) plus hit/miss telemetry, so
+callers like :func:`~repro.experiments.campaign.run_campaign` can wire
+``--jobs``/``--cache-dir`` through without threading parameters into
+every figure module.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import contextlib
+import dataclasses
+import enum
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Sequence, Union
 
+from repro._version import __version__
 from repro.bgp.config import BGPConfig
 from repro.core.sweep import ProgressFn, SweepResult, run_growth_sweep
+from repro.errors import SerializationError
+from repro.experiments.results_io import load_sweep, save_sweep
 from repro.experiments.scale import Scale
 
-_CACHE: Dict[Tuple, SweepResult] = {}
+#: Bump when the simulation's measured quantities change meaning, to
+#: invalidate on-disk entries written by incompatible code.
+_KEY_VERSION = 1
+
+_CACHE: Dict[str, SweepResult] = {}
+
+
+# ----------------------------------------------------------------------
+# Canonical cache keys
+# ----------------------------------------------------------------------
+def _canonical(value: object) -> object:
+    """Reduce a value to JSON-serializable primitives, deterministically."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _canonical(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return _canonical(value.value)
+    if isinstance(value, dict):
+        return {
+            str(key): _canonical(val)
+            for key, val in sorted(value.items(), key=lambda item: str(item[0]))
+        }
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [_canonical(item) for item in items]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def sweep_cache_key(
+    scenario: str,
+    sizes: Sequence[int],
+    origins: int,
+    config: BGPConfig,
+    seed: int,
+    scenario_kwargs: Optional[Dict[str, object]] = None,
+) -> str:
+    """Content hash identifying one sweep's inputs.
+
+    Stable across processes, hash randomization and mutable kwargs; ties
+    the entry to the code version so stale on-disk results never leak
+    into a newer build.
+    """
+    payload = {
+        "key_version": _KEY_VERSION,
+        "code_version": __version__,
+        "scenario": scenario.upper(),
+        "sizes": list(sizes),
+        "origins": origins,
+        "config": _canonical(config),
+        "seed": seed,
+        "scenario_kwargs": _canonical(dict(scenario_kwargs or {})),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Execution context: ambient policy + telemetry
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class SweepExecution:
+    """Policy and counters for the sweeps of one logical run."""
+
+    jobs: Optional[int] = None
+    cache_dir: Optional[Path] = None
+    origin_batch_size: Optional[int] = None
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    #: aggregate simulation wall clock across all workers (the serial
+    #: cost the run would have paid without parallelism or caching)
+    worker_seconds: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        """Sweeps answered from either cache layer."""
+        return self.memory_hits + self.disk_hits
+
+
+_EXECUTION = SweepExecution()
+
+
+def current_execution() -> SweepExecution:
+    """The ambient execution context (a process-wide default otherwise)."""
+    return _EXECUTION
+
+
+@contextlib.contextmanager
+def sweep_execution(
+    *,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    origin_batch_size: Optional[int] = None,
+) -> Iterator[SweepExecution]:
+    """Install an execution context for the duration of a ``with`` block."""
+    global _EXECUTION
+    previous = _EXECUTION
+    _EXECUTION = SweepExecution(
+        jobs=jobs,
+        cache_dir=Path(cache_dir) if cache_dir is not None else None,
+        origin_batch_size=origin_batch_size,
+    )
+    try:
+        yield _EXECUTION
+    finally:
+        _EXECUTION = previous
+
+
+# ----------------------------------------------------------------------
+# The cache itself
+# ----------------------------------------------------------------------
+def _disk_path(cache_dir: Path, key: str) -> Path:
+    return cache_dir / f"sweep-{key}.json"
 
 
 def cached_sweep(
@@ -25,14 +169,42 @@ def cached_sweep(
     seed: int = 0,
     scenario_kwargs: Optional[Dict[str, object]] = None,
     progress: Optional[ProgressFn] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> SweepResult:
-    """A growth sweep, memoized for the lifetime of the process."""
+    """A growth sweep, memoized in-process and (optionally) on disk.
+
+    ``jobs`` and ``cache_dir`` default to the ambient
+    :func:`sweep_execution` context.  Parallelism never affects the
+    returned numbers, so it is deliberately *not* part of the cache key.
+    """
     config = config if config is not None else BGPConfig()
-    kwargs_key = tuple(sorted((scenario_kwargs or {}).items()))
-    key = (scenario.upper(), scale.sizes, scale.origins, config, seed, kwargs_key)
+    execution = current_execution()
+    jobs = jobs if jobs is not None else execution.jobs
+    if cache_dir is not None:
+        cache_dir = Path(cache_dir)
+    else:
+        cache_dir = execution.cache_dir
+
+    key = sweep_cache_key(
+        scenario, scale.sizes, scale.origins, config, seed, scenario_kwargs
+    )
     cached = _CACHE.get(key)
     if cached is not None:
+        execution.memory_hits += 1
         return cached
+    if cache_dir is not None:
+        path = _disk_path(cache_dir, key)
+        if path.exists():
+            try:
+                result = load_sweep(path)
+            except SerializationError:
+                pass  # corrupt or stale entry: fall through and recompute
+            else:
+                execution.disk_hits += 1
+                _CACHE[key] = result
+                return result
+
     result = run_growth_sweep(
         scenario,
         sizes=scale.sizes,
@@ -41,16 +213,28 @@ def cached_sweep(
         seed=seed,
         scenario_kwargs=scenario_kwargs,
         progress=progress,
+        jobs=jobs,
+        origin_batch_size=execution.origin_batch_size,
+    )
+    execution.misses += 1
+    execution.worker_seconds += sum(
+        stats.wall_clock_seconds for stats in result.stats
     )
     _CACHE[key] = result
+    if cache_dir is not None:
+        try:
+            cache_dir.mkdir(parents=True, exist_ok=True)
+            save_sweep(result, _disk_path(cache_dir, key))
+        except OSError:
+            pass  # a read-only cache dir must not fail the sweep
     return result
 
 
 def clear_cache() -> None:
-    """Drop all memoized sweeps (tests use this for isolation)."""
+    """Drop all in-process memoized sweeps (tests use this for isolation)."""
     _CACHE.clear()
 
 
 def cache_size() -> int:
-    """Number of memoized sweeps."""
+    """Number of in-process memoized sweeps."""
     return len(_CACHE)

@@ -13,6 +13,7 @@ import time
 from pathlib import Path
 from typing import List, Optional, Union
 
+from repro.experiments.cache import sweep_execution
 from repro.experiments.registry import experiment_ids, run_experiment
 from repro.experiments.report import ExperimentResult
 from repro.experiments.results_io import save_results
@@ -28,11 +29,24 @@ class CampaignSummary:
     results: List[ExperimentResult]
     wall_clock_seconds: float
     output_dir: Optional[Path]
+    #: sweep workers used (None = serial, the historical behaviour)
+    jobs: Optional[int] = None
+    #: aggregate simulation time across all sweep workers
+    worker_seconds: float = 0.0
+    #: sweeps answered from the in-process or on-disk cache
+    cache_hits: int = 0
 
     @property
     def passed(self) -> bool:
         """Whether every shape check of every experiment passed."""
         return all(result.passed for result in self.results)
+
+    @property
+    def speedup(self) -> float:
+        """Worker-seconds per wall-clock second (parallel + cache gain)."""
+        if self.wall_clock_seconds <= 0:
+            return 0.0
+        return self.worker_seconds / self.wall_clock_seconds
 
     @property
     def check_counts(self) -> tuple[int, int]:
@@ -52,6 +66,11 @@ class CampaignSummary:
             f"{passed}/{total} checks passed "
             f"in {self.wall_clock_seconds:.0f}s"
         ]
+        lines.append(
+            f"  execution: jobs={self.jobs if self.jobs else 1}, "
+            f"{self.worker_seconds:.1f}s worker simulation time, "
+            f"{self.speedup:.1f}x speedup, {self.cache_hits} sweep cache hit(s)"
+        )
         for result in self.results:
             status = "PASS" if result.passed else "FAIL"
             lines.append(f"  [{status}] {result.experiment_id}: {result.title}")
@@ -65,6 +84,8 @@ def run_campaign(
     include_extensions: bool = False,
     output_dir: Optional[Union[str, Path]] = None,
     echo=None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> CampaignSummary:
     """Run all registered experiments; optionally persist the artifacts.
 
@@ -72,22 +93,31 @@ def run_campaign(
     every result), ``campaign.json`` (raw series + checks, reloadable via
     :func:`repro.experiments.results_io.load_results`) and
     ``summary.txt``.
+
+    ``jobs`` fans each sweep out over that many worker processes and
+    ``cache_dir`` enables the persistent sweep cache; neither changes any
+    measured number (``campaign.json`` is byte-identical for every
+    ``jobs`` value and for cold vs warm caches).
     """
     scale = scale if scale is not None else get_scale()
     started = time.monotonic()
     results: List[ExperimentResult] = []
-    for experiment_id in experiment_ids(include_extensions=include_extensions):
-        result = run_experiment(experiment_id, scale, seed=seed)
-        results.append(result)
-        if echo is not None:
-            echo(result.to_text())
-            echo("")
+    with sweep_execution(jobs=jobs, cache_dir=cache_dir) as execution:
+        for experiment_id in experiment_ids(include_extensions=include_extensions):
+            result = run_experiment(experiment_id, scale, seed=seed)
+            results.append(result)
+            if echo is not None:
+                echo(result.to_text())
+                echo("")
     summary = CampaignSummary(
         scale=scale.name,
         seed=seed,
         results=results,
         wall_clock_seconds=time.monotonic() - started,
         output_dir=Path(output_dir) if output_dir is not None else None,
+        jobs=jobs,
+        worker_seconds=execution.worker_seconds,
+        cache_hits=execution.cache_hits,
     )
     if summary.output_dir is not None:
         summary.output_dir.mkdir(parents=True, exist_ok=True)

@@ -86,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with 'all': also run the ext-* extension studies",
     )
+    _add_execution_options(run_parser)
 
     campaign_parser = sub.add_parser(
         "campaign", help="run all experiments and persist md/json/summary"
@@ -96,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--seed", type=int, default=0)
     campaign_parser.add_argument("-o", "--output", type=Path, required=True)
     campaign_parser.add_argument("--extensions", action="store_true")
+    _add_execution_options(campaign_parser)
 
     topo = sub.add_parser("topology", help="generate / inspect topologies")
     topo_sub = topo.add_subparsers(dest="topology_command", required=True)
@@ -144,6 +146,30 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--seed", type=int, default=0)
     _add_bgp_options(workload)
     return parser
+
+
+def _add_execution_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan sweeps out over N worker processes (results are "
+            "bit-identical to a serial run; default: serial)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "persistent sweep cache directory: completed sweeps are "
+            "stored as JSON and reused by later runs with the same "
+            "inputs and code version"
+        ),
+    )
 
 
 def _add_bgp_options(parser: argparse.ArgumentParser) -> None:
@@ -295,6 +321,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 include_extensions=args.extensions,
                 output_dir=args.output,
                 echo=print,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
             )
             print(summary.to_text())
             return 0 if summary.passed else 1
@@ -305,18 +333,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "workload":
             return _cmd_workload(args)
         # run
+        from repro.experiments.cache import sweep_execution
+
         scale = get_scale(args.scale)
-        if args.experiment.lower() == "all":
-            results = run_all(
-                scale,
-                seed=args.seed,
-                echo=print,
-                include_extensions=args.extensions,
-            )
-        else:
-            result = run_experiment(args.experiment, scale, seed=args.seed)
-            print(result.to_text())
-            results = [result]
+        with sweep_execution(jobs=args.jobs, cache_dir=args.cache_dir):
+            if args.experiment.lower() == "all":
+                results = run_all(
+                    scale,
+                    seed=args.seed,
+                    echo=print,
+                    include_extensions=args.extensions,
+                )
+            else:
+                result = run_experiment(args.experiment, scale, seed=args.seed)
+                print(result.to_text())
+                results = [result]
         if args.plot:
             from repro.experiments.plot import render_result
 

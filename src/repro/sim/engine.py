@@ -75,7 +75,13 @@ class Engine:
         events stay queued); ``max_events`` bounds the number of events
         executed by *this call* and raises
         :class:`~repro.errors.ConvergenceError` when exhausted.
+
+        A horizon in the past is clamped to the present: the clock never
+        moves backwards, so relative scheduling stays consistent across
+        repeated ``run(until=...)`` calls.
         """
+        if until is not None:
+            until = max(until, self.now)
         executed = 0
         while self._queue:
             if until is not None and self._queue[0][0] > until:
@@ -94,7 +100,13 @@ class Engine:
             self.now = until
 
     def reset(self) -> None:
-        """Drop all pending events and rewind the clock to zero."""
+        """Drop all pending events and rewind the clock to zero.
+
+        Also restarts the FIFO tie-break counter so a reset engine
+        schedules events in exactly the same order as a freshly built one
+        (the bit-reproducibility guarantee from the module docstring).
+        """
         self._queue.clear()
         self.now = 0.0
+        self._sequence = itertools.count()
         self.executed_events = 0

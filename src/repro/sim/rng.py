@@ -9,8 +9,16 @@ stream reproducible and uncorrelated without global state.
 from __future__ import annotations
 
 import random
+from typing import Tuple
 
 from repro.bgp.route import stable_hash
+
+#: Stream labels used by the sweep executor.  These are part of the
+#: reproducibility contract: recorded campaigns and on-disk sweep caches
+#: depend on them, so they must never be renumbered.
+STREAM_TOPOLOGY = 1
+STREAM_SIMULATION = 2
+STREAM_ORIGIN_BATCH = 3
 
 
 def derive_seed(master_seed: int, *labels: int) -> int:
@@ -21,3 +29,26 @@ def derive_seed(master_seed: int, *labels: int) -> int:
 def derive_rng(master_seed: int, *labels: int) -> random.Random:
     """A fresh :class:`random.Random` for the labelled stream."""
     return random.Random(derive_seed(master_seed, *labels))
+
+
+def sweep_point_seeds(master_seed: int, n: int) -> Tuple[int, int]:
+    """(topology, simulation) seeds for one ``n`` of a growth sweep.
+
+    Centralized so every executor — serial, parallel, cached — draws the
+    exact same streams for the same ``(master_seed, n)`` point.
+    """
+    return (
+        derive_seed(master_seed, n, STREAM_TOPOLOGY),
+        derive_seed(master_seed, n, STREAM_SIMULATION),
+    )
+
+
+def origin_batch_seed(sim_seed: int, batch_index: int, num_batches: int) -> int:
+    """Simulator seed for one origin batch of a sweep point.
+
+    The single-batch case reuses ``sim_seed`` unchanged so an unbatched
+    sweep is bit-identical to the historical serial implementation.
+    """
+    if num_batches == 1:
+        return sim_seed
+    return derive_seed(sim_seed, STREAM_ORIGIN_BATCH, batch_index)

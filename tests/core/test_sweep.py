@@ -3,12 +3,29 @@
 import pytest
 
 from repro.bgp.config import BGPConfig
-from repro.core.sweep import SweepResult, run_growth_sweep, run_scenario_comparison
+from repro.core.sweep import (
+    SweepResult,
+    SweepUnit,
+    execute_sweep_unit,
+    run_growth_sweep,
+    run_scenario_comparison,
+    split_origins,
+)
 from repro.errors import ExperimentError
 from repro.topology.types import NodeType, Relationship
 
 FAST = BGPConfig(mrai=1.0, link_delay=0.001, processing_time_max=0.01)
 SIZES = (80, 160)
+
+
+def measured_numbers(sweep):
+    """Every deterministic quantity of a sweep (timings excluded)."""
+    from repro.experiments.results_io import sweep_result_to_dict
+
+    data = sweep_result_to_dict(sweep)
+    for stats in data["stats"]:
+        del stats["wall_clock_seconds"]
+    return data
 
 
 class TestRunGrowthSweep:
@@ -77,6 +94,110 @@ class TestRunGrowthSweep:
         a = run_growth_sweep("BASELINE", sizes=(80,), config=FAST, num_origins=2, seed=5)
         b = run_growth_sweep("BASELINE", sizes=(80,), config=FAST, num_origins=2, seed=5)
         assert a.u_series(NodeType.T) == b.u_series(NodeType.T)
+
+
+class TestParallelExecution:
+    """Serial vs parallel sweeps must be bit-identical."""
+
+    def test_jobs_do_not_change_results(self):
+        kwargs = dict(sizes=SIZES, config=FAST, num_origins=3, seed=2)
+        serial = run_growth_sweep("BASELINE", **kwargs)
+        parallel = run_growth_sweep("BASELINE", jobs=4, **kwargs)
+        assert measured_numbers(parallel) == measured_numbers(serial)
+
+    def test_jobs_do_not_change_batched_results(self):
+        kwargs = dict(
+            sizes=SIZES, config=FAST, num_origins=4, seed=2, origin_batch_size=2
+        )
+        serial = run_growth_sweep("BASELINE", **kwargs)
+        parallel = run_growth_sweep("BASELINE", jobs=4, **kwargs)
+        assert measured_numbers(parallel) == measured_numbers(serial)
+
+    def test_default_path_matches_jobs_one(self):
+        kwargs = dict(sizes=(80,), config=FAST, num_origins=2, seed=3)
+        assert measured_numbers(
+            run_growth_sweep("BASELINE", **kwargs)
+        ) == measured_numbers(run_growth_sweep("BASELINE", jobs=1, **kwargs))
+
+    def test_batched_merge_preserves_origin_set(self):
+        kwargs = dict(sizes=(80,), config=FAST, num_origins=4, seed=2)
+        unbatched = run_growth_sweep("BASELINE", **kwargs)
+        batched = run_growth_sweep("BASELINE", origin_batch_size=2, **kwargs)
+        assert batched.stats[0].origins == unbatched.stats[0].origins
+        assert batched.stats[0].per_type.keys() == unbatched.stats[0].per_type.keys()
+
+    def test_progress_callback_order_under_parallelism(self):
+        seen = []
+        run_growth_sweep(
+            "BASELINE",
+            sizes=SIZES,
+            config=FAST,
+            num_origins=2,
+            seed=1,
+            jobs=2,
+            progress=lambda scenario, n, stats: seen.append(n),
+        )
+        assert seen == list(SIZES)
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_growth_sweep(
+                "BASELINE", sizes=(80,), config=FAST, num_origins=1, jobs=-1
+            )
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_growth_sweep(
+                "BASELINE",
+                sizes=(80,),
+                config=FAST,
+                num_origins=1,
+                origin_batch_size=0,
+            )
+
+
+class TestSweepUnits:
+    def test_split_origins_contiguous_and_complete(self):
+        origins = [1, 2, 3, 4, 5, 6, 7]
+        batches = split_origins(origins, 3)
+        assert batches == [[1, 2, 3], [4, 5], [6, 7]]
+        assert split_origins(origins, 1) == [origins]
+        # More batches than origins: trailing batches are empty but legal.
+        assert split_origins([1], 3) == [[1], [], []]
+
+    def test_unit_is_picklable_and_deterministic(self):
+        import pickle
+
+        unit = SweepUnit(
+            scenario="BASELINE",
+            n=80,
+            num_origins=2,
+            batch_index=0,
+            num_batches=1,
+            seed=1,
+            config=FAST,
+            scenario_kwargs=(),
+        )
+        clone = pickle.loads(pickle.dumps(unit))
+        a = execute_sweep_unit(unit)
+        b = execute_sweep_unit(clone)
+        assert a.origins == b.origins
+        assert a.raw.events == b.raw.events
+        assert a.raw.total_updates == b.raw.total_updates
+        assert a.measured_messages == b.measured_messages
+
+    def test_unit_batch_index_validated(self):
+        with pytest.raises(ExperimentError):
+            SweepUnit(
+                scenario="BASELINE",
+                n=80,
+                num_origins=2,
+                batch_index=2,
+                num_batches=2,
+                seed=1,
+                config=FAST,
+                scenario_kwargs=(),
+            )
 
 
 class TestComparison:

@@ -1,7 +1,18 @@
-"""Tests for sweep memoization."""
+"""Tests for sweep memoization (in-process and on-disk)."""
+
+import pytest
 
 from repro.bgp.config import BGPConfig
-from repro.experiments.cache import cache_size, cached_sweep, clear_cache
+from repro.experiments import cache
+from repro.experiments.cache import (
+    cache_size,
+    cached_sweep,
+    clear_cache,
+    current_execution,
+    sweep_cache_key,
+    sweep_execution,
+)
+from repro.experiments.results_io import sweep_result_to_dict
 from repro.experiments.scale import Scale
 
 FAST = BGPConfig(mrai=1.0, link_delay=0.001, processing_time_max=0.01)
@@ -46,3 +57,126 @@ class TestCachedSweep:
         cached_sweep("BASELINE", TINY, config=FAST, seed=1)
         clear_cache()
         assert cache_size() == 0
+
+
+class TestCanonicalKey:
+    """Regression: keys were built from raw (possibly unhashable) values."""
+
+    def test_unhashable_kwargs_are_legal(self):
+        key = sweep_cache_key(
+            "BASELINE",
+            (80,),
+            1,
+            FAST,
+            0,
+            {"weights": [1, 2, 3], "table": {"a": 1}},
+        )
+        assert isinstance(key, str) and len(key) == 64
+
+    def test_key_is_stable_across_equal_inputs(self):
+        a = sweep_cache_key("BASELINE", (80,), 1, FAST, 0, {"x": [1, 2]})
+        b = sweep_cache_key("baseline", [80], 1, BGPConfig(
+            mrai=1.0, link_delay=0.001, processing_time_max=0.01
+        ), 0, {"x": [1, 2]})
+        assert a == b
+
+    def test_key_depends_on_every_input(self):
+        base = sweep_cache_key("BASELINE", (80,), 1, FAST, 0, None)
+        assert base != sweep_cache_key("TREE", (80,), 1, FAST, 0, None)
+        assert base != sweep_cache_key("BASELINE", (80, 160), 1, FAST, 0, None)
+        assert base != sweep_cache_key("BASELINE", (80,), 2, FAST, 0, None)
+        assert base != sweep_cache_key(
+            "BASELINE", (80,), 1, FAST.replace(wrate=True), 0, None
+        )
+        assert base != sweep_cache_key("BASELINE", (80,), 1, FAST, 1, None)
+        assert base != sweep_cache_key("BASELINE", (80,), 1, FAST, 0, {"k": 1})
+
+    def test_kwargs_order_is_irrelevant(self):
+        a = sweep_cache_key("BASELINE", (80,), 1, FAST, 0, {"a": 1, "b": 2})
+        b = sweep_cache_key("BASELINE", (80,), 1, FAST, 0, {"b": 2, "a": 1})
+        assert a == b
+
+    def test_mutating_kwargs_after_keying_is_safe(self):
+        kwargs = {"weights": [1, 2]}
+        before = sweep_cache_key("BASELINE", (80,), 1, FAST, 0, kwargs)
+        kwargs["weights"].append(3)
+        after = sweep_cache_key("BASELINE", (80,), 1, FAST, 0, kwargs)
+        assert before != after
+
+
+class TestDiskCache:
+    def setup_method(self):
+        clear_cache()
+
+    def teardown_method(self):
+        clear_cache()
+
+    def test_miss_writes_entry(self, tmp_path):
+        cached_sweep("BASELINE", TINY, config=FAST, seed=1, cache_dir=tmp_path)
+        assert list(tmp_path.glob("sweep-*.json"))
+
+    def test_warm_cache_skips_simulation(self, tmp_path, monkeypatch):
+        first = cached_sweep("BASELINE", TINY, config=FAST, seed=1, cache_dir=tmp_path)
+        clear_cache()  # drop the in-process layer, keep the disk layer
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cache miss: simulation re-ran")
+
+        monkeypatch.setattr(cache, "run_growth_sweep", boom)
+        second = cached_sweep(
+            "BASELINE", TINY, config=FAST, seed=1, cache_dir=tmp_path
+        )
+        assert sweep_result_to_dict(second) == sweep_result_to_dict(first)
+
+    def test_different_inputs_do_not_collide(self, tmp_path):
+        cached_sweep("BASELINE", TINY, config=FAST, seed=1, cache_dir=tmp_path)
+        clear_cache()
+        cached_sweep("BASELINE", TINY, config=FAST, seed=2, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("sweep-*.json"))) == 2
+
+    def test_corrupt_entry_recomputes(self, tmp_path):
+        cached_sweep("BASELINE", TINY, config=FAST, seed=1, cache_dir=tmp_path)
+        clear_cache()
+        for path in tmp_path.glob("sweep-*.json"):
+            path.write_text("{ not json", encoding="utf-8")
+        result = cached_sweep(
+            "BASELINE", TINY, config=FAST, seed=1, cache_dir=tmp_path
+        )
+        assert result.sizes == [80]
+
+    def test_disk_round_trip_is_exact(self, tmp_path):
+        first = cached_sweep("BASELINE", TINY, config=FAST, seed=1, cache_dir=tmp_path)
+        clear_cache()
+        second = cached_sweep(
+            "BASELINE", TINY, config=FAST, seed=1, cache_dir=tmp_path
+        )
+        assert sweep_result_to_dict(second) == sweep_result_to_dict(first)
+        assert second.config == first.config
+
+
+class TestSweepExecutionContext:
+    def setup_method(self):
+        clear_cache()
+
+    def teardown_method(self):
+        clear_cache()
+
+    def test_context_supplies_cache_dir_and_counts(self, tmp_path):
+        with sweep_execution(cache_dir=tmp_path) as execution:
+            cached_sweep("BASELINE", TINY, config=FAST, seed=1)
+            cached_sweep("BASELINE", TINY, config=FAST, seed=1)
+            assert execution.misses == 1
+            assert execution.memory_hits == 1
+            assert execution.worker_seconds > 0
+        clear_cache()
+        with sweep_execution(cache_dir=tmp_path) as execution:
+            cached_sweep("BASELINE", TINY, config=FAST, seed=1)
+            assert execution.disk_hits == 1
+            assert execution.cache_hits == 1
+            assert execution.misses == 0
+
+    def test_context_restored_after_block(self, tmp_path):
+        outer = current_execution()
+        with sweep_execution(jobs=2, cache_dir=tmp_path):
+            assert current_execution().jobs == 2
+        assert current_execution() is outer

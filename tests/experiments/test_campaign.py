@@ -57,3 +57,44 @@ class TestRunCampaign:
     def test_wall_clock_recorded(self, campaign):
         summary, _ = campaign
         assert summary.wall_clock_seconds > 0
+
+    def test_worker_seconds_recorded(self, campaign):
+        summary, _ = campaign
+        assert summary.worker_seconds > 0
+        assert "execution: jobs=1" in summary.to_text()
+
+
+class TestParallelCampaign:
+    """Tier-1 smoke: a tiny 2-job campaign with a persistent cache."""
+
+    def test_two_job_campaign_matches_serial(self, campaign, tmp_path):
+        _, serial_output = campaign
+        cache.clear_cache()
+        output = tmp_path / "parallel"
+        summary = run_campaign(
+            TINY, seed=5, output_dir=output, jobs=2, cache_dir=tmp_path / "cache"
+        )
+        cache.clear_cache()
+        assert summary.jobs == 2
+        # The acceptance bar: parallel execution changes no measured number,
+        # so the persisted artifact is byte-identical to the serial run's.
+        assert (output / "campaign.json").read_bytes() == (
+            serial_output / "campaign.json"
+        ).read_bytes()
+
+    def test_warm_cache_campaign_reuses_sweeps(self, campaign, tmp_path):
+        _, serial_output = campaign
+        cache_dir = tmp_path / "cache"
+        cache.clear_cache()
+        cold = run_campaign(TINY, seed=5, cache_dir=cache_dir)
+        cache.clear_cache()
+        warm = run_campaign(
+            TINY, seed=5, output_dir=tmp_path / "warm", cache_dir=cache_dir
+        )
+        cache.clear_cache()
+        assert cold.worker_seconds > 0  # cold run actually simulated
+        assert warm.cache_hits > 0
+        assert warm.worker_seconds == 0.0  # nothing was re-simulated
+        assert (tmp_path / "warm" / "campaign.json").read_bytes() == (
+            serial_output / "campaign.json"
+        ).read_bytes()

@@ -23,6 +23,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig04", "--scale", "galactic"])
 
+    def test_execution_options(self, tmp_path):
+        args = build_parser().parse_args(
+            ["campaign", "-o", "out", "--jobs", "4", "--cache-dir", str(tmp_path)]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == tmp_path
+        args = build_parser().parse_args(["run", "fig04", "--jobs", "2"])
+        assert args.jobs == 2
+        assert args.cache_dir is None
+
+    def test_execution_options_default_off(self):
+        args = build_parser().parse_args(["campaign", "-o", "out"])
+        assert args.jobs is None
+        assert args.cache_dir is None
+
 
 class TestMain:
     def test_list(self, capsys):

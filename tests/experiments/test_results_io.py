@@ -2,13 +2,21 @@
 
 import pytest
 
+from repro.bgp.config import BGPConfig, MRAIMode, SendDiscipline
+from repro.core.sweep import run_growth_sweep
 from repro.errors import SerializationError
 from repro.experiments.report import ExperimentResult
 from repro.experiments.results_io import (
+    config_from_dict,
+    config_to_dict,
     load_results,
+    load_sweep,
     result_from_dict,
     result_to_dict,
     save_results,
+    save_sweep,
+    sweep_result_from_dict,
+    sweep_result_to_dict,
 )
 
 
@@ -42,6 +50,77 @@ class TestRoundTrip:
         loaded = load_results(path)
         assert [r.experiment_id for r in loaded] == ["fig01", "fig02"]
         assert loaded[0].to_text() == results[0].to_text()
+
+
+class TestConfigRoundTrip:
+    def test_default_config(self):
+        config = BGPConfig()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_non_default_config(self):
+        config = BGPConfig(
+            mrai=5.0,
+            wrate=True,
+            jitter_low=0.5,
+            jitter_high=0.9,
+            mrai_mode=MRAIMode.PER_PREFIX,
+            discipline=SendDiscipline.SEND_FIRST,
+            processing_time_max=0.02,
+            link_delay=0.001,
+        )
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_malformed_config(self):
+        with pytest.raises(SerializationError):
+            config_from_dict({"mrai": 1.0})
+
+
+class TestSweepRoundTrip:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        fast = BGPConfig(mrai=1.0, link_delay=0.001, processing_time_max=0.01)
+        return run_growth_sweep(
+            "BASELINE", sizes=(80,), config=fast, num_origins=2, seed=1
+        )
+
+    def test_dict_round_trip_is_exact(self, sweep):
+        rebuilt = sweep_result_from_dict(sweep_result_to_dict(sweep))
+        # Exact — every float, list and config knob survives unchanged.
+        assert sweep_result_to_dict(rebuilt) == sweep_result_to_dict(sweep)
+        assert rebuilt.scenario == sweep.scenario
+        assert rebuilt.sizes == sweep.sizes
+        assert rebuilt.config == sweep.config
+        assert rebuilt.stats[0].per_type == sweep.stats[0].per_type
+        assert rebuilt.stats[0].origins == sweep.stats[0].origins
+
+    def test_file_round_trip_is_exact(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        loaded = load_sweep(path)
+        assert sweep_result_to_dict(loaded) == sweep_result_to_dict(sweep)
+
+    def test_series_extractors_survive(self, sweep, tmp_path):
+        from repro.topology.types import NodeType, Relationship
+
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        loaded = load_sweep(path)
+        assert loaded.u_series(NodeType.T) == sweep.u_series(NodeType.T)
+        assert loaded.m_series(NodeType.T, Relationship.CUSTOMER) == sweep.m_series(
+            NodeType.T, Relationship.CUSTOMER
+        )
+
+    def test_wrong_sweep_version(self, sweep):
+        data = sweep_result_to_dict(sweep)
+        data["format_version"] = 99
+        with pytest.raises(SerializationError, match="version"):
+            sweep_result_from_dict(data)
+
+    def test_corrupt_sweep_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            load_sweep(path)
 
 
 class TestErrors:

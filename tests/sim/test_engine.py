@@ -110,6 +110,61 @@ class TestRunControl:
         assert engine.pending_events == 0
         assert engine.executed_events == 0
 
+    def test_run_until_past_never_rewinds_clock(self):
+        """Regression: run(until=t) with t < now must not move time backwards."""
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        assert engine.now == 5.0
+        engine.run(until=1.0)
+        assert engine.now == 5.0
+        # Relative scheduling after the no-op run still works from t=5.
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [6.0]
+
+    def test_run_until_past_with_pending_events(self):
+        """A past horizon executes nothing and leaves the queue intact."""
+        engine = Engine()
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        engine.schedule(3.0, lambda: None)  # fires at t=5
+        engine.run(until=1.0)
+        assert engine.now == 2.0
+        assert engine.pending_events == 1
+        engine.run()
+        assert engine.now == 5.0
+
+    def test_reset_restores_tie_break_order(self):
+        """Regression: reset() must restart the FIFO sequence counter.
+
+        A reset engine has to schedule same-time events in exactly the
+        order a fresh engine would (the bit-reproducibility guarantee).
+        """
+
+        def event_order(engine):
+            order = []
+            for label in "abcde":
+                engine.schedule(1.0, lambda lbl=label: order.append(lbl))
+            engine.run()
+            return order
+
+        fresh = Engine()
+        used = Engine()
+        event_order(used)  # consume some sequence numbers
+        used.reset()
+        assert event_order(used) == event_order(fresh)
+
+    def test_reset_sequence_counter_restarts(self):
+        engine = Engine()
+        for _ in range(3):
+            engine.schedule(1.0, lambda: None)
+        engine.run()
+        engine.reset()
+        engine.schedule(1.0, lambda: None)
+        assert engine._queue[0][1] == 0
+
 
 class TestEngineProperties:
     @given(
