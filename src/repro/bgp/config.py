@@ -15,7 +15,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 
-from repro.errors import ParameterError
+from repro.errors import ParameterError, SerializationError
 
 
 class SendDiscipline(enum.Enum):
@@ -123,6 +123,42 @@ class BGPConfig:
     def replace(self, **changes: object) -> "BGPConfig":
         """Return a copy with the given fields replaced (validated)."""
         return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (enums as their values).
+
+        Shared by the sweep cache, result files and checkpoints, so the
+        on-disk representation of a config is identical everywhere.
+        """
+        return {
+            "mrai": self.mrai,
+            "wrate": self.wrate,
+            "jitter_low": self.jitter_low,
+            "jitter_high": self.jitter_high,
+            "mrai_mode": self.mrai_mode.value,
+            "discipline": self.discipline.value,
+            "processing_time_max": self.processing_time_max,
+            "link_delay": self.link_delay,
+            "damping": dataclasses.asdict(self.damping),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BGPConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        try:
+            return cls(
+                mrai=data["mrai"],
+                wrate=bool(data["wrate"]),
+                jitter_low=data["jitter_low"],
+                jitter_high=data["jitter_high"],
+                mrai_mode=MRAIMode(data["mrai_mode"]),
+                discipline=SendDiscipline(data["discipline"]),
+                processing_time_max=data["processing_time_max"],
+                link_delay=data["link_delay"],
+                damping=DampingConfig(**data["damping"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"malformed config document: {exc}") from exc
 
 
 #: The two MRAI implementations the paper contrasts (Sec. 2 / Sec. 6).

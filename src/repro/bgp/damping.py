@@ -105,6 +105,23 @@ class RouteFlapDamper:
         wait = self._config.half_life * math.log2(penalty / self._config.reuse_threshold)
         return min(wait, max(0.0, self._config.max_suppress_time - (now - record.last_update)))
 
+    def dump_state(self) -> list:
+        """All penalty records in insertion order (checkpointing)."""
+        return [
+            [neighbor, prefix, record.penalty, record.last_update, record.suppressed]
+            for (neighbor, prefix), record in self._records.items()
+        ]
+
+    def load_state(self, state: list) -> None:
+        """Install records previously captured by :meth:`dump_state`."""
+        self._records = {}
+        for neighbor, prefix, penalty, last_update, suppressed in state:
+            record = PenaltyRecord()
+            record.penalty = penalty
+            record.last_update = last_update
+            record.suppressed = suppressed
+            self._records[(neighbor, prefix)] = record
+
     def penalty(self, neighbor: int, prefix: int, now: float) -> float:
         """Current decayed penalty (0 when no record exists)."""
         record = self._records.get((neighbor, prefix))

@@ -77,6 +77,27 @@ class OutputChannel:
         self._interface_gate = 0.0
         self._prefix_gates.clear()
 
+    def dump_state(self) -> dict:
+        """The channel's mutable state (checkpointing).
+
+        ``sent`` distinguishes explicitly-withdrawn prefixes (``None``
+        entries) from never-advertised ones (absent), so the dicts are
+        copied as-is, preserving both presence and insertion order.
+        """
+        return {
+            "sent": dict(self._sent),
+            "pending": dict(self._pending),
+            "interface_gate": self._interface_gate,
+            "prefix_gates": dict(self._prefix_gates),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install a state previously captured by :meth:`dump_state`."""
+        self._sent = dict(state["sent"])
+        self._pending = dict(state["pending"])
+        self._interface_gate = state["interface_gate"]
+        self._prefix_gates = dict(state["prefix_gates"])
+
     # ------------------------------------------------------------------
     # Main entry points
     # ------------------------------------------------------------------

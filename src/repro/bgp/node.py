@@ -29,6 +29,7 @@ from repro.bgp.policy import exportable
 from repro.bgp.rib import AdjRIBIn, LocRIB
 from repro.bgp.route import Route, import_route, local_route
 from repro.errors import SimulationError
+from repro.bgp.events import DampingReuseCheck, MRAIWakeup, ServiceCompletion
 from repro.topology.types import NodeType, Relationship
 
 TransmitFn = Callable[[UpdateMessage, float], None]
@@ -127,7 +128,7 @@ class BGPNode:
         self._busy = True
         delay = self._rng.uniform(0.0, self._config.processing_time_max)
         self.busy_time += delay
-        self._engine.schedule(delay, self._complete_service)
+        self._engine.schedule(delay, ServiceCompletion(self))
 
     def _complete_service(self) -> None:
         now = self._engine.now
@@ -178,7 +179,7 @@ class BGPNode:
         if self._damper.is_suppressed(sender, prefix, now):
             wait = self._damper.time_until_reuse(sender, prefix, now)
             if wait is not None and wait > 0:
-                self._engine.schedule(wait, lambda: self._reuse_check(prefix))
+                self._engine.schedule(wait, DampingReuseCheck(self, prefix))
 
     def _reuse_check(self, prefix: int) -> None:
         """Re-run the decision once a damped route may be reusable."""
@@ -274,7 +275,7 @@ class BGPNode:
         if scheduled is not None and scheduled <= at:
             return
         self._wakeup_at[neighbor] = at
-        self._engine.schedule_at(at, lambda: self._mrai_wakeup(neighbor, at))
+        self._engine.schedule_at(at, MRAIWakeup(self, neighbor, at))
 
     def _mrai_wakeup(self, neighbor: int, at: float) -> None:
         if self._wakeup_at[neighbor] != at:
@@ -286,6 +287,71 @@ class BGPNode:
             self._transmit(message, now)
         if next_wakeup is not None:
             self._schedule_wakeup(neighbor, next_wakeup)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Everything that distinguishes this node from a freshly built one.
+
+        Returns live Python objects (routes, messages, RNG state tuples);
+        :mod:`repro.checkpoint` converts them to JSON primitives.  The
+        counterpart of :meth:`restore_state`.
+        """
+        return {
+            "rng_state": self._rng.getstate(),
+            "in_queue": list(self._in_queue),
+            "busy": self._busy,
+            "adj_rib_in": self.adj_rib_in.entries(),
+            "loc_rib": self.loc_rib.entries(),
+            "local_prefixes": list(self._local_routes),
+            "channels": {
+                neighbor: channel.dump_state()
+                for neighbor, channel in self._channels.items()
+            },
+            "wakeup_at": dict(self._wakeup_at),
+            "down_neighbors": sorted(self._down_neighbors),
+            "damper": self._damper.dump_state(),
+            "processed_count": self.processed_count,
+            "busy_time": self.busy_time,
+            "max_queue_length": self.max_queue_length,
+            "best_change_count": dict(self.best_change_count),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite this (freshly built) node with a checkpointed state.
+
+        Dict insertion orders are reproduced exactly, because iteration
+        order feeds float-summation and decision order downstream — the
+        basis of the restored-run byte-identity guarantee.
+        """
+        self._rng.setstate(state["rng_state"])
+        self._in_queue = collections.deque(state["in_queue"])
+        self._busy = state["busy"]
+        self.adj_rib_in = AdjRIBIn()
+        for prefix, neighbor, route in state["adj_rib_in"]:
+            self.adj_rib_in.update(prefix, neighbor, route)
+        self.loc_rib = LocRIB()
+        for prefix, route in state["loc_rib"]:
+            self.loc_rib.install(prefix, route)
+        self._local_routes = {
+            prefix: local_route(prefix) for prefix in state["local_prefixes"]
+        }
+        for neighbor, channel_state in state["channels"].items():
+            if neighbor not in self._channels:
+                raise SimulationError(
+                    f"checkpoint has channel to {neighbor}, which node "
+                    f"{self.node_id} does not know"
+                )
+            self._channels[neighbor].load_state(channel_state)
+        self._wakeup_at = {n: None for n in self.neighbors}
+        self._wakeup_at.update(state["wakeup_at"])
+        self._down_neighbors = set(state["down_neighbors"])
+        self._damper.load_state(state["damper"])
+        self.processed_count = state["processed_count"]
+        self.busy_time = state["busy_time"]
+        self.max_queue_length = state["max_queue_length"]
+        self.best_change_count = dict(state["best_change_count"])
 
     # ------------------------------------------------------------------
     # Introspection

@@ -58,6 +58,18 @@ class AdjRIBIn:
         """All prefixes for which ``neighbor`` currently advertises a route."""
         return [pfx for (pfx, nbr) in self._routes if nbr == neighbor]
 
+    def entries(self) -> List[Tuple[int, int, Route]]:
+        """All ``(prefix, neighbor, route)`` entries in insertion order.
+
+        Replaying them through :meth:`update` on an empty RIB reproduces
+        the exact internal dict order (checkpoint restore relies on this:
+        candidate iteration order feeds the decision process).
+        """
+        return [
+            (prefix, neighbor, route)
+            for (prefix, neighbor), route in self._routes.items()
+        ]
+
     def __len__(self) -> int:
         return len(self._routes)
 
@@ -86,6 +98,10 @@ class LocRIB:
     def prefixes(self) -> List[int]:
         """All prefixes with an installed route."""
         return list(self._best)
+
+    def entries(self) -> List[Tuple[int, Route]]:
+        """All ``(prefix, route)`` pairs in insertion order (checkpointing)."""
+        return list(self._best.items())
 
     def __len__(self) -> int:
         return len(self._best)

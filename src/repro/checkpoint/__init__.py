@@ -1,0 +1,49 @@
+"""Checkpoint/restore subsystem: resumable simulations and campaigns.
+
+Three layers, bottom-up:
+
+* :mod:`repro.checkpoint.format` — the versioned, content-hashed on-disk
+  envelope shared by every checkpoint kind;
+* :mod:`repro.checkpoint.network` — whole-:class:`SimNetwork` snapshot
+  and restore (engine heap, BGP state, RNG streams, counters), with the
+  guarantee that a restored run is byte-identical to an uninterrupted
+  one;
+* :mod:`repro.checkpoint.batch` — checkpointed execution of sweep work
+  units, the hook the fault-tolerant sweep executor and resumable
+  campaigns build on.
+"""
+
+from repro.checkpoint.format import (
+    FORMAT_VERSION,
+    KIND_CAMPAIGN,
+    KIND_NETWORK,
+    KIND_SWEEP_UNIT,
+    CheckpointDocument,
+    inspect_checkpoint,
+    read_checkpoint,
+    verify_checkpoint,
+    write_checkpoint,
+)
+from repro.checkpoint.network import restore_network, snapshot_network
+from repro.checkpoint.batch import (
+    execute_sweep_unit_checkpointed,
+    unit_checkpoint_key,
+    unit_checkpoint_path,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "KIND_CAMPAIGN",
+    "KIND_NETWORK",
+    "KIND_SWEEP_UNIT",
+    "CheckpointDocument",
+    "inspect_checkpoint",
+    "read_checkpoint",
+    "verify_checkpoint",
+    "write_checkpoint",
+    "restore_network",
+    "snapshot_network",
+    "execute_sweep_unit_checkpointed",
+    "unit_checkpoint_key",
+    "unit_checkpoint_path",
+]

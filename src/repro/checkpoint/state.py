@@ -1,0 +1,262 @@
+"""Converters between live simulator state and JSON-primitive payloads.
+
+:mod:`repro.bgp.node` and friends expose their mutable state as live
+Python objects (routes, messages, RNG state tuples) via
+``checkpoint_state``/``restore_state``; this module maps those to and
+from pure JSON primitives for the on-disk format.  Every dict is
+serialized as a list of pairs *in insertion order* — the simulator's
+float summations and decision tie-breaks iterate dicts, so a restored
+run must replay the exact insertion history, not just the same
+key/value sets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import List, Optional, Tuple
+
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.route import Route
+from repro.errors import CheckpointError
+from repro.topology.graph import ASGraph
+from repro.topology.types import Relationship
+
+
+# ----------------------------------------------------------------------
+# Scalars and small records
+# ----------------------------------------------------------------------
+def rng_state_to_json(state: tuple) -> list:
+    """``random.Random.getstate()`` → JSON list."""
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def rng_state_from_json(data: list) -> tuple:
+    """Inverse of :func:`rng_state_to_json` (exact ``setstate`` input)."""
+    version, internal, gauss_next = data
+    return (int(version), tuple(int(word) for word in internal), gauss_next)
+
+
+def path_to_json(path: Optional[Tuple[int, ...]]) -> Optional[list]:
+    return list(path) if path is not None else None
+
+
+def path_from_json(data: Optional[list]) -> Optional[Tuple[int, ...]]:
+    return tuple(int(hop) for hop in data) if data is not None else None
+
+
+def message_to_json(message: UpdateMessage) -> list:
+    return [
+        message.sender,
+        message.receiver,
+        message.prefix,
+        path_to_json(message.path),
+    ]
+
+
+def message_from_json(data: list) -> UpdateMessage:
+    sender, receiver, prefix, path = data
+    return UpdateMessage(
+        sender=int(sender),
+        receiver=int(receiver),
+        prefix=int(prefix),
+        path=path_from_json(path),
+    )
+
+
+def route_to_json(route: Route) -> list:
+    return [route.prefix, list(route.path), route.local_pref]
+
+
+def route_from_json(data: list) -> Route:
+    prefix, path, local_pref = data
+    return Route(
+        prefix=int(prefix),
+        path=tuple(int(hop) for hop in path),
+        local_pref=int(local_pref),
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-node state
+# ----------------------------------------------------------------------
+def node_state_to_json(state: dict) -> dict:
+    """Serialize one :meth:`BGPNode.checkpoint_state` result."""
+    return {
+        "rng": rng_state_to_json(state["rng_state"]),
+        "busy": state["busy"],
+        "in_queue": [message_to_json(m) for m in state["in_queue"]],
+        "adj_rib_in": [
+            [prefix, neighbor, route_to_json(route)]
+            for prefix, neighbor, route in state["adj_rib_in"]
+        ],
+        "loc_rib": [
+            [prefix, route_to_json(route)] for prefix, route in state["loc_rib"]
+        ],
+        "local_prefixes": list(state["local_prefixes"]),
+        "channels": [
+            [
+                neighbor,
+                {
+                    "sent": [
+                        [prefix, path_to_json(target)]
+                        for prefix, target in channel["sent"].items()
+                    ],
+                    "pending": [
+                        [prefix, path_to_json(target)]
+                        for prefix, target in channel["pending"].items()
+                    ],
+                    "interface_gate": channel["interface_gate"],
+                    "prefix_gates": list(
+                        [prefix, gate]
+                        for prefix, gate in channel["prefix_gates"].items()
+                    ),
+                },
+            ]
+            for neighbor, channel in state["channels"].items()
+        ],
+        "wakeup_at": [[n, at] for n, at in state["wakeup_at"].items()],
+        "down_neighbors": list(state["down_neighbors"]),
+        "damper": [list(record) for record in state["damper"]],
+        "processed_count": state["processed_count"],
+        "busy_time": state["busy_time"],
+        "max_queue_length": state["max_queue_length"],
+        "best_change_count": [
+            [prefix, count] for prefix, count in state["best_change_count"].items()
+        ],
+    }
+
+
+def node_state_from_json(data: dict) -> dict:
+    """Inverse of :func:`node_state_to_json` (``restore_state`` input)."""
+    try:
+        return {
+            "rng_state": rng_state_from_json(data["rng"]),
+            "busy": bool(data["busy"]),
+            "in_queue": [message_from_json(m) for m in data["in_queue"]],
+            "adj_rib_in": [
+                (int(prefix), int(neighbor), route_from_json(route))
+                for prefix, neighbor, route in data["adj_rib_in"]
+            ],
+            "loc_rib": [
+                (int(prefix), route_from_json(route))
+                for prefix, route in data["loc_rib"]
+            ],
+            "local_prefixes": [int(p) for p in data["local_prefixes"]],
+            "channels": {
+                int(neighbor): {
+                    "sent": {
+                        int(prefix): path_from_json(target)
+                        for prefix, target in channel["sent"]
+                    },
+                    "pending": {
+                        int(prefix): path_from_json(target)
+                        for prefix, target in channel["pending"]
+                    },
+                    "interface_gate": float(channel["interface_gate"]),
+                    "prefix_gates": {
+                        int(prefix): float(gate)
+                        for prefix, gate in channel["prefix_gates"]
+                    },
+                }
+                for neighbor, channel in data["channels"]
+            },
+            "wakeup_at": {
+                int(neighbor): (float(at) if at is not None else None)
+                for neighbor, at in data["wakeup_at"]
+            },
+            "down_neighbors": [int(n) for n in data["down_neighbors"]],
+            "damper": [
+                [int(neighbor), int(prefix), float(penalty), float(last), bool(sup)]
+                for neighbor, prefix, penalty, last, sup in data["damper"]
+            ],
+            "processed_count": int(data["processed_count"]),
+            "busy_time": float(data["busy_time"]),
+            "max_queue_length": int(data["max_queue_length"]),
+            "best_change_count": {
+                int(prefix): int(count)
+                for prefix, count in data["best_change_count"]
+            },
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed node state in checkpoint: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Measurement plane
+# ----------------------------------------------------------------------
+def counter_state_to_json(state: dict) -> dict:
+    """Serialize one :meth:`UpdateCounter.dump_state` result."""
+    return {
+        "enabled": state["enabled"],
+        "received": [list(pair) for pair in state["received"]],
+        "received_by_relationship": [
+            [receiver, relationship.value, count]
+            for receiver, relationship, count in state["received_by_relationship"]
+        ],
+        "received_by_pair": [list(row) for row in state["received_by_pair"]],
+        "announcements": [list(pair) for pair in state["announcements"]],
+        "withdrawals": [list(pair) for pair in state["withdrawals"]],
+        "total": state["total"],
+    }
+
+
+def counter_state_from_json(data: dict) -> dict:
+    """Inverse of :func:`counter_state_to_json` (``load_state`` input)."""
+    try:
+        return {
+            "enabled": bool(data["enabled"]),
+            "received": [
+                (int(node), int(count)) for node, count in data["received"]
+            ],
+            "received_by_relationship": [
+                (int(receiver), Relationship(relationship), int(count))
+                for receiver, relationship, count in (
+                    data["received_by_relationship"]
+                )
+            ],
+            "received_by_pair": [
+                (int(receiver), int(sender), int(count))
+                for receiver, sender, count in data["received_by_pair"]
+            ],
+            "announcements": [
+                (int(node), int(count)) for node, count in data["announcements"]
+            ],
+            "withdrawals": [
+                (int(node), int(count)) for node, count in data["withdrawals"]
+            ],
+            "total": int(data["total"]),
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed counter state in checkpoint: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Topology identity
+# ----------------------------------------------------------------------
+def topology_digest(graph: ASGraph) -> str:
+    """Content hash of a topology's structure.
+
+    A network snapshot is only restorable onto the graph it was captured
+    from; the digest catches scenario/seed mix-ups before they turn into
+    silently wrong simulations.
+    """
+    canon = [
+        graph.scenario,
+        [
+            [
+                node.node_id,
+                node.node_type.value,
+                sorted(
+                    [neighbor, relationship.value]
+                    for neighbor, relationship in graph.neighbors(
+                        node.node_id
+                    ).items()
+                ),
+            ]
+            for node in graph.nodes()
+        ],
+    ]
+    blob = json.dumps(canon, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import time as _time
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bgp.config import BGPConfig
 from repro.core.factors import (
@@ -116,6 +116,59 @@ class CEventBatchResult:
         return self.raw.events
 
 
+@dataclasses.dataclass
+class BatchCursor:
+    """Resumable position inside :func:`run_c_event_batch`.
+
+    Captures every piece of loop state the measurement accumulates, at the
+    boundary between two origins (the network's event heap is empty there:
+    each phase runs to convergence before the next origin starts).  The
+    checkpoint subsystem snapshots a cursor after each measured event and
+    can hand a rebuilt one back to :func:`run_c_event_batch` to continue
+    the batch byte-identically.
+
+    ``prior_wall_clock`` carries the elapsed time of earlier (interrupted)
+    runs of the same batch; ``started`` is the monotonic time of the
+    current loop (re-)entry.  Wall-clock time is the one deliberately
+    non-reproducible field of a batch result.
+    """
+
+    network: Optional[SimNetwork]
+    accumulator: FactorAccumulator
+    next_index: int
+    down_totals: Dict[NodeType, float]
+    up_totals: Dict[NodeType, float]
+    down_convergence: float
+    up_convergence: float
+    measured_messages: int
+    prior_wall_clock: float = 0.0
+    started: float = 0.0
+
+    def elapsed(self) -> float:
+        """Total wall-clock seconds spent on this batch across runs."""
+        return self.prior_wall_clock + (_time.monotonic() - self.started)
+
+
+def new_batch_cursor(
+    graph: ASGraph,
+    config: BGPConfig,
+    *,
+    origins: Sequence[int],
+    seed: int,
+) -> BatchCursor:
+    """A cursor at the start of a fresh batch (event 0, zero sums)."""
+    return BatchCursor(
+        network=SimNetwork(graph, config, seed=seed) if origins else None,
+        accumulator=FactorAccumulator(graph),
+        next_index=0,
+        down_totals={t: 0.0 for t in NodeType},
+        up_totals={t: 0.0 for t in NodeType},
+        down_convergence=0.0,
+        up_convergence=0.0,
+        measured_messages=0,
+    )
+
+
 def run_c_event_batch(
     graph: ASGraph,
     config: Optional[BGPConfig] = None,
@@ -124,12 +177,21 @@ def run_c_event_batch(
     seed: int = 0,
     settle_factor: float = 2.0,
     max_events: int = DEFAULT_MAX_EVENTS,
+    cursor: Optional[BatchCursor] = None,
+    after_event: Optional[Callable[[BatchCursor], None]] = None,
 ) -> CEventBatchResult:
     """Measure one batch of C-event origins on a fresh network.
 
     An empty batch is legal (it contributes zero events to a merge); this
     happens when a topology yields fewer origins than the batching
     expected.
+
+    ``cursor`` resumes a previously interrupted batch from the state
+    captured in a :class:`BatchCursor` (origins before ``next_index`` are
+    skipped); ``after_event`` is invoked with the live cursor after every
+    measured origin — the checkpoint hook.  Neither affects the measured
+    numbers: a resumed batch produces the same result as an uninterrupted
+    one.
     """
     config = config if config is not None else BGPConfig()
     origin_list = list(origins)
@@ -137,18 +199,15 @@ def run_c_event_batch(
         if origin not in graph:
             raise ExperimentError(f"origin {origin} not in topology")
 
-    started = _time.monotonic()
-    accumulator = FactorAccumulator(graph)
+    if cursor is None:
+        cursor = new_batch_cursor(graph, config, origins=origin_list, seed=seed)
+    cursor.started = _time.monotonic()
     settle = settle_factor * config.mrai if config.mrai > 0 else 1.0
-    down_totals: Dict[NodeType, float] = {t: 0.0 for t in NodeType}
-    up_totals: Dict[NodeType, float] = {t: 0.0 for t in NodeType}
-    down_convergence = 0.0
-    up_convergence = 0.0
-    measured_messages = 0
     node_types = {node.node_id: node.node_type for node in graph.nodes()}
-    network = SimNetwork(graph, config, seed=seed) if origin_list else None
+    network = cursor.network
 
-    for index, origin in enumerate(origin_list):
+    for index in range(cursor.next_index, len(origin_list)):
+        origin = origin_list[index]
         prefix = index  # one fresh prefix per origin keeps state disjoint
         # Warm-up: announce the prefix, converge, let MRAI gates expire.
         network.stop_counting()
@@ -161,36 +220,41 @@ def run_c_event_batch(
         event_start = network.engine.now
         network.withdraw(origin, prefix)
         network.run_to_convergence(max_events=max_events)
-        down_convergence += network.engine.now - event_start
+        cursor.down_convergence += network.engine.now - event_start
         down_snapshot = dict(network.counter.received)
         for node_id, count in down_snapshot.items():
-            down_totals[node_types[node_id]] += count
+            cursor.down_totals[node_types[node_id]] += count
         network.engine.run(until=network.engine.now + settle)
 
         # UP: re-announce and converge, still counted (same counter run).
         event_start = network.engine.now
         network.originate(origin, prefix)
         network.run_to_convergence(max_events=max_events)
-        up_convergence += network.engine.now - event_start
+        cursor.up_convergence += network.engine.now - event_start
         for node_id, count in network.counter.received.items():
-            up_totals[node_types[node_id]] += count - down_snapshot.get(node_id, 0)
-        measured_messages += network.counter.total
+            cursor.up_totals[node_types[node_id]] += count - down_snapshot.get(
+                node_id, 0
+            )
+        cursor.measured_messages += network.counter.total
 
-        accumulator.add_event(network.counter)
+        cursor.accumulator.add_event(network.counter)
         network.stop_counting()
+        cursor.next_index = index + 1
+        if after_event is not None:
+            after_event(cursor)
 
     return CEventBatchResult(
-        summary=accumulator.summary,
+        summary=cursor.accumulator.summary,
         config=config,
         seed=seed,
         origins=origin_list,
-        raw=accumulator.raw_sums(),
-        down_totals=down_totals,
-        up_totals=up_totals,
-        down_convergence=down_convergence,
-        up_convergence=up_convergence,
-        measured_messages=measured_messages,
-        wall_clock_seconds=_time.monotonic() - started,
+        raw=cursor.accumulator.raw_sums(),
+        down_totals=cursor.down_totals,
+        up_totals=cursor.up_totals,
+        down_convergence=cursor.down_convergence,
+        up_convergence=cursor.up_convergence,
+        measured_messages=cursor.measured_messages,
+        wall_clock_seconds=cursor.elapsed(),
     )
 
 

@@ -239,6 +239,17 @@ class FactorAccumulator:
         """A deep copy of the accumulated sums (picklable, mergeable)."""
         return self._raw.copy()
 
+    def load_raw_sums(self, raw: RawFactorSums) -> None:
+        """Replace the accumulated sums (checkpoint restore).
+
+        ``raw`` must cover exactly this accumulator's node population.
+        """
+        if set(raw.total_updates) != set(self._raw.total_updates):
+            raise ExperimentError(
+                "cannot load factor sums for a different node set"
+            )
+        self._raw = raw.copy()
+
     def add_event(self, counter: UpdateCounter) -> None:
         """Fold one measured C-event's counters into the aggregate."""
         self._raw.events += 1

@@ -18,8 +18,12 @@ order, so serial and parallel runs of the same sweep are bit-identical.
 from __future__ import annotations
 
 import dataclasses
+import logging
+import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.bgp.config import BGPConfig
 from repro.core.cevent import (
@@ -36,8 +40,13 @@ from repro.topology.generator import generate_topology
 from repro.topology.scenarios import scenario_params
 from repro.topology.types import NodeType, Relationship
 
+_LOG = logging.getLogger(__name__)
+
 #: Default size grid: same spirit as the paper's 1000..10000 at laptop scale.
 DEFAULT_SIZES = (400, 800, 1200, 1600, 2000)
+
+#: Env var for the crash-injection test hook (see :func:`maybe_inject_fault`).
+FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
 
 #: Signature of a progress callback: (scenario, n, stats).
 ProgressFn = Callable[[str, int, CEventStats], None]
@@ -138,6 +147,39 @@ def split_origins(origins: Sequence[int], num_batches: int) -> List[List[int]]:
     return batches
 
 
+def maybe_inject_fault(unit: SweepUnit, events_done: int) -> None:
+    """Crash-injection hook for fault-tolerance tests.
+
+    When ``REPRO_FAULT_INJECT`` is set to
+    ``"scenario:n:batch_index:event_index:marker_path"``, the process
+    executing the matching unit dies hard (``os._exit``) once it reaches
+    the given measured-event count — exactly once: the marker file is
+    created before dying, and a set marker disarms the hook, so the
+    retried unit survives.  Inherited by pool workers through the
+    environment under both fork and spawn start methods.
+
+    A no-op unless the env var is set; production runs never pay for it.
+    """
+    spec = os.environ.get(FAULT_INJECT_ENV)
+    if not spec:
+        return
+    try:
+        scenario, n, batch_index, event_index, marker = spec.split(":", 4)
+        wanted = (scenario.upper(), int(n), int(batch_index), int(event_index))
+    except ValueError as exc:
+        raise ExperimentError(
+            f"malformed {FAULT_INJECT_ENV} spec {spec!r} "
+            "(want scenario:n:batch_index:event_index:marker_path)"
+        ) from exc
+    if (unit.scenario.upper(), unit.n, unit.batch_index, events_done) != wanted:
+        return
+    marker_path = Path(marker)
+    if marker_path.exists():
+        return
+    marker_path.write_text("fault injected\n", encoding="utf-8")
+    os._exit(1)
+
+
 def execute_sweep_unit(unit: SweepUnit) -> CEventBatchResult:
     """Run one sweep unit from scratch (topology + origin batch).
 
@@ -150,12 +192,81 @@ def execute_sweep_unit(unit: SweepUnit) -> CEventBatchResult:
     graph = generate_topology(params, seed=topo_seed)
     origin_list = pick_origins(graph, unit.num_origins, sim_seed)
     batch = split_origins(origin_list, unit.num_batches)[unit.batch_index]
+    maybe_inject_fault(unit, 0)
     return run_c_event_batch(
         graph,
         unit.config,
         origins=batch,
         seed=origin_batch_seed(sim_seed, unit.batch_index, unit.num_batches),
+        after_event=(
+            (lambda cursor: maybe_inject_fault(unit, cursor.next_index))
+            if os.environ.get(FAULT_INJECT_ENV)
+            else None
+        ),
     )
+
+
+def _run_unit(
+    unit: SweepUnit,
+    checkpoint_dir: Optional[Union[str, Path]],
+    checkpoint_every: int,
+) -> CEventBatchResult:
+    """One unit, checkpointed when a checkpoint directory is configured.
+
+    Module-level (picklable by reference) so it can serve as the pool's
+    work function; the checkpoint import is deferred because
+    :mod:`repro.checkpoint.batch` imports this module.
+    """
+    if checkpoint_dir is None:
+        return execute_sweep_unit(unit)
+    from repro.checkpoint.batch import execute_sweep_unit_checkpointed
+
+    return execute_sweep_unit_checkpointed(
+        unit, checkpoint_dir, checkpoint_every=checkpoint_every
+    )
+
+
+def _run_units_parallel(
+    units: Sequence[SweepUnit],
+    jobs: int,
+    checkpoint_dir: Optional[Union[str, Path]],
+    checkpoint_every: int,
+) -> List[CEventBatchResult]:
+    """Fan units out over a process pool, surviving worker deaths.
+
+    Futures are collected in submission order (the merge downstream
+    relies on it).  A unit whose worker died — ``BrokenProcessPool`` —
+    is re-run *serially* in this process after the pool is torn down:
+    one bounded retry that cannot be killed by another worker crash.
+    With checkpointing enabled the retry resumes from the dead worker's
+    last checkpoint instead of starting over.  Unit *errors* (in the
+    simulation itself) are not retried; they propagate as before.
+    """
+    results: List[Optional[CEventBatchResult]] = [None] * len(units)
+    failed: List[int] = []
+    with ProcessPoolExecutor(max_workers=min(jobs, len(units))) as pool:
+        futures = [
+            pool.submit(_run_unit, unit, checkpoint_dir, checkpoint_every)
+            for unit in units
+        ]
+        for index, future in enumerate(futures):
+            try:
+                results[index] = future.result()
+            except BrokenProcessPool:
+                failed.append(index)
+    for index in failed:
+        unit = units[index]
+        _LOG.warning(
+            "worker died while running sweep unit %s n=%d batch %d/%d; "
+            "re-running serially%s",
+            unit.scenario,
+            unit.n,
+            unit.batch_index,
+            unit.num_batches,
+            " (resuming from checkpoint)" if checkpoint_dir is not None else "",
+        )
+        results[index] = _run_unit(unit, checkpoint_dir, checkpoint_every)
+    return results  # type: ignore[return-value]  # all slots filled above
 
 
 def _sweep_units(
@@ -205,6 +316,8 @@ def run_growth_sweep(
     progress: Optional[ProgressFn] = None,
     jobs: Optional[int] = None,
     origin_batch_size: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 1,
 ) -> SweepResult:
     """Run a full size sweep for one named growth scenario.
 
@@ -214,11 +327,18 @@ def run_growth_sweep(
 
     ``jobs`` > 1 fans the work units out over a process pool; results are
     merged in fixed (size, batch) order, so the returned numbers are
-    bit-identical to a serial run.  ``origin_batch_size`` bounds how many
-    origins one unit simulates: smaller batches expose more parallelism
-    within a single size (each batch runs on its own deterministically
-    seeded network, so the batch size — unlike ``jobs`` — is part of the
-    sweep's reproducibility key).
+    bit-identical to a serial run.  A unit whose worker process dies is
+    re-run serially instead of aborting the sweep.  ``origin_batch_size``
+    bounds how many origins one unit simulates: smaller batches expose
+    more parallelism within a single size (each batch runs on its own
+    deterministically seeded network, so the batch size — unlike ``jobs``
+    — is part of the sweep's reproducibility key).
+
+    ``checkpoint_dir`` enables per-unit checkpoints every
+    ``checkpoint_every`` measured C-events (see
+    :mod:`repro.checkpoint.batch`): interrupted or crashed units resume
+    mid-batch instead of restarting.  Checkpointing never changes the
+    returned numbers.
     """
     if not sizes:
         raise ExperimentError("empty size grid")
@@ -236,14 +356,13 @@ def run_growth_sweep(
     if effective_jobs < 0:
         raise ExperimentError(f"jobs must be >= 0, got {jobs}")
     if effective_jobs > 1 and len(units) > 1:
-        with ProcessPoolExecutor(
-            max_workers=min(effective_jobs, len(units))
-        ) as pool:
-            # map() preserves submission order — the merge below relies
-            # on it to stay deterministic.
-            batch_results = list(pool.map(execute_sweep_unit, units))
+        batch_results = _run_units_parallel(
+            units, effective_jobs, checkpoint_dir, checkpoint_every
+        )
     else:
-        batch_results = [execute_sweep_unit(unit) for unit in units]
+        batch_results = [
+            _run_unit(unit, checkpoint_dir, checkpoint_every) for unit in units
+        ]
 
     num_batches = units[0].num_batches
     stats: List[CEventStats] = []
@@ -274,6 +393,8 @@ def run_scenario_comparison(
     progress: Optional[ProgressFn] = None,
     jobs: Optional[int] = None,
     origin_batch_size: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 1,
 ) -> Dict[str, SweepResult]:
     """Sweep several scenarios over the same size grid (Fig. 8–11 style)."""
     results: Dict[str, SweepResult] = {}
@@ -287,5 +408,7 @@ def run_scenario_comparison(
             progress=progress,
             jobs=jobs,
             origin_batch_size=origin_batch_size,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
         )
     return results

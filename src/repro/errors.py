@@ -34,3 +34,7 @@ class ExperimentError(ReproError):
 
 class SerializationError(ReproError):
     """A topology or result file could not be read or written."""
+
+
+class CheckpointError(ReproError):
+    """A simulation checkpoint could not be captured, read, or restored."""

@@ -112,6 +112,10 @@ class SweepExecution:
     jobs: Optional[int] = None
     cache_dir: Optional[Path] = None
     origin_batch_size: Optional[int] = None
+    #: directory for in-progress sweep-unit checkpoints (None = disabled)
+    checkpoint_dir: Optional[Path] = None
+    #: write a unit checkpoint every N measured C-events
+    checkpoint_every: int = 1
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
@@ -139,6 +143,8 @@ def sweep_execution(
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     origin_batch_size: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 1,
 ) -> Iterator[SweepExecution]:
     """Install an execution context for the duration of a ``with`` block."""
     global _EXECUTION
@@ -147,6 +153,8 @@ def sweep_execution(
         jobs=jobs,
         cache_dir=Path(cache_dir) if cache_dir is not None else None,
         origin_batch_size=origin_batch_size,
+        checkpoint_dir=Path(checkpoint_dir) if checkpoint_dir is not None else None,
+        checkpoint_every=checkpoint_every,
     )
     try:
         yield _EXECUTION
@@ -215,6 +223,8 @@ def cached_sweep(
         progress=progress,
         jobs=jobs,
         origin_batch_size=execution.origin_batch_size,
+        checkpoint_dir=execution.checkpoint_dir,
+        checkpoint_every=execution.checkpoint_every,
     )
     execution.misses += 1
     execution.worker_seconds += sum(

@@ -4,6 +4,13 @@ A *campaign* is one reproducibility run: every registered experiment at a
 given scale and seed, with the rendered reports, the raw series (JSON)
 and a pass/fail summary written to an output directory.  EXPERIMENTS.md's
 recorded section is one campaign's markdown.
+
+Campaigns are interruptible: with a checkpoint directory, the campaign
+records every completed experiment as it finishes (and, through the
+sweep executor, every in-progress sweep unit), so a killed campaign
+rerun with ``resume=True`` skips all completed work and produces
+artifacts identical to an uninterrupted run.  ``Ctrl-C`` flushes the
+completed results before the interrupt propagates.
 """
 
 from __future__ import annotations
@@ -11,12 +18,22 @@ from __future__ import annotations
 import dataclasses
 import time
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import List, Optional, Set, Union
 
+from repro.checkpoint.format import (
+    KIND_CAMPAIGN,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.errors import CheckpointError, SerializationError
 from repro.experiments.cache import sweep_execution
 from repro.experiments.registry import experiment_ids, run_experiment
 from repro.experiments.report import ExperimentResult
-from repro.experiments.results_io import save_results
+from repro.experiments.results_io import (
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
 from repro.experiments.scale import Scale, get_scale
 
 
@@ -77,6 +94,39 @@ class CampaignSummary:
         return "\n".join(lines)
 
 
+#: Campaign state file name under the checkpoint dir.  The checkpoint
+#: payload embeds the completed experiments' full results, so a single
+#: digest-protected file carries everything a resume needs.
+_STATE_FILE = "campaign-state.json"
+
+
+def _campaign_identity(scale: Scale, seed: int, include_extensions: bool) -> dict:
+    return {
+        "scale": scale.name,
+        "seed": seed,
+        "include_extensions": include_extensions,
+    }
+
+
+def _load_campaign_state(state_path: Path, identity: dict) -> List[ExperimentResult]:
+    """Completed results of an interrupted campaign, or raise."""
+    document = read_checkpoint(state_path, expected_kind=KIND_CAMPAIGN)
+    recorded = {
+        key: document.payload.get(key) for key in identity
+    }
+    if recorded != identity:
+        raise CheckpointError(
+            f"campaign state {state_path} was written for {recorded}, "
+            f"cannot resume it as {identity}"
+        )
+    try:
+        return [result_from_dict(item) for item in document.payload["completed"]]
+    except (KeyError, TypeError, SerializationError) as exc:
+        raise CheckpointError(
+            f"campaign state {state_path} holds malformed results: {exc}"
+        ) from exc
+
+
 def run_campaign(
     scale: Optional[Scale] = None,
     *,
@@ -86,6 +136,9 @@ def run_campaign(
     echo=None,
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
 ) -> CampaignSummary:
     """Run all registered experiments; optionally persist the artifacts.
 
@@ -98,17 +151,79 @@ def run_campaign(
     ``cache_dir`` enables the persistent sweep cache; neither changes any
     measured number (``campaign.json`` is byte-identical for every
     ``jobs`` value and for cold vs warm caches).
+
+    ``checkpoint_dir`` makes the campaign restartable: each completed
+    experiment is recorded there as it finishes, sweep workers checkpoint
+    their in-progress units every ``checkpoint_every`` C-events, and
+    ``resume=True`` picks a killed campaign up where it left off —
+    producing artifacts identical to an uninterrupted run.  A
+    ``KeyboardInterrupt`` flushes completed state before propagating,
+    whether or not checkpointing is enabled.
     """
     scale = scale if scale is not None else get_scale()
     started = time.monotonic()
+    if resume and checkpoint_dir is None:
+        raise CheckpointError("resume requires a checkpoint directory")
+    state_path = None
+    if checkpoint_dir is not None:
+        checkpoint_dir = Path(checkpoint_dir)
+        state_path = checkpoint_dir / _STATE_FILE
+
+    identity = _campaign_identity(scale, seed, include_extensions)
     results: List[ExperimentResult] = []
-    with sweep_execution(jobs=jobs, cache_dir=cache_dir) as execution:
-        for experiment_id in experiment_ids(include_extensions=include_extensions):
-            result = run_experiment(experiment_id, scale, seed=seed)
-            results.append(result)
+    if resume and state_path is not None and state_path.exists():
+        results = _load_campaign_state(state_path, identity)
+        if echo is not None and results:
+            echo(
+                f"resuming: {len(results)} completed experiment(s) restored "
+                f"({', '.join(r.experiment_id for r in results)})"
+            )
+            echo("")
+    done: Set[str] = {result.experiment_id for result in results}
+
+    def flush_state() -> None:
+        if state_path is None or not results:
+            return
+        write_checkpoint(
+            state_path,
+            KIND_CAMPAIGN,
+            {
+                **identity,
+                "completed": [result_to_dict(result) for result in results],
+            },
+        )
+
+    with sweep_execution(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+    ) as execution:
+        try:
+            for experiment_id in experiment_ids(
+                include_extensions=include_extensions
+            ):
+                if experiment_id in done:
+                    continue
+                result = run_experiment(experiment_id, scale, seed=seed)
+                results.append(result)
+                flush_state()
+                if echo is not None:
+                    echo(result.to_text())
+                    echo("")
+        except KeyboardInterrupt:
+            # Persist what completed (the sweep cache has already stored
+            # every finished sweep), then let the interrupt propagate: a
+            # warm rerun only redoes the interrupted work.
+            flush_state()
             if echo is not None:
-                echo(result.to_text())
-                echo("")
+                echo(
+                    f"interrupted: {len(results)} experiment(s) completed "
+                    "and flushed; rerun with resume to continue"
+                )
+            raise
+    if state_path is not None:
+        state_path.unlink(missing_ok=True)
     summary = CampaignSummary(
         scale=scale.name,
         seed=seed,

@@ -97,7 +97,31 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--seed", type=int, default=0)
     campaign_parser.add_argument("-o", "--output", type=Path, required=True)
     campaign_parser.add_argument("--extensions", action="store_true")
+    campaign_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue an interrupted campaign from --checkpoint-dir: "
+            "completed experiments are restored, the interrupted sweep "
+            "resumes from its last unit checkpoint"
+        ),
+    )
     _add_execution_options(campaign_parser)
+
+    checkpoint_parser = sub.add_parser(
+        "checkpoint", help="inspect / verify checkpoint files"
+    )
+    checkpoint_sub = checkpoint_parser.add_subparsers(
+        dest="checkpoint_command", required=True
+    )
+    inspect = checkpoint_sub.add_parser(
+        "inspect", help="summarize checkpoint contents"
+    )
+    inspect.add_argument("paths", type=Path, nargs="+")
+    verify = checkpoint_sub.add_parser(
+        "verify", help="check integrity (content digest) of checkpoint files"
+    )
+    verify.add_argument("paths", type=Path, nargs="+")
 
     topo = sub.add_parser("topology", help="generate / inspect topologies")
     topo_sub = topo.add_subparsers(dest="topology_command", required=True)
@@ -169,6 +193,24 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
             "stored as JSON and reused by later runs with the same "
             "inputs and code version"
         ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "checkpoint directory: in-progress simulations snapshot "
+            "their state there and resume after a crash or interrupt "
+            "(results are byte-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="write a checkpoint every N measured C-events (default: 1)",
     )
 
 
@@ -264,6 +306,40 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.checkpoint import inspect_checkpoint, verify_checkpoint
+    from repro.errors import CheckpointError
+
+    if args.checkpoint_command == "inspect":
+        status = 0
+        for path in args.paths:
+            try:
+                summary = inspect_checkpoint(path)
+            except CheckpointError as exc:
+                print(f"{path}: {exc}", file=sys.stderr)
+                status = 1
+                continue
+            rows = [[key, str(value)] for key, value in summary.items()]
+            print(format_table(["field", "value"], rows, title=str(path)))
+        return status
+    # verify
+    failures = 0
+    for path in args.paths:
+        try:
+            document = verify_checkpoint(path)
+        except CheckpointError as exc:
+            print(f"FAIL {path}: {exc}")
+            failures += 1
+        else:
+            print(
+                f"OK   {path}: {document.kind} checkpoint, "
+                f"digest {document.sha256[:16]}… intact"
+            )
+    if failures:
+        print(f"{failures} of {len(args.paths)} file(s) failed verification")
+    return 1 if failures else 0
+
+
 def _cmd_workload(args: argparse.Namespace) -> int:
     graph = _load_topology(args.path)
     config = BGPConfig(mrai=args.mrai, wrate=args.wrate)
@@ -323,9 +399,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 echo=print,
                 jobs=args.jobs,
                 cache_dir=args.cache_dir,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
             )
             print(summary.to_text())
             return 0 if summary.passed else 1
+        if args.command == "checkpoint":
+            return _cmd_checkpoint(args)
         if args.command == "topology":
             return _cmd_topology(args)
         if args.command == "simulate":
@@ -336,7 +417,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.cache import sweep_execution
 
         scale = get_scale(args.scale)
-        with sweep_execution(jobs=args.jobs, cache_dir=args.cache_dir):
+        with sweep_execution(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+        ):
             if args.experiment.lower() == "all":
                 results = run_all(
                     scale,

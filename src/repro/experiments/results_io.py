@@ -14,12 +14,11 @@ byte-identical campaign artifacts.
 
 from __future__ import annotations
 
-import dataclasses
 import json
 from pathlib import Path
 from typing import Dict, List, Union
 
-from repro.bgp.config import BGPConfig, DampingConfig, MRAIMode, SendDiscipline
+from repro.bgp.config import BGPConfig
 from repro.core.cevent import CEventStats
 from repro.core.factors import TypeFactors
 from repro.core.sweep import SweepResult
@@ -86,35 +85,12 @@ def result_from_dict(data: dict) -> ExperimentResult:
 
 def config_to_dict(config: BGPConfig) -> dict:
     """JSON-ready dict for a :class:`BGPConfig` (enums as values)."""
-    return {
-        "mrai": config.mrai,
-        "wrate": config.wrate,
-        "jitter_low": config.jitter_low,
-        "jitter_high": config.jitter_high,
-        "mrai_mode": config.mrai_mode.value,
-        "discipline": config.discipline.value,
-        "processing_time_max": config.processing_time_max,
-        "link_delay": config.link_delay,
-        "damping": dataclasses.asdict(config.damping),
-    }
+    return config.to_dict()
 
 
 def config_from_dict(data: dict) -> BGPConfig:
     """Rebuild a :class:`BGPConfig` from :func:`config_to_dict` output."""
-    try:
-        return BGPConfig(
-            mrai=data["mrai"],
-            wrate=bool(data["wrate"]),
-            jitter_low=data["jitter_low"],
-            jitter_high=data["jitter_high"],
-            mrai_mode=MRAIMode(data["mrai_mode"]),
-            discipline=SendDiscipline(data["discipline"]),
-            processing_time_max=data["processing_time_max"],
-            link_delay=data["link_delay"],
-            damping=DampingConfig(**data["damping"]),
-        )
-    except (KeyError, TypeError, ValueError) as exc:
-        raise SerializationError(f"malformed config document: {exc}") from exc
+    return BGPConfig.from_dict(data)
 
 
 def _type_factors_to_dict(factors: TypeFactors) -> dict:

@@ -66,6 +66,47 @@ class UpdateCounter:
         self.withdrawals.clear()
         self.total = 0
 
+    def dump_state(self) -> dict:
+        """All counters in insertion order (checkpointing).
+
+        Order matters downstream: measurement code iterates these dicts
+        and sums floats, so a restored counter must replay the exact
+        insertion history, not just the same totals.
+        """
+        return {
+            "enabled": self.enabled,
+            "received": list(self.received.items()),
+            "received_by_relationship": [
+                [receiver, relationship, count]
+                for (receiver, relationship), count in (
+                    self.received_by_relationship.items()
+                )
+            ],
+            "received_by_pair": [
+                [receiver, sender, count]
+                for (receiver, sender), count in self.received_by_pair.items()
+            ],
+            "announcements": list(self.announcements.items()),
+            "withdrawals": list(self.withdrawals.items()),
+            "total": self.total,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install counters previously captured by :meth:`dump_state`."""
+        self.reset()
+        self.enabled = state["enabled"]
+        for node_id, count in state["received"]:
+            self.received[node_id] = count
+        for receiver, relationship, count in state["received_by_relationship"]:
+            self.received_by_relationship[(receiver, relationship)] = count
+        for receiver, sender, count in state["received_by_pair"]:
+            self.received_by_pair[(receiver, sender)] = count
+        for node_id, count in state["announcements"]:
+            self.announcements[node_id] = count
+        for node_id, count in state["withdrawals"]:
+            self.withdrawals[node_id] = count
+        self.total = state["total"]
+
     def updates_at(self, node_id: int) -> int:
         """Total updates received at ``node_id``."""
         return self.received.get(node_id, 0)

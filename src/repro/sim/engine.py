@@ -14,7 +14,6 @@ instead of a hang.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import ConvergenceError, SimulationError
@@ -31,7 +30,7 @@ class Engine:
     def __init__(self) -> None:
         self.now = 0.0
         self._queue: List[Tuple[float, int, Callback]] = []
-        self._sequence = itertools.count()
+        self._next_sequence = 0
         self.executed_events = 0
 
     def schedule(self, delay: float, callback: Callback) -> None:
@@ -46,12 +45,61 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule into the past (at={time}, now={self.now})"
             )
-        heapq.heappush(self._queue, (time, next(self._sequence), callback))
+        heapq.heappush(self._queue, (time, self._next_sequence, callback))
+        self._next_sequence += 1
 
     @property
     def pending_events(self) -> int:
         """Number of events still queued."""
         return len(self._queue)
+
+    @property
+    def next_sequence(self) -> int:
+        """The FIFO tie-break value the next scheduled event will receive.
+
+        Part of the engine's checkpointable state: restoring it guarantees
+        that events scheduled after a restore tie-break exactly as they
+        would have in the uninterrupted run.
+        """
+        return self._next_sequence
+
+    def dump_pending(self) -> List[Tuple[float, int, Callback]]:
+        """The queued events as ``(time, sequence, callback)`` tuples.
+
+        The list is a copy in unspecified internal (heap) order; the
+        ``(time, sequence)`` pairs form a total order, so re-heapifying
+        the entries reproduces the exact execution order.
+        """
+        return list(self._queue)
+
+    def restore_state(
+        self,
+        *,
+        now: float,
+        next_sequence: int,
+        executed_events: int,
+        pending: List[Tuple[float, int, Callback]],
+    ) -> None:
+        """Install a previously captured engine state (checkpoint restore).
+
+        ``pending`` entries may arrive in any order; they are re-heapified.
+        The caller is responsible for rebinding callbacks to live objects.
+        """
+        for time, sequence, _callback in pending:
+            if time < now:
+                raise SimulationError(
+                    f"pending event at t={time} predates restored clock {now}"
+                )
+            if sequence >= next_sequence:
+                raise SimulationError(
+                    f"pending event sequence {sequence} >= next_sequence "
+                    f"{next_sequence}"
+                )
+        self._queue = list(pending)
+        heapq.heapify(self._queue)
+        self.now = now
+        self._next_sequence = next_sequence
+        self.executed_events = executed_events
 
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""
@@ -108,5 +156,5 @@ class Engine:
         """
         self._queue.clear()
         self.now = 0.0
-        self._sequence = itertools.count()
+        self._next_sequence = 0
         self.executed_events = 0

@@ -21,6 +21,7 @@ from repro.bgp.messages import UpdateMessage
 from repro.bgp.node import BGPNode
 from repro.bgp.route import stable_hash
 from repro.errors import SimulationError
+from repro.bgp.events import Delivery
 from repro.sim.counters import UpdateCounter
 from repro.sim.engine import DEFAULT_MAX_EVENTS, Engine
 from repro.sim.trace import MonitorTrace
@@ -63,7 +64,7 @@ class SimNetwork:
     # ------------------------------------------------------------------
     def _transmit(self, message: UpdateMessage, now: float) -> None:
         """Carry a message across a link: constant delay, then deliver."""
-        self.engine.schedule(self.config.link_delay, lambda: self._deliver(message))
+        self.engine.schedule(self.config.link_delay, Delivery(self, message))
 
     def _deliver(self, message: UpdateMessage) -> None:
         receiver = self.nodes.get(message.receiver)

@@ -1,0 +1,128 @@
+"""Tests for the on-disk checkpoint envelope."""
+
+import json
+
+import pytest
+
+from repro._version import __version__
+from repro.checkpoint.format import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    KIND_CAMPAIGN,
+    KIND_NETWORK,
+    KIND_SWEEP_UNIT,
+    inspect_checkpoint,
+    payload_digest,
+    read_checkpoint,
+    verify_checkpoint,
+    write_checkpoint,
+)
+from repro.errors import CheckpointError
+
+
+@pytest.fixture
+def path(tmp_path):
+    return tmp_path / "state" / "test.json"
+
+
+class TestWriteRead:
+    def test_round_trip(self, path):
+        payload = {"alpha": 1, "beta": [1.5, None, "x"]}
+        write_checkpoint(path, KIND_CAMPAIGN, payload)
+        document = read_checkpoint(path)
+        assert document.kind == KIND_CAMPAIGN
+        assert document.payload == payload
+        assert document.format_version == FORMAT_VERSION
+        assert document.code_version == __version__
+        assert document.digest_ok
+
+    def test_creates_parent_directories(self, path):
+        assert not path.parent.exists()
+        write_checkpoint(path, KIND_NETWORK, {})
+        assert path.exists()
+
+    def test_no_tmp_file_left_behind(self, path):
+        write_checkpoint(path, KIND_NETWORK, {"x": 1})
+        assert list(path.parent.iterdir()) == [path]
+
+    def test_rejects_unknown_kind(self, path):
+        with pytest.raises(CheckpointError, match="unknown checkpoint kind"):
+            write_checkpoint(path, "other", {})
+
+    def test_expected_kind_mismatch(self, path):
+        write_checkpoint(path, KIND_NETWORK, {})
+        with pytest.raises(CheckpointError, match="expected a 'sweep-unit'"):
+            read_checkpoint(path, expected_kind=KIND_SWEEP_UNIT)
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            read_checkpoint(tmp_path / "nope.json")
+
+    def test_not_json(self, path):
+        path.parent.mkdir(parents=True)
+        path.write_text("not json at all", encoding="utf-8")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            read_checkpoint(path)
+
+    def test_foreign_format(self, path):
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"format": "other"}), encoding="utf-8")
+        with pytest.raises(CheckpointError, match=f"not a {FORMAT_NAME}"):
+            read_checkpoint(path)
+
+    def test_future_format_version(self, path):
+        write_checkpoint(path, KIND_NETWORK, {})
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["format_version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(CheckpointError, match="unsupported checkpoint format"):
+            read_checkpoint(path)
+
+    def test_corrupted_payload_detected(self, path):
+        write_checkpoint(path, KIND_NETWORK, {"value": 1})
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["payload"]["value"] = 2  # bit-rot / manual edit
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(CheckpointError, match="digest mismatch"):
+            read_checkpoint(path)
+
+    def test_foreign_code_version_refused_for_restore(self, path):
+        write_checkpoint(path, KIND_NETWORK, {})
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["code_version"] = "0.0.0-other"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(CheckpointError, match="refusing to restore"):
+            read_checkpoint(path)
+        # ...but verification is version-agnostic by design.
+        assert verify_checkpoint(path).code_version == "0.0.0-other"
+
+    def test_digest_is_format_independent(self):
+        # Same payload, different key order -> same digest.
+        assert payload_digest({"a": 1, "b": 2}) == payload_digest({"b": 2, "a": 1})
+
+
+class TestInspect:
+    def test_inspect_campaign(self, path):
+        write_checkpoint(
+            path,
+            KIND_CAMPAIGN,
+            {
+                "scale": "tiny",
+                "seed": 5,
+                "completed": [{"experiment_id": "fig04"}],
+            },
+        )
+        summary = inspect_checkpoint(path)
+        assert summary["kind"] == KIND_CAMPAIGN
+        assert summary["scale"] == "tiny"
+        assert summary["digest_ok"] is True
+        assert "fig04" in summary["completed_experiments"]
+
+    def test_inspect_flags_corruption_without_raising(self, path):
+        write_checkpoint(path, KIND_CAMPAIGN, {"scale": "tiny"})
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["payload"]["scale"] = "edited"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        assert inspect_checkpoint(path)["digest_ok"] is False

@@ -1,0 +1,103 @@
+"""Fault-tolerant parallel sweeps: worker death must not lose the sweep."""
+
+import pytest
+
+from repro.bgp.config import BGPConfig
+from repro.core.sweep import (
+    FAULT_INJECT_ENV,
+    SweepUnit,
+    execute_sweep_unit,
+    maybe_inject_fault,
+    run_growth_sweep,
+)
+from repro.errors import ExperimentError
+
+FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+SWEEP_KW = dict(sizes=[60, 80], config=FAST, num_origins=4, seed=9)
+
+
+def _series(result):
+    """Every measured number of a sweep (wall clock excluded)."""
+    return [
+        (
+            stats.n,
+            stats.origins,
+            stats.down_updates_per_type,
+            stats.up_updates_per_type,
+            stats.mean_down_convergence,
+            stats.mean_up_convergence,
+            stats.measured_messages,
+            {t: f.u_by_rel for t, f in stats.per_type.items()},
+        )
+        for stats in result.stats
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_sweep():
+    return run_growth_sweep("baseline", **SWEEP_KW)
+
+
+class TestWorkerDeathRecovery:
+    """A worker killed mid-unit breaks the pool; the sweep must survive."""
+
+    @pytest.mark.parametrize("with_checkpoints", [False, True], ids=["plain", "ckpt"])
+    def test_sweep_survives_worker_death(
+        self, serial_sweep, tmp_path, monkeypatch, with_checkpoints
+    ):
+        marker = tmp_path / "died.marker"
+        # Kill the process running the n=80 unit after its first event.
+        monkeypatch.setenv(FAULT_INJECT_ENV, f"BASELINE:80:0:1:{marker}")
+        result = run_growth_sweep(
+            "baseline",
+            jobs=2,
+            checkpoint_dir=(tmp_path / "ck") if with_checkpoints else None,
+            **SWEEP_KW,
+        )
+        assert marker.exists(), "the fault should actually have fired"
+        assert _series(result) == _series(serial_sweep)
+        if with_checkpoints:
+            # The serial retry resumed, completed, and cleaned up.
+            assert list((tmp_path / "ck").glob("unit-*.json")) == []
+
+    def test_unit_errors_still_propagate(self, monkeypatch):
+        # Fault tolerance covers worker *death*, not simulation errors.
+        with pytest.raises(ExperimentError):
+            run_growth_sweep("baseline", sizes=[], config=FAST)
+
+
+class TestFaultInjectionHook:
+    def _unit(self):
+        return SweepUnit(
+            scenario="baseline",
+            n=60,
+            num_origins=2,
+            batch_index=0,
+            num_batches=1,
+            seed=9,
+            config=FAST,
+            scenario_kwargs=(),
+        )
+
+    def test_noop_without_env(self, monkeypatch):
+        monkeypatch.delenv(FAULT_INJECT_ENV, raising=False)
+        maybe_inject_fault(self._unit(), 0)  # must not raise or exit
+
+    def test_noop_for_other_unit(self, tmp_path, monkeypatch):
+        marker = tmp_path / "m"
+        monkeypatch.setenv(FAULT_INJECT_ENV, f"BASELINE:999:0:0:{marker}")
+        maybe_inject_fault(self._unit(), 0)
+        assert not marker.exists()
+
+    def test_disarmed_by_marker(self, tmp_path, monkeypatch):
+        marker = tmp_path / "m"
+        marker.write_text("already died\n", encoding="utf-8")
+        monkeypatch.setenv(FAULT_INJECT_ENV, f"BASELINE:60:0:0:{marker}")
+        maybe_inject_fault(self._unit(), 0)  # survives: die-once semantics
+        result = execute_sweep_unit(self._unit())
+        assert result.raw.events == 2
+
+    def test_malformed_spec_rejected(self, monkeypatch):
+        monkeypatch.setenv(FAULT_INJECT_ENV, "nonsense")
+        with pytest.raises(ExperimentError, match="malformed"):
+            maybe_inject_fault(self._unit(), 0)

@@ -1,0 +1,261 @@
+"""Resumable campaigns: interrupt, flush, resume, identical artifacts."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import cache
+from repro.experiments import campaign as campaign_module
+from repro.experiments.campaign import run_campaign
+from repro.experiments.scale import Scale
+from repro.errors import CheckpointError
+
+TINY = Scale(name="tiny-resume", sizes=(100, 200), origins=2, metric_sources=10)
+
+#: fig04 and fig05 share one Baseline sweep; fig12 adds a WRATE sweep —
+#: a two-sweep campaign slice that keeps these tests affordable.
+SLICE = ["fig04", "fig05", "fig12"]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache():
+    cache.clear_cache()
+    yield
+    cache.clear_cache()
+
+
+@pytest.fixture
+def sliced_registry(monkeypatch):
+    monkeypatch.setattr(
+        campaign_module,
+        "experiment_ids",
+        lambda include_extensions=False: list(SLICE),
+    )
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_flushes_and_resume_is_identical(
+        self, tmp_path, monkeypatch, sliced_registry
+    ):
+        # Reference: one uninterrupted run.
+        reference = tmp_path / "reference"
+        run_campaign(TINY, seed=5, output_dir=reference)
+        cache.clear_cache()
+
+        # Interrupted run: Ctrl-C arrives while fig12 is executing.
+        real_run = campaign_module.run_experiment
+
+        def interrupted_run(experiment_id, scale, seed=0):
+            if experiment_id == "fig12":
+                raise KeyboardInterrupt
+            return real_run(experiment_id, scale, seed=seed)
+
+        monkeypatch.setattr(campaign_module, "run_experiment", interrupted_run)
+        output = tmp_path / "output"
+        checkpoints = tmp_path / "checkpoints"
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                TINY,
+                seed=5,
+                output_dir=output,
+                cache_dir=tmp_path / "cache",
+                checkpoint_dir=checkpoints,
+            )
+        monkeypatch.setattr(campaign_module, "run_experiment", real_run)
+
+        # The flush: completed experiments were persisted before exiting.
+        assert (checkpoints / "campaign-state.json").exists()
+
+        # Resume: completed work is skipped, only fig12 runs.
+        cache.clear_cache()
+        ran = []
+
+        def counting_run(experiment_id, scale, seed=0):
+            ran.append(experiment_id)
+            return real_run(experiment_id, scale, seed=seed)
+
+        monkeypatch.setattr(campaign_module, "run_experiment", counting_run)
+        summary = run_campaign(
+            TINY,
+            seed=5,
+            output_dir=output,
+            cache_dir=tmp_path / "cache",
+            checkpoint_dir=checkpoints,
+            resume=True,
+        )
+        assert ran == ["fig12"]
+        assert [r.experiment_id for r in summary.results] == SLICE
+
+        # Identity: the resumed campaign's artifacts match the
+        # uninterrupted run byte for byte.
+        assert (output / "campaign.json").read_bytes() == (
+            reference / "campaign.json"
+        ).read_bytes()
+        assert (output / "campaign.md").read_bytes() == (
+            reference / "campaign.md"
+        ).read_bytes()
+
+        # Success removes the campaign state file.
+        assert not (checkpoints / "campaign-state.json").exists()
+
+    def test_flush_creates_checkpoint_dir(self, tmp_path, monkeypatch):
+        """Regression: the first flush must mkdir the checkpoint dir.
+
+        fig01 is synthetic (no sweep), so nothing else has created the
+        directory by the time the campaign flushes its state.
+        """
+        monkeypatch.setattr(
+            campaign_module,
+            "experiment_ids",
+            lambda include_extensions=False: ["fig01", "fig04"],
+        )
+        real_run = campaign_module.run_experiment
+
+        def interrupted_run(experiment_id, scale, seed=0):
+            if experiment_id == "fig04":
+                raise KeyboardInterrupt
+            return real_run(experiment_id, scale, seed=seed)
+
+        monkeypatch.setattr(campaign_module, "run_experiment", interrupted_run)
+        checkpoints = tmp_path / "nested" / "checkpoints"
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(TINY, seed=5, checkpoint_dir=checkpoints)
+        assert (checkpoints / "campaign-state.json").exists()
+
+    def test_interrupt_without_checkpoint_dir_still_propagates(
+        self, monkeypatch, sliced_registry, tmp_path
+    ):
+        def boom(experiment_id, scale, seed=0):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(campaign_module, "run_experiment", boom)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(TINY, seed=5, output_dir=tmp_path / "out")
+
+
+class TestResumeValidation:
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(CheckpointError, match="requires a checkpoint"):
+            run_campaign(TINY, seed=5, resume=True)
+
+    def test_resume_refuses_different_campaign(
+        self, tmp_path, monkeypatch, sliced_registry
+    ):
+        real_run = campaign_module.run_experiment
+
+        def interrupted_run(experiment_id, scale, seed=0):
+            if experiment_id == "fig12":
+                raise KeyboardInterrupt
+            return real_run(experiment_id, scale, seed=seed)
+
+        monkeypatch.setattr(campaign_module, "run_experiment", interrupted_run)
+        checkpoints = tmp_path / "checkpoints"
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(TINY, seed=5, checkpoint_dir=checkpoints)
+        monkeypatch.setattr(campaign_module, "run_experiment", real_run)
+        with pytest.raises(CheckpointError, match="cannot resume"):
+            run_campaign(TINY, seed=6, checkpoint_dir=checkpoints, resume=True)
+
+    def test_resume_with_no_state_runs_from_scratch(
+        self, tmp_path, sliced_registry
+    ):
+        summary = run_campaign(
+            TINY, seed=5, checkpoint_dir=tmp_path / "empty", resume=True
+        )
+        assert [r.experiment_id for r in summary.results] == SLICE
+
+
+_DRIVER = """
+import sys
+from repro.experiments import campaign as campaign_module
+from repro.experiments.campaign import run_campaign
+from repro.experiments.scale import Scale
+
+campaign_module.experiment_ids = lambda include_extensions=False: ["fig04"]
+TINY = Scale(name="tiny-resume", sizes=(100, 200), origins=2, metric_sources=10)
+summary = run_campaign(
+    TINY,
+    seed=5,
+    output_dir=sys.argv[1],
+    cache_dir=sys.argv[2],
+    checkpoint_dir=sys.argv[3],
+    resume=(sys.argv[4] == "resume"),
+)
+"""
+
+
+@pytest.mark.slow
+class TestKilledProcess:
+    """The acceptance scenario: SIGKILL-grade death mid-sweep, then resume."""
+
+    def _run(self, tmp_path, label, *, fault=None, resume=False):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+        env.pop("REPRO_FAULT_INJECT", None)
+        if fault is not None:
+            env["REPRO_FAULT_INJECT"] = fault
+        out = tmp_path / label
+        return (
+            subprocess.run(
+                [
+                    sys.executable,
+                    "-c",
+                    _DRIVER,
+                    str(out),
+                    str(tmp_path / f"cache-{label}"),
+                    str(tmp_path / f"ck-{label}"),
+                    "resume" if resume else "fresh",
+                ],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=300,
+            ),
+            out,
+        )
+
+    def test_killed_campaign_resumes_identically(self, tmp_path):
+        # Reference: uninterrupted.
+        proc, reference = self._run(tmp_path, "reference")
+        assert proc.returncode == 0, proc.stderr
+
+        # Killed: the process dies hard (os._exit) one event into the
+        # n=200 unit of fig04's sweep — after a unit checkpoint was written.
+        marker = tmp_path / "died.marker"
+        proc, output = self._run(
+            tmp_path, "killed", fault=f"BASELINE:200:0:1:{marker}"
+        )
+        assert proc.returncode == 1
+        assert marker.exists()
+        assert not (output / "campaign.json").exists()
+        checkpoints = tmp_path / "ck-killed"
+        assert list(checkpoints.glob("unit-*.json")), "unit checkpoint expected"
+
+        # Resume: reuse the killed run's cache + checkpoint dirs.
+        env_fix = {"cache": "cache-killed", "ck": "ck-killed"}
+        proc2 = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                _DRIVER,
+                str(output),
+                str(tmp_path / env_fix["cache"]),
+                str(tmp_path / env_fix["ck"]),
+                "resume",
+            ],
+            env={
+                **os.environ,
+                "PYTHONPATH": str(Path(__file__).resolve().parents[2] / "src"),
+            },
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc2.returncode == 0, proc2.stderr
+        assert (output / "campaign.json").read_bytes() == (
+            reference / "campaign.json"
+        ).read_bytes()
+        assert list(checkpoints.glob("unit-*.json")) == []

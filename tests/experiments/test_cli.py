@@ -37,6 +37,37 @@ class TestParser:
         args = build_parser().parse_args(["campaign", "-o", "out"])
         assert args.jobs is None
         assert args.cache_dir is None
+        assert args.checkpoint_dir is None
+        assert args.checkpoint_every == 1
+        assert args.resume is False
+
+    def test_checkpoint_options(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "campaign",
+                "-o",
+                "out",
+                "--checkpoint-dir",
+                str(tmp_path),
+                "--checkpoint-every",
+                "5",
+                "--resume",
+            ]
+        )
+        assert args.checkpoint_dir == tmp_path
+        assert args.checkpoint_every == 5
+        assert args.resume is True
+
+    def test_checkpoint_subcommand_args(self, tmp_path):
+        args = build_parser().parse_args(
+            ["checkpoint", "inspect", str(tmp_path / "a.json")]
+        )
+        assert args.checkpoint_command == "inspect"
+        args = build_parser().parse_args(
+            ["checkpoint", "verify", "a.json", "b.json"]
+        )
+        assert args.checkpoint_command == "verify"
+        assert len(args.paths) == 2
 
 
 class TestMain:
@@ -162,3 +193,44 @@ class TestWorkloadCommand:
         assert code == 0
         output = capsys.readouterr().out
         assert "monitor" in output and "peak/mean" in output
+
+
+class TestCheckpointCommand:
+    @pytest.fixture
+    def checkpoint_file(self, tmp_path):
+        from repro.checkpoint import KIND_CAMPAIGN, write_checkpoint
+
+        path = tmp_path / "state.json"
+        write_checkpoint(
+            path,
+            KIND_CAMPAIGN,
+            {"scale": "tiny", "seed": 3, "completed": [{"experiment_id": "fig04"}]},
+        )
+        return path
+
+    def test_inspect(self, checkpoint_file, capsys):
+        assert main(["checkpoint", "inspect", str(checkpoint_file)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out
+        assert "fig04" in out
+        assert "digest_ok" in out
+
+    def test_inspect_unreadable_file(self, tmp_path, capsys):
+        missing = tmp_path / "missing.json"
+        assert main(["checkpoint", "inspect", str(missing)]) == 1
+        assert "missing.json" in capsys.readouterr().err
+
+    def test_verify_ok(self, checkpoint_file, capsys):
+        assert main(["checkpoint", "verify", str(checkpoint_file)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_detects_corruption(self, checkpoint_file, capsys):
+        import json
+
+        data = json.loads(checkpoint_file.read_text(encoding="utf-8"))
+        data["payload"]["seed"] = 999
+        checkpoint_file.write_text(json.dumps(data), encoding="utf-8")
+        assert main(["checkpoint", "verify", str(checkpoint_file)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "digest mismatch" in out

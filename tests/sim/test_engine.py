@@ -165,6 +165,66 @@ class TestRunControl:
         engine.schedule(1.0, lambda: None)
         assert engine._queue[0][1] == 0
 
+    def test_reset_restores_all_checkpointable_state(self):
+        """reset() must zero the full state inventory a checkpoint covers.
+
+        The engine's checkpointable state is exactly: the clock, the
+        pending-event heap, the FIFO sequence counter, and the
+        executed-event count.  A reset engine must be indistinguishable
+        from a fresh one on every one of them — if a new field joins the
+        checkpoint payload, this inventory (and reset()) must grow too.
+        """
+        fresh = Engine()
+        used = Engine()
+        for delay in (1.0, 1.0, 3.0):
+            used.schedule(delay, lambda: None)
+        used.step()
+        used.schedule_at(7.5, lambda: None)  # leave events pending
+        assert used.pending_events > 0 and used.now > 0.0
+
+        used.reset()
+        assert used.now == fresh.now == 0.0
+        assert used.dump_pending() == fresh.dump_pending() == []
+        assert used.next_sequence == fresh.next_sequence == 0
+        assert used.executed_events == fresh.executed_events == 0
+
+
+class TestRestoreState:
+    def test_restore_round_trip(self):
+        engine = Engine()
+        marks = []
+        engine.schedule(1.0, lambda: marks.append("early"))
+        engine.run()
+        pending = [(5.0, 1, lambda: marks.append("a")), (5.0, 2, lambda: marks.append("b"))]
+        engine.restore_state(
+            now=2.0, next_sequence=3, executed_events=4, pending=pending
+        )
+        assert engine.now == 2.0
+        assert engine.next_sequence == 3
+        assert engine.executed_events == 4
+        engine.run()
+        assert marks == ["early", "a", "b"]  # FIFO order preserved
+
+    def test_restore_rejects_past_events(self):
+        engine = Engine()
+        with pytest.raises(SimulationError, match="predates"):
+            engine.restore_state(
+                now=5.0,
+                next_sequence=2,
+                executed_events=0,
+                pending=[(1.0, 0, lambda: None)],
+            )
+
+    def test_restore_rejects_future_sequences(self):
+        engine = Engine()
+        with pytest.raises(SimulationError, match="next_sequence"):
+            engine.restore_state(
+                now=0.0,
+                next_sequence=1,
+                executed_events=0,
+                pending=[(1.0, 5, lambda: None)],
+            )
+
 
 class TestEngineProperties:
     @given(

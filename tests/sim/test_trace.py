@@ -79,6 +79,67 @@ class TestBurstiness:
             MonitorTrace([1]).burstiness(1.0)
 
 
+class TestEdgeCases:
+    """Degenerate traces the analysis helpers must handle gracefully."""
+
+    def test_empty_trace_everywhere(self):
+        trace = MonitorTrace([1])
+        assert len(trace) == 0
+        assert trace.updates() == []
+        assert trace.arrival_times() == []
+        assert trace.rate_series(1.0) == []
+        assert trace.counts() == {
+            "total": 0,
+            "announcements": 0,
+            "withdrawals": 0,
+        }
+        with pytest.raises(ParameterError):
+            trace.burstiness(1.0)
+
+    def test_no_monitors_records_nothing(self, diamond, fast_config):
+        network = SimNetwork(diamond, fast_config, seed=1)
+        trace = network.attach_monitors([])
+        network.originate(4, 0)
+        network.run_to_convergence()
+        assert len(trace) == 0
+
+    def test_single_update_trace(self):
+        trace = MonitorTrace([1])
+        trace.record(3.5, 1, 2, is_withdrawal=False)
+        assert trace.arrival_times() == [3.5]
+        series = trace.rate_series(1.0)
+        assert series == [(3.5, 1.0)]  # one bin: [first, first + width)
+        report = trace.burstiness(1.0)
+        assert report.bins == 1
+        assert report.mean_rate == report.peak_rate == 1.0
+        assert report.peak_to_mean == 1.0
+        assert report.quiet_fraction == 0.0
+
+    def test_identical_timestamps(self):
+        trace = MonitorTrace([1])
+        for _ in range(5):
+            trace.record(2.0, 1, 2, is_withdrawal=False)
+        assert trace.arrival_times() == [2.0] * 5
+        series = trace.rate_series(0.5)
+        assert series == [(2.0, 10.0)]  # 5 arrivals / 0.5 s bin
+        report = trace.burstiness(0.5)
+        assert report.bins == 1
+        assert report.peak_rate == 10.0
+        assert report.peak_to_mean == 1.0
+
+    def test_identical_timestamps_across_monitors_filterable(self):
+        trace = MonitorTrace([1, 2])
+        trace.record(1.0, 1, 9, is_withdrawal=False)
+        trace.record(1.0, 2, 9, is_withdrawal=True)
+        trace.record(1.0, 1, 8, is_withdrawal=False)
+        assert len(trace.updates(1)) == 2
+        assert trace.counts(2) == {
+            "total": 1,
+            "announcements": 0,
+            "withdrawals": 1,
+        }
+
+
 class TestNetworkIntegration:
     def test_attach_and_record(self, diamond, fast_config):
         network = SimNetwork(diamond, fast_config, seed=1)
