@@ -15,6 +15,7 @@ from repro.core.cevent import run_c_event_experiment
 from repro.core.reference import steady_state_routes
 from repro.core.sweep import run_growth_sweep
 from repro.experiments.results_io import sweep_result_to_dict
+from repro.obs.telemetry import Telemetry, telemetry_session
 from repro.sim.engine import Engine
 from repro.sim.network import SimNetwork
 from repro.topology.generator import generate_topology
@@ -132,6 +133,72 @@ def test_sweep_parallel_speedup(benchmark, results_dir):
         json.dumps(payload, indent=1) + "\n", encoding="utf-8"
     )
     print(f"\nsweep parallelism: {speedup:.2f}x with {SWEEP_JOBS} jobs")
+
+
+def test_sim_core_telemetry(benchmark, results_dir):
+    """Telemetry cost on the simulation core: disabled vs enabled.
+
+    The disabled path is the null-object hub, so its cost must stay in
+    the noise; the enabled path additionally yields the per-phase
+    wall-clock/event breakdown.  Both throughputs and the phase table
+    are recorded in ``BENCH_sim_core.json`` so the CI perf-smoke job can
+    archive them.
+    """
+    graph = generate_topology(baseline_params(400), seed=5)
+    rounds = 3
+
+    def run_disabled():
+        return run_c_event_experiment(graph, FAST, num_origins=1, seed=5)
+
+    def run_enabled():
+        hub = Telemetry(meta={"run_kind": "bench", "benchmark": "sim_core"})
+        with telemetry_session(hub):
+            run_c_event_experiment(graph, FAST, num_origins=1, seed=5)
+        return hub
+
+    run_disabled()  # warm caches so both timed paths start equal
+    started = time.perf_counter()
+    for _ in range(rounds):
+        run_disabled()
+    disabled_seconds = (time.perf_counter() - started) / rounds
+
+    timings = []
+
+    def timed_enabled():
+        t0 = time.perf_counter()
+        hub = run_enabled()
+        timings.append(time.perf_counter() - t0)
+        return hub
+
+    hub = benchmark.pedantic(timed_enabled, rounds=rounds, iterations=1)
+    enabled_seconds = sum(timings) / len(timings)
+
+    snapshot = hub.snapshot()
+    overhead_pct = (
+        (enabled_seconds - disabled_seconds) / disabled_seconds * 100.0
+        if disabled_seconds > 0
+        else 0.0
+    )
+    payload = {
+        "disabled_seconds": disabled_seconds,
+        "enabled_seconds": enabled_seconds,
+        "enabled_overhead_pct": overhead_pct,
+        "events_per_sec": snapshot["summary"]["events_per_sec"],
+        "engine_events": snapshot["summary"]["engine_events"],
+        "phases": snapshot["phases"],
+    }
+    (results_dir / "BENCH_sim_core.json").write_text(
+        json.dumps(payload, indent=1) + "\n", encoding="utf-8"
+    )
+    print(
+        f"\nsim core telemetry: {snapshot['summary']['events_per_sec']:.0f} "
+        f"events/sec enabled, overhead {overhead_pct:+.1f}%"
+    )
+    assert {phase["name"] for phase in snapshot["phases"]} == {"warmup", "measured"}
+    # Guard against accidental per-event instrumentation (which costs
+    # ~20%+); the expected overhead is a run()-boundary sample, well
+    # under this deliberately loose, CI-noise-tolerant bound.
+    assert overhead_pct < 50.0
 
 
 def test_oracle_n1000(benchmark):

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.bgp.config import BGPConfig, MRAIMode, SendDiscipline
 from repro.bgp.messages import UpdateMessage, announcement, withdrawal
+from repro.obs.telemetry import NULL_TELEMETRY
 
 #: A target state for a prefix at a neighbour: the AS path to advertise,
 #: or None meaning "withdrawn / no route".
@@ -38,12 +39,18 @@ class OutputChannel:
     """Out-queue and MRAI state for one directed (node → neighbour) session."""
 
     def __init__(
-        self, owner: int, neighbor: int, config: BGPConfig, rng: random.Random
+        self,
+        owner: int,
+        neighbor: int,
+        config: BGPConfig,
+        rng: random.Random,
+        telemetry=NULL_TELEMETRY,
     ) -> None:
         self.owner = owner
         self.neighbor = neighbor
         self._config = config
         self._rng = rng
+        self._obs = telemetry
         #: What the neighbour currently believes, per prefix (None/absent =
         #: no route).  Only explicitly advertised-then-withdrawn prefixes
         #: keep a None entry; never-advertised prefixes are absent.
@@ -115,6 +122,7 @@ class OutputChannel:
                 return [], None
             # Output-queue invalidation: the newer update replaces the old.
             del self._pending[prefix]
+            self._obs.on_mrai_invalidation()
         if self._sent.get(prefix) == target:
             # Converged back to what the neighbour already knows.
             return [], None
@@ -143,6 +151,7 @@ class OutputChannel:
         Returns ``(messages, next_wakeup)`` where ``next_wakeup`` is the
         earliest still-pending gate (None when the queue drained).
         """
+        self._obs.on_mrai_wakeup()
         messages: List[UpdateMessage] = []
         if self._config.mrai_mode is MRAIMode.PER_INTERFACE:
             if self._pending and now >= self._interface_gate:
@@ -161,6 +170,14 @@ class OutputChannel:
         for prefix in sorted(due):
             target = self._pending.pop(prefix)
             messages.append(self._send(prefix, target, now, arm_timer=True))
+        # Prune expired gates: a gate ≤ now behaves exactly like a missing
+        # one (see _gate_for), so dropping it is semantics-preserving and
+        # keeps the dict from growing with every prefix ever rate-limited.
+        # Pending prefixes always carry a fresh (future) gate, so none of
+        # the queue's own gates are touched.
+        expired = [p for p, gate in self._prefix_gates.items() if gate <= now]
+        for prefix in expired:
+            del self._prefix_gates[prefix]
         remaining = [self._prefix_gates[p] for p in self._pending]
         return messages, (min(remaining) if remaining else None)
 
@@ -189,6 +206,7 @@ class OutputChannel:
         self._sent[prefix] = target
         if arm_timer and self._config.rate_limiting_enabled:
             self._arm(prefix, now)
+        self._obs.on_mrai_send(target is None)
         if target is None:
             return withdrawal(self.owner, self.neighbor, prefix)
         return announcement(self.owner, self.neighbor, prefix, (self.owner,) + target)

@@ -30,6 +30,7 @@ from repro.bgp.rib import AdjRIBIn, LocRIB
 from repro.bgp.route import Route, import_route, local_route
 from repro.errors import SimulationError
 from repro.bgp.events import DampingReuseCheck, MRAIWakeup, ServiceCompletion
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.topology.types import NodeType, Relationship
 
 TransmitFn = Callable[[UpdateMessage, float], None]
@@ -47,6 +48,7 @@ class BGPNode:
         config: BGPConfig,
         rng: random.Random,
         transmit: TransmitFn,
+        telemetry=NULL_TELEMETRY,
     ) -> None:
         self.node_id = node_id
         self.node_type = node_type
@@ -55,13 +57,14 @@ class BGPNode:
         self._config = config
         self._rng = rng
         self._transmit = transmit
+        self._obs = telemetry
         self._in_queue: Deque[UpdateMessage] = collections.deque()
         self._busy = False
         self.adj_rib_in = AdjRIBIn()
         self.loc_rib = LocRIB()
         self._local_routes: Dict[int, Route] = {}
         self._channels: Dict[int, OutputChannel] = {
-            neighbor: OutputChannel(node_id, neighbor, config, rng)
+            neighbor: OutputChannel(node_id, neighbor, config, rng, telemetry=telemetry)
             for neighbor in neighbors
         }
         self._wakeup_at: Dict[int, Optional[float]] = {n: None for n in neighbors}
@@ -70,7 +73,15 @@ class BGPNode:
         #: Messages processed by this node (for queue/occupancy statistics).
         self.processed_count = 0
         #: Total seconds the processor has spent servicing updates.
+        #: Accrued when a service *completes*: a run halted mid-service
+        #: (``run(until=...)``, event budget, checkpoint) has not yet
+        #: spent the in-flight delay, so utilization never exceeds the
+        #: simulated horizon.
         self.busy_time = 0.0
+        #: Service delay of the message currently in service (accrued
+        #: into ``busy_time`` on completion; checkpointed so a restored
+        #: mid-service run accounts identically).
+        self._service_delay = 0.0
         #: High-water mark of the in-queue (including the job in service).
         self.max_queue_length = 0
         #: Number of times the best route changed, per prefix.  The diff
@@ -112,6 +123,7 @@ class BGPNode:
                 f"node {self.node_id} received update from non-neighbor {message.sender}"
             )
         if message.sender in self._down_neighbors:
+            self._obs.on_drop()
             return  # in-flight message on a failed link: dropped
         self._in_queue.append(message)
         if len(self._in_queue) > self.max_queue_length:
@@ -127,11 +139,12 @@ class BGPNode:
     def _start_service(self) -> None:
         self._busy = True
         delay = self._rng.uniform(0.0, self._config.processing_time_max)
-        self.busy_time += delay
+        self._service_delay = delay
         self._engine.schedule(delay, ServiceCompletion(self))
 
     def _complete_service(self) -> None:
         now = self._engine.now
+        self.busy_time += self._service_delay
         message = self._in_queue.popleft()
         self.processed_count += 1
         self._process(message, now)
@@ -146,6 +159,7 @@ class BGPNode:
     def _process(self, message: UpdateMessage, now: float) -> None:
         prefix = message.prefix
         sender = message.sender
+        self._obs.on_update(self.neighbors[sender], message.is_withdrawal)
         previous = self.adj_rib_in.route_from(prefix, sender)
         if message.is_withdrawal:
             route: Optional[Route] = None
@@ -197,6 +211,7 @@ class BGPNode:
         return candidates
 
     def _run_decision(self, prefix: int, now: float) -> None:
+        self._obs.on_decision()
         best = select_best(self.node_id, self._candidates(prefix, now))
         changed = self.loc_rib.install(prefix, best)
         if changed:
@@ -314,6 +329,7 @@ class BGPNode:
             "damper": self._damper.dump_state(),
             "processed_count": self.processed_count,
             "busy_time": self.busy_time,
+            "service_delay": self._service_delay,
             "max_queue_length": self.max_queue_length,
             "best_change_count": dict(self.best_change_count),
         }
@@ -350,6 +366,7 @@ class BGPNode:
         self._damper.load_state(state["damper"])
         self.processed_count = state["processed_count"]
         self.busy_time = state["busy_time"]
+        self._service_delay = state["service_delay"]
         self.max_queue_length = state["max_queue_length"]
         self.best_change_count = dict(state["best_change_count"])
 

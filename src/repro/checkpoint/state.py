@@ -121,6 +121,7 @@ def node_state_to_json(state: dict) -> dict:
         "damper": [list(record) for record in state["damper"]],
         "processed_count": state["processed_count"],
         "busy_time": state["busy_time"],
+        "service_delay": state["service_delay"],
         "max_queue_length": state["max_queue_length"],
         "best_change_count": [
             [prefix, count] for prefix, count in state["best_change_count"].items()
@@ -173,6 +174,7 @@ def node_state_from_json(data: dict) -> dict:
             ],
             "processed_count": int(data["processed_count"]),
             "busy_time": float(data["busy_time"]),
+            "service_delay": float(data["service_delay"]),
             "max_queue_length": int(data["max_queue_length"]),
             "best_change_count": {
                 int(prefix): int(count)

@@ -34,6 +34,7 @@ from repro.core.factors import (
     compute_all_type_factors,
 )
 from repro.errors import ExperimentError
+from repro.obs.telemetry import current_telemetry
 from repro.sim.engine import DEFAULT_MAX_EVENTS
 from repro.sim.network import SimNetwork
 from repro.sim.rng import derive_rng
@@ -205,37 +206,40 @@ def run_c_event_batch(
     settle = settle_factor * config.mrai if config.mrai > 0 else 1.0
     node_types = {node.node_id: node.node_type for node in graph.nodes()}
     network = cursor.network
+    obs = current_telemetry()
 
     for index in range(cursor.next_index, len(origin_list)):
         origin = origin_list[index]
         prefix = index  # one fresh prefix per origin keeps state disjoint
         # Warm-up: announce the prefix, converge, let MRAI gates expire.
-        network.stop_counting()
-        network.originate(origin, prefix)
-        network.run_to_convergence(max_events=max_events)
-        network.engine.run(until=network.engine.now + settle)
+        with obs.phase("warmup", network.engine):
+            network.stop_counting()
+            network.originate(origin, prefix)
+            network.run_to_convergence(max_events=max_events)
+            network.engine.run(until=network.engine.now + settle)
 
-        # DOWN: withdraw and converge, counted.
-        network.start_counting()
-        event_start = network.engine.now
-        network.withdraw(origin, prefix)
-        network.run_to_convergence(max_events=max_events)
-        cursor.down_convergence += network.engine.now - event_start
-        down_snapshot = dict(network.counter.received)
-        for node_id, count in down_snapshot.items():
-            cursor.down_totals[node_types[node_id]] += count
-        network.engine.run(until=network.engine.now + settle)
+        with obs.phase("measured", network.engine):
+            # DOWN: withdraw and converge, counted.
+            network.start_counting()
+            event_start = network.engine.now
+            network.withdraw(origin, prefix)
+            network.run_to_convergence(max_events=max_events)
+            cursor.down_convergence += network.engine.now - event_start
+            down_snapshot = dict(network.counter.received)
+            for node_id, count in down_snapshot.items():
+                cursor.down_totals[node_types[node_id]] += count
+            network.engine.run(until=network.engine.now + settle)
 
-        # UP: re-announce and converge, still counted (same counter run).
-        event_start = network.engine.now
-        network.originate(origin, prefix)
-        network.run_to_convergence(max_events=max_events)
-        cursor.up_convergence += network.engine.now - event_start
-        for node_id, count in network.counter.received.items():
-            cursor.up_totals[node_types[node_id]] += count - down_snapshot.get(
-                node_id, 0
-            )
-        cursor.measured_messages += network.counter.total
+            # UP: re-announce and converge, still counted (same counter run).
+            event_start = network.engine.now
+            network.originate(origin, prefix)
+            network.run_to_convergence(max_events=max_events)
+            cursor.up_convergence += network.engine.now - event_start
+            for node_id, count in network.counter.received.items():
+                cursor.up_totals[node_types[node_id]] += count - down_snapshot.get(
+                    node_id, 0
+                )
+            cursor.measured_messages += network.counter.total
 
         cursor.accumulator.add_event(network.counter)
         network.stop_counting()

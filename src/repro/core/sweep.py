@@ -35,6 +35,7 @@ from repro.core.cevent import (
 )
 from repro.core.regression import relative_increase
 from repro.errors import ExperimentError
+from repro.obs.telemetry import current_telemetry
 from repro.sim.rng import origin_batch_seed, sweep_point_seeds
 from repro.topology.generator import generate_topology
 from repro.topology.scenarios import scenario_params
@@ -50,6 +51,12 @@ FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
 
 #: Signature of a progress callback: (scenario, n, stats).
 ProgressFn = Callable[[str, int, CEventStats], None]
+
+#: Signature of a per-unit completion callback: (unit,).  Invoked from the
+#: submitting process as soon as a unit's result lands — from a pool
+#: worker's completion thread under parallel execution, so implementations
+#: must be thread-safe (``repro.obs.progress.ProgressLine`` is).
+UnitDoneFn = Callable[["SweepUnit"], None]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -189,7 +196,8 @@ def execute_sweep_unit(unit: SweepUnit) -> CEventBatchResult:
     """
     params = scenario_params(unit.scenario, unit.n, **dict(unit.scenario_kwargs))
     topo_seed, sim_seed = sweep_point_seeds(unit.seed, unit.n)
-    graph = generate_topology(params, seed=topo_seed)
+    with current_telemetry().phase("topology-gen"):
+        graph = generate_topology(params, seed=topo_seed)
     origin_list = pick_origins(graph, unit.num_origins, sim_seed)
     batch = split_origins(origin_list, unit.num_batches)[unit.batch_index]
     maybe_inject_fault(unit, 0)
@@ -231,6 +239,7 @@ def _run_units_parallel(
     jobs: int,
     checkpoint_dir: Optional[Union[str, Path]],
     checkpoint_every: int,
+    on_unit_done: Optional[UnitDoneFn] = None,
 ) -> List[CEventBatchResult]:
     """Fan units out over a process pool, surviving worker deaths.
 
@@ -249,6 +258,16 @@ def _run_units_parallel(
             pool.submit(_run_unit, unit, checkpoint_dir, checkpoint_every)
             for unit in units
         ]
+        if on_unit_done is not None:
+            # Fire progress as units land (out of order), while results are
+            # still *collected* in submission order below — live feedback
+            # without touching the deterministic merge.
+            for unit, future in zip(units, futures):
+                future.add_done_callback(
+                    lambda fut, unit=unit: (
+                        on_unit_done(unit) if fut.exception() is None else None
+                    )
+                )
         for index, future in enumerate(futures):
             try:
                 results[index] = future.result()
@@ -266,6 +285,8 @@ def _run_units_parallel(
             " (resuming from checkpoint)" if checkpoint_dir is not None else "",
         )
         results[index] = _run_unit(unit, checkpoint_dir, checkpoint_every)
+        if on_unit_done is not None:
+            on_unit_done(unit)
     return results  # type: ignore[return-value]  # all slots filled above
 
 
@@ -318,6 +339,7 @@ def run_growth_sweep(
     origin_batch_size: Optional[int] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 1,
+    on_unit_done: Optional[UnitDoneFn] = None,
 ) -> SweepResult:
     """Run a full size sweep for one named growth scenario.
 
@@ -339,6 +361,11 @@ def run_growth_sweep(
     :mod:`repro.checkpoint.batch`): interrupted or crashed units resume
     mid-batch instead of restarting.  Checkpointing never changes the
     returned numbers.
+
+    ``on_unit_done`` is invoked once per completed work unit (live, i.e.
+    in completion order under parallel execution) — the hook behind the
+    CLI's progress line.  Purely observational: it sees the
+    :class:`SweepUnit`, not its result.
     """
     if not sizes:
         raise ExperimentError("empty size grid")
@@ -357,24 +384,27 @@ def run_growth_sweep(
         raise ExperimentError(f"jobs must be >= 0, got {jobs}")
     if effective_jobs > 1 and len(units) > 1:
         batch_results = _run_units_parallel(
-            units, effective_jobs, checkpoint_dir, checkpoint_every
+            units, effective_jobs, checkpoint_dir, checkpoint_every, on_unit_done
         )
     else:
-        batch_results = [
-            _run_unit(unit, checkpoint_dir, checkpoint_every) for unit in units
-        ]
+        batch_results = []
+        for unit in units:
+            batch_results.append(_run_unit(unit, checkpoint_dir, checkpoint_every))
+            if on_unit_done is not None:
+                on_unit_done(unit)
 
     num_batches = units[0].num_batches
     stats: List[CEventStats] = []
-    for size_index, n in enumerate(sizes):
-        _, sim_seed = sweep_point_seeds(seed, n)
-        per_size = batch_results[
-            size_index * num_batches : (size_index + 1) * num_batches
-        ]
-        result = merge_c_event_batches(per_size, seed=sim_seed)
-        stats.append(result)
-        if progress is not None:
-            progress(scenario, n, result)
+    with current_telemetry().phase("analysis"):
+        for size_index, n in enumerate(sizes):
+            _, sim_seed = sweep_point_seeds(seed, n)
+            per_size = batch_results[
+                size_index * num_batches : (size_index + 1) * num_batches
+            ]
+            result = merge_c_event_batches(per_size, seed=sim_seed)
+            stats.append(result)
+            if progress is not None:
+                progress(scenario, n, result)
     return SweepResult(
         scenario=scenario.upper(),
         sizes=list(sizes),
@@ -395,6 +425,7 @@ def run_scenario_comparison(
     origin_batch_size: Optional[int] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 1,
+    on_unit_done: Optional[UnitDoneFn] = None,
 ) -> Dict[str, SweepResult]:
     """Sweep several scenarios over the same size grid (Fig. 8–11 style)."""
     results: Dict[str, SweepResult] = {}
@@ -410,5 +441,6 @@ def run_scenario_comparison(
             origin_batch_size=origin_batch_size,
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=checkpoint_every,
+            on_unit_done=on_unit_done,
         )
     return results

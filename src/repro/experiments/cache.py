@@ -37,8 +37,9 @@ from typing import Dict, Iterator, Optional, Sequence, Union
 
 from repro._version import __version__
 from repro.bgp.config import BGPConfig
-from repro.core.sweep import ProgressFn, SweepResult, run_growth_sweep
+from repro.core.sweep import ProgressFn, SweepResult, UnitDoneFn, run_growth_sweep
 from repro.errors import SerializationError
+from repro.obs.telemetry import current_telemetry
 from repro.experiments.results_io import load_sweep, save_sweep
 from repro.experiments.scale import Scale
 
@@ -116,6 +117,8 @@ class SweepExecution:
     checkpoint_dir: Optional[Path] = None
     #: write a unit checkpoint every N measured C-events
     checkpoint_every: int = 1
+    #: live per-unit completion hook (the CLI progress line); observational
+    on_unit_done: Optional[UnitDoneFn] = None
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
@@ -145,6 +148,7 @@ def sweep_execution(
     origin_batch_size: Optional[int] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 1,
+    on_unit_done: Optional[UnitDoneFn] = None,
 ) -> Iterator[SweepExecution]:
     """Install an execution context for the duration of a ``with`` block."""
     global _EXECUTION
@@ -155,6 +159,7 @@ def sweep_execution(
         origin_batch_size=origin_batch_size,
         checkpoint_dir=Path(checkpoint_dir) if checkpoint_dir is not None else None,
         checkpoint_every=checkpoint_every,
+        on_unit_done=on_unit_done,
     )
     try:
         yield _EXECUTION
@@ -197,9 +202,11 @@ def cached_sweep(
     key = sweep_cache_key(
         scenario, scale.sizes, scale.origins, config, seed, scenario_kwargs
     )
+    telemetry = current_telemetry()
     cached = _CACHE.get(key)
     if cached is not None:
         execution.memory_hits += 1
+        telemetry.inc("cache.memory_hits")
         return cached
     if cache_dir is not None:
         path = _disk_path(cache_dir, key)
@@ -210,6 +217,7 @@ def cached_sweep(
                 pass  # corrupt or stale entry: fall through and recompute
             else:
                 execution.disk_hits += 1
+                telemetry.inc("cache.disk_hits")
                 _CACHE[key] = result
                 return result
 
@@ -225,8 +233,10 @@ def cached_sweep(
         origin_batch_size=execution.origin_batch_size,
         checkpoint_dir=execution.checkpoint_dir,
         checkpoint_every=execution.checkpoint_every,
+        on_unit_done=execution.on_unit_done,
     )
     execution.misses += 1
+    telemetry.inc("cache.misses")
     execution.worker_seconds += sum(
         stats.wall_clock_seconds for stats in result.stats
     )

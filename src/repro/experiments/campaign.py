@@ -15,6 +15,7 @@ completed results before the interrupt propagates.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import time
 from pathlib import Path
@@ -27,6 +28,9 @@ from repro.checkpoint.format import (
 )
 from repro.errors import CheckpointError, SerializationError
 from repro.experiments.cache import sweep_execution
+from repro.obs.progress import ProgressLine
+from repro.obs.runlog import TELEMETRY_FILENAME, write_telemetry_jsonl
+from repro.obs.telemetry import Telemetry, telemetry_session
 from repro.experiments.registry import experiment_ids, run_experiment
 from repro.experiments.report import ExperimentResult
 from repro.experiments.results_io import (
@@ -139,6 +143,8 @@ def run_campaign(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 1,
     resume: bool = False,
+    telemetry: Optional[Telemetry] = None,
+    show_progress: Optional[bool] = None,
 ) -> CampaignSummary:
     """Run all registered experiments; optionally persist the artifacts.
 
@@ -159,6 +165,13 @@ def run_campaign(
     producing artifacts identical to an uninterrupted run.  A
     ``KeyboardInterrupt`` flushes completed state before propagating,
     whether or not checkpointing is enabled.
+
+    Observability: ``telemetry`` (or, when ``output_dir`` is set, a hub
+    created here) is installed as the ambient sink for the campaign's
+    simulations and written to ``<output_dir>/telemetry.jsonl``.  A live
+    progress line (experiments done/total, ETA, cache hits) is rendered
+    on stderr when it is a TTY; ``show_progress`` forces it on or off.
+    Neither affects any measured number.
     """
     scale = scale if scale is not None else get_scale()
     started = time.monotonic()
@@ -193,35 +206,55 @@ def run_campaign(
             },
         )
 
-    with sweep_execution(
-        jobs=jobs,
-        cache_dir=cache_dir,
-        checkpoint_dir=checkpoint_dir,
-        checkpoint_every=checkpoint_every,
-    ) as execution:
-        try:
-            for experiment_id in experiment_ids(
-                include_extensions=include_extensions
-            ):
-                if experiment_id in done:
-                    continue
-                result = run_experiment(experiment_id, scale, seed=seed)
-                results.append(result)
+    ids = experiment_ids(include_extensions=include_extensions)
+    if telemetry is None and output_dir is not None:
+        telemetry = Telemetry(
+            meta={"run_kind": "campaign", "scale": scale.name, "seed": seed}
+        )
+    progress = ProgressLine(
+        total=len(ids),
+        label="experiments",
+        enabled=show_progress,
+        done=sum(1 for experiment_id in ids if experiment_id in done),
+    )
+
+    with telemetry_session(telemetry) if telemetry is not None else contextlib.nullcontext():
+        with sweep_execution(
+            jobs=jobs,
+            cache_dir=cache_dir,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+        ) as execution:
+            try:
+                for experiment_id in ids:
+                    if experiment_id in done:
+                        continue
+                    result = run_experiment(experiment_id, scale, seed=seed)
+                    results.append(result)
+                    flush_state()
+                    progress.advance(
+                        extra=(
+                            f"{experiment_id}, "
+                            f"{execution.cache_hits} cache hit(s)"
+                        )
+                    )
+                    if echo is not None:
+                        echo(result.to_text())
+                        echo("")
+            except KeyboardInterrupt:
+                # Persist what completed (the sweep cache has already stored
+                # every finished sweep), then let the interrupt propagate: a
+                # warm rerun only redoes the interrupted work.
+                progress.finish()
                 flush_state()
                 if echo is not None:
-                    echo(result.to_text())
-                    echo("")
-        except KeyboardInterrupt:
-            # Persist what completed (the sweep cache has already stored
-            # every finished sweep), then let the interrupt propagate: a
-            # warm rerun only redoes the interrupted work.
-            flush_state()
-            if echo is not None:
-                echo(
-                    f"interrupted: {len(results)} experiment(s) completed "
-                    "and flushed; rerun with resume to continue"
-                )
-            raise
+                    echo(
+                        f"interrupted: {len(results)} experiment(s) completed "
+                        "and flushed; rerun with resume to continue"
+                    )
+                raise
+            finally:
+                progress.finish()
     if state_path is not None:
         state_path.unlink(missing_ok=True)
     summary = CampaignSummary(
@@ -244,4 +277,12 @@ def run_campaign(
         (summary.output_dir / "summary.txt").write_text(
             summary.to_text() + "\n", encoding="utf-8"
         )
+        if telemetry is not None:
+            telemetry.set_gauge("campaign.wall_clock_seconds", summary.wall_clock_seconds)
+            telemetry.set_gauge("campaign.worker_seconds", summary.worker_seconds)
+            telemetry.inc("campaign.experiments", len(results))
+            telemetry.inc("cache.hits.total", execution.cache_hits)
+            write_telemetry_jsonl(
+                telemetry, summary.output_dir / TELEMETRY_FILENAME
+            )
     return summary

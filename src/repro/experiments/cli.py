@@ -9,7 +9,12 @@ Subcommands:
 * ``simulate`` — run a C-event experiment on a stored topology and print
   the per-type churn and factor decomposition;
 * ``workload`` — run a Poisson C-event stream and report what a monitor
-  sees (rates, burstiness).
+  sees (rates, burstiness);
+* ``profile`` — run one experiment under telemetry + cProfile and report
+  events/sec, the per-phase wall-clock breakdown and the hottest
+  functions (also writes the run's ``telemetry.jsonl``);
+* ``stats`` — render the telemetry log of a previous run (a run
+  directory or a ``telemetry.jsonl`` path).
 
 Examples::
 
@@ -18,6 +23,8 @@ Examples::
     repro-bgp topology metrics dense.json
     repro-bgp simulate dense.json --origins 10 --wrate
     repro-bgp workload dense.json --duration 600 --rate 0.05
+    repro-bgp profile fig04 --scale smoke -o fig04-telemetry.jsonl
+    repro-bgp stats runs/campaign-2026-08/
 """
 
 from __future__ import annotations
@@ -169,6 +176,38 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--bin", type=float, default=30.0, help="rate-series bin width")
     workload.add_argument("--seed", type=int, default=0)
     _add_bgp_options(workload)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one experiment under telemetry + cProfile and report hotspots",
+    )
+    profile.add_argument("experiment", help="experiment id, e.g. fig04")
+    profile.add_argument(
+        "--scale", choices=sorted(PRESETS), default=None,
+        help="scale preset (default: REPRO_SCALE env or 'default')",
+    )
+    profile.add_argument("--seed", type=int, default=0, help="master seed")
+    profile.add_argument(
+        "-o", "--output", type=Path, default=None, metavar="FILE",
+        help="telemetry JSONL path (default: <experiment>-telemetry.jsonl)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="number of profile entries to show (default: 10)",
+    )
+    profile.add_argument(
+        "--no-profile", action="store_true",
+        help="collect telemetry only, skip the cProfile overhead",
+    )
+    _add_execution_options(profile)
+
+    stats = sub.add_parser(
+        "stats", help="summarize the telemetry log of a previous run"
+    )
+    stats.add_argument(
+        "path", type=Path,
+        help="run directory (containing telemetry.jsonl) or a JSONL file",
+    )
     return parser
 
 
@@ -379,6 +418,112 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_telemetry(snapshot: dict) -> str:
+    """Human-readable summary of a telemetry snapshot (profile/stats)."""
+    sections: List[str] = []
+    summary = snapshot.get("summary") or {}
+    if summary:
+        rows = [
+            ["wall clock", f"{summary.get('wall_clock_seconds', 0.0):.2f}s"],
+            ["engine events", f"{summary.get('engine_events', 0):,}"],
+            ["engine run time", f"{summary.get('engine_run_seconds', 0.0):.2f}s"],
+            ["events/sec", f"{summary.get('events_per_sec', 0.0):,.0f}"],
+        ]
+        sections.append(format_table(["metric", "value"], rows, title="run summary"))
+    phases = snapshot.get("phases") or []
+    if phases:
+        rows = [
+            [
+                str(phase["name"]),
+                f"{phase['seconds']:.2f}s",
+                f"{phase['events']:,}",
+                f"{phase['events_per_sec']:,.0f}",
+            ]
+            for phase in phases
+        ]
+        sections.append(
+            format_table(
+                ["phase", "wall clock", "events", "events/sec"],
+                rows,
+                title="per-phase breakdown",
+            )
+        )
+    counters = snapshot.get("counters") or {}
+    if counters:
+        rows = [[name, f"{counters[name]:,}"] for name in sorted(counters)]
+        sections.append(format_table(["counter", "value"], rows, title="counters"))
+    gauges = snapshot.get("gauges") or {}
+    if gauges:
+        rows = [[name, f"{gauges[name]:g}"] for name in sorted(gauges)]
+        sections.append(format_table(["gauge", "value"], rows, title="gauges"))
+    return "\n\n".join(sections)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.experiments.cache import sweep_execution
+    from repro.obs import (
+        Telemetry,
+        format_top_entries,
+        maybe_profile,
+        telemetry_session,
+        top_entries,
+        write_telemetry_jsonl,
+    )
+
+    scale = get_scale(args.scale)
+    telemetry = Telemetry(
+        meta={
+            "run_kind": "profile",
+            "experiment": args.experiment,
+            "scale": scale.name,
+            "seed": args.seed,
+        }
+    )
+    with telemetry_session(telemetry), sweep_execution(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+    ), maybe_profile(not args.no_profile) as profiler:
+        # The outer "experiment" phase guarantees a per-phase row even for
+        # experiments that run no simulation (e.g. fig01's synthetic
+        # series); simulation-backed ones additionally report
+        # topology-gen/warmup/measured/analysis from the sweep machinery.
+        with telemetry.phase("experiment"):
+            result = run_experiment(args.experiment, scale, seed=args.seed)
+    output = args.output
+    if output is None:
+        output = Path(f"{args.experiment}-telemetry.jsonl")
+    write_telemetry_jsonl(telemetry, output)
+    print(result.to_text())
+    print()
+    print(_render_telemetry(telemetry.snapshot()))
+    if profiler is not None:
+        print()
+        print(f"top {args.top} functions by cumulative time:")
+        print(format_top_entries(top_entries(profiler, limit=args.top)))
+    print()
+    print(f"telemetry written to {output}")
+    return 0 if result.passed else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import find_telemetry_file, read_jsonl, summarize_records
+
+    path = find_telemetry_file(args.path)
+    snapshot = summarize_records(read_jsonl(path))
+    meta = snapshot.get("meta") or {}
+    described = ", ".join(
+        f"{key}={meta[key]}"
+        for key in ("run_kind", "experiment", "scale", "seed", "code_version")
+        if key in meta
+    )
+    print(f"{path}" + (f" ({described})" if described else ""))
+    print()
+    print(_render_telemetry(snapshot))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI main; returns the process exit code."""
     parser = build_parser()
@@ -413,6 +558,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_simulate(args)
         if args.command == "workload":
             return _cmd_workload(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
         # run
         from repro.experiments.cache import sweep_execution
 

@@ -1,0 +1,64 @@
+"""Opt-in cProfile hooks for experiment runs.
+
+``repro-bgp profile <experiment>`` wraps an experiment in
+:func:`maybe_profile` and reports the hottest functions via
+:func:`top_entries`.  Profiling is strictly opt-in: nothing in the
+library imports cProfile at simulation time, and :func:`maybe_profile`
+with ``enabled=False`` yields ``None`` without touching the profiler
+machinery at all.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import cProfile
+import io
+import pstats
+from typing import Dict, Iterator, List, Optional
+
+
+@contextlib.contextmanager
+def maybe_profile(enabled: bool = True) -> Iterator[Optional[cProfile.Profile]]:
+    """Profile the body when ``enabled``; yields the profiler or None."""
+    if not enabled:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+
+
+def top_entries(
+    profiler: cProfile.Profile, limit: int = 10, sort: str = "cumulative"
+) -> List[Dict[str, object]]:
+    """The ``limit`` hottest rows as dicts (ncalls/tottime/cumtime/where)."""
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    stats.sort_stats(sort)
+    rows: List[Dict[str, object]] = []
+    for func in stats.fcn_list[:limit]:  # fcn_list is set by sort_stats
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, line, name = func
+        where = name if filename == "~" else f"{name} ({filename}:{line})"
+        rows.append(
+            {
+                "ncalls": nc if cc == nc else f"{nc}/{cc}",
+                "tottime": tt,
+                "cumtime": ct,
+                "function": where,
+            }
+        )
+    return rows
+
+
+def format_top_entries(rows: List[Dict[str, object]]) -> str:
+    """Plain-text table of :func:`top_entries` rows."""
+    lines = [f"{'ncalls':>12}  {'tottime':>9}  {'cumtime':>9}  function"]
+    for row in rows:
+        lines.append(
+            f"{str(row['ncalls']):>12}  {row['tottime']:>9.4f}  "
+            f"{row['cumtime']:>9.4f}  {row['function']}"
+        )
+    return "\n".join(lines)

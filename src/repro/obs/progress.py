@@ -1,0 +1,112 @@
+"""Live progress reporting for long campaigns and parallel sweeps.
+
+A :class:`ProgressLine` tracks units of work done against a known total
+and renders a single status line — done/total, percentage, elapsed, ETA,
+plus a caller-supplied suffix (e.g. cache hits).  Rendering is decoupled
+from tracking:
+
+* :meth:`advance`/:meth:`render` are thread-safe (the parallel sweep
+  executor advances from future-done callbacks) and always available;
+* *in-place* terminal output (carriage-return overwrite) only happens
+  when the stream is a TTY, so piped output, logs and test captures stay
+  clean by default.
+
+Progress never touches simulation state, so enabling it cannot change a
+measured number.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Optional, TextIO
+
+
+def format_eta(seconds: float) -> str:
+    """Compact duration: 42s, 3m10s, 2h05m."""
+    seconds = max(0, int(round(seconds)))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressLine:
+    """Done/total tracker with an optional in-place terminal line."""
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        label: str = "progress",
+        stream: Optional[TextIO] = None,
+        enabled: Optional[bool] = None,
+        done: int = 0,
+    ) -> None:
+        self.total = max(0, total)
+        self.label = label
+        self.done = min(done, self.total)
+        self._stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            isatty = getattr(self._stream, "isatty", None)
+            enabled = bool(isatty()) if callable(isatty) else False
+        self._enabled = enabled
+        self._started = time.monotonic()
+        #: work already done before tracking began (excluded from ETA rate)
+        self._predone = self.done
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether in-place terminal rendering is on."""
+        return self._enabled
+
+    def eta_seconds(self) -> Optional[float]:
+        """Projected seconds to finish, from this run's own rate.
+
+        None until at least one unit completed *in this run* (previously
+        completed units — e.g. a resumed campaign — carry no rate
+        information).
+        """
+        fresh = self.done - self._predone
+        if fresh <= 0 or self.done >= self.total:
+            return None
+        elapsed = time.monotonic() - self._started
+        return (self.total - self.done) * (elapsed / fresh)
+
+    def render(self, extra: str = "") -> str:
+        """The status line for the current state."""
+        pct = (100.0 * self.done / self.total) if self.total else 100.0
+        parts = [f"{self.label}: {self.done}/{self.total} ({pct:.0f}%)"]
+        parts.append(f"elapsed {format_eta(time.monotonic() - self._started)}")
+        eta = self.eta_seconds()
+        if eta is not None:
+            parts.append(f"ETA {format_eta(eta)}")
+        if extra:
+            parts.append(extra)
+        return " · ".join(parts)
+
+    def advance(self, amount: int = 1, extra: str = "") -> str:
+        """Record completed work; redraw the line when on a TTY.
+
+        Returns the rendered line so callers routing output elsewhere
+        (e.g. a campaign's ``echo``) can reuse it.
+        """
+        with self._lock:
+            self.done = min(self.done + amount, self.total)
+            line = self.render(extra)
+            if self._enabled:
+                self._stream.write("\r\x1b[2K" + line)
+                self._stream.flush()
+        return line
+
+    def finish(self) -> None:
+        """Terminate the in-place line (newline) if one was drawn."""
+        with self._lock:
+            if self._enabled:
+                self._stream.write("\n")
+                self._stream.flush()

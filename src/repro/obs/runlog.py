@@ -1,0 +1,156 @@
+"""Structured JSONL run logs: the on-disk form of a telemetry snapshot.
+
+One run = one ``telemetry.jsonl``: a sequence of small JSON records, one
+per line, so logs stream, append, and grep well.  The schema (version
+:data:`SCHEMA_VERSION`) is deliberately flat:
+
+* ``{"kind": "meta", "schema": 1, "code_version": ..., "created": ...,
+  **run_metadata}`` — exactly one, first;
+* ``{"kind": "phase", "name": ..., "seconds": ..., "events": ...,
+  "events_per_sec": ...}`` — one per timed stage;
+* ``{"kind": "counter", "name": ..., "value": ...}`` — one per counter;
+* ``{"kind": "gauge", "name": ..., "value": ...}`` — one per gauge;
+* ``{"kind": "summary", "wall_clock_seconds": ..., "engine_events": ...,
+  "engine_run_seconds": ..., "events_per_sec": ...}`` — exactly one,
+  last.
+
+Consumers that only need the totals read the last line; time-series
+consumers (e.g. long-range-correlation analysis of churn) get every
+record timestamp-free and reproducible.  :func:`summarize_records`
+reassembles the records into the same dict shape as
+:meth:`~repro.obs.telemetry.Telemetry.snapshot`, so the CLI's ``stats``
+command and the in-process ``profile`` path share one renderer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro._version import __version__
+from repro.errors import SerializationError
+from repro.obs.telemetry import Telemetry
+
+#: Bump when the record layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Canonical file name inside a run directory.
+TELEMETRY_FILENAME = "telemetry.jsonl"
+
+
+def telemetry_records(
+    telemetry: Telemetry, extra_meta: Optional[Dict[str, object]] = None
+) -> List[Dict[str, object]]:
+    """The snapshot as a list of JSONL-ready records (meta first)."""
+    snapshot = telemetry.snapshot()
+    meta: Dict[str, object] = dict(snapshot["meta"])
+    meta.update(extra_meta or {})
+    # Reserved record fields always win over run metadata of the same name.
+    meta.update(
+        {
+            "kind": "meta",
+            "schema": SCHEMA_VERSION,
+            "code_version": __version__,
+            "created": telemetry.created,
+        }
+    )
+    records: List[Dict[str, object]] = [meta]
+    for phase in snapshot["phases"]:
+        records.append({"kind": "phase", **phase})
+    for name in sorted(snapshot["counters"]):
+        records.append(
+            {"kind": "counter", "name": name, "value": snapshot["counters"][name]}
+        )
+    for name in sorted(snapshot["gauges"]):
+        records.append(
+            {"kind": "gauge", "name": name, "value": snapshot["gauges"][name]}
+        )
+    records.append({"kind": "summary", **snapshot["summary"]})
+    return records
+
+
+def write_telemetry_jsonl(
+    telemetry: Telemetry,
+    path: Union[str, Path],
+    *,
+    extra_meta: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write one run's telemetry as JSONL; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        json.dumps(record, sort_keys=False, separators=(",", ":"))
+        for record in telemetry_records(telemetry, extra_meta)
+    ]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a JSONL file into its records (blank lines ignored)."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SerializationError(f"cannot read telemetry log {path}: {exc}") from exc
+    records: List[Dict[str, object]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"{path}:{lineno}: malformed JSONL record: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise SerializationError(
+                f"{path}:{lineno}: expected a JSON object, got {type(record).__name__}"
+            )
+        records.append(record)
+    return records
+
+
+def find_telemetry_file(path: Union[str, Path]) -> Path:
+    """Resolve a run directory (or direct file path) to its telemetry log."""
+    path = Path(path)
+    if path.is_dir():
+        candidate = path / TELEMETRY_FILENAME
+        if not candidate.exists():
+            raise SerializationError(
+                f"no {TELEMETRY_FILENAME} in run directory {path}"
+            )
+        return candidate
+    if not path.exists():
+        raise SerializationError(f"telemetry log {path} does not exist")
+    return path
+
+
+def summarize_records(records: List[Dict[str, object]]) -> Dict[str, object]:
+    """Reassemble JSONL records into a snapshot-shaped dict.
+
+    Inverse of :func:`telemetry_records` up to the extra ``meta`` keys
+    the writer adds (schema/code_version/created stay in ``meta``).
+    """
+    summary: Dict[str, object] = {
+        "meta": {},
+        "phases": [],
+        "counters": {},
+        "gauges": {},
+        "summary": {},
+    }
+    for record in records:
+        kind = record.get("kind")
+        if kind == "meta":
+            summary["meta"] = {k: v for k, v in record.items() if k != "kind"}
+        elif kind == "phase":
+            summary["phases"].append({k: v for k, v in record.items() if k != "kind"})
+        elif kind == "counter":
+            summary["counters"][str(record.get("name"))] = record.get("value")
+        elif kind == "gauge":
+            summary["gauges"][str(record.get("name"))] = record.get("value")
+        elif kind == "summary":
+            summary["summary"] = {k: v for k, v in record.items() if k != "kind"}
+        # unknown kinds are skipped: forward compatibility for new records
+    return summary

@@ -1,0 +1,317 @@
+"""The telemetry hub: named counters, phase timers and gauges.
+
+The paper's argument rests on *measured* rates — churn at monitors,
+processor busy time, queue occupancy (Sec. 1, Fig. 2) — and the same
+standard applies to the simulator itself: a run should be able to report
+how many events it executed, at what rate, and where the wall-clock time
+went.  This module is the collection point.  Components report into one
+:class:`Telemetry` object:
+
+* the **engine** reports events executed and run wall-clock
+  (:meth:`on_engine_run`), from which events/sec falls out;
+* the **network** reports deliveries (:meth:`on_delivery`) and in-flight
+  drops on failed links (:meth:`on_drop`);
+* **nodes** report processed updates by sender relationship and kind
+  (:meth:`on_update`) and decision-process runs (:meth:`on_decision`);
+* **MRAI output channels** report sends, out-queue invalidations and
+  timer wakeups (:meth:`on_mrai_send` and friends);
+* experiment drivers wrap their stages in :meth:`phase` timers
+  ("topology-gen", "warmup", "measured", "analysis"), which also snapshot
+  the engine's event counter for a per-phase events/sec.
+
+Overhead contract
+-----------------
+Telemetry is **disabled by default** and must be near-free when off.
+Every instrumented component holds a :data:`NULL_TELEMETRY` sink — the
+null-object pattern — whose hooks are empty methods, so the disabled hot
+path pays one attribute access plus a no-op call per *message* (never per
+engine event: the engine's per-event loop is not instrumented at all;
+event counts are sampled from ``Engine.executed_events`` at ``run()`` and
+phase boundaries, which costs nothing per event).
+
+Enabling is explicit and scoped: :func:`telemetry_session` installs a hub
+as the ambient sink; :class:`~repro.sim.network.SimNetwork` objects built
+inside the session report into it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Dict, Iterator, List, Optional
+
+
+class _NullPhase:
+    """Context manager that does nothing (shared singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class NullTelemetry:
+    """The disabled sink: every hook is a no-op.
+
+    Stateless and shared (:data:`NULL_TELEMETRY`); components call its
+    methods unconditionally, so the enabled/disabled decision is made
+    once at wiring time instead of per message.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """No-op."""
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """No-op."""
+
+    def on_engine_run(self, events: int, seconds: float) -> None:
+        """No-op."""
+
+    def on_delivery(self, is_withdrawal: bool) -> None:
+        """No-op."""
+
+    def on_drop(self) -> None:
+        """No-op."""
+
+    def on_update(self, relationship: object, is_withdrawal: bool) -> None:
+        """No-op."""
+
+    def on_decision(self) -> None:
+        """No-op."""
+
+    def on_mrai_send(self, is_withdrawal: bool) -> None:
+        """No-op."""
+
+    def on_mrai_invalidation(self) -> None:
+        """No-op."""
+
+    def on_mrai_wakeup(self) -> None:
+        """No-op."""
+
+    def phase(self, name: str, engine: Optional[object] = None) -> _NullPhase:
+        """No-op timer (a shared null context manager)."""
+        return _NULL_PHASE
+
+
+#: The process-wide disabled sink. Components default to this object.
+NULL_TELEMETRY = NullTelemetry()
+
+
+class _Phase:
+    """One timed stage; accumulates into the owning hub on exit."""
+
+    __slots__ = ("_telemetry", "_name", "_engine", "_started", "_events_before")
+
+    def __init__(
+        self, telemetry: "Telemetry", name: str, engine: Optional[object]
+    ) -> None:
+        self._telemetry = telemetry
+        self._name = name
+        self._engine = engine
+        self._started = 0.0
+        self._events_before = 0
+
+    def __enter__(self) -> "_Phase":
+        self._started = time.perf_counter()
+        if self._engine is not None:
+            self._events_before = self._engine.executed_events
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        elapsed = time.perf_counter() - self._started
+        events = (
+            self._engine.executed_events - self._events_before
+            if self._engine is not None
+            else 0
+        )
+        self._telemetry.record_phase(self._name, elapsed, events)
+        return False
+
+
+class Telemetry:
+    """A live telemetry hub.
+
+    Counters are monotonic named integers; gauges are last-write-wins
+    floats; phases accumulate wall-clock seconds (and, when an engine is
+    passed to :meth:`phase`, executed-event deltas) under a name.  The
+    whole state is exportable as a plain dict (:meth:`snapshot`) and as a
+    JSONL run log (:func:`repro.obs.runlog.write_telemetry_jsonl`).
+    """
+
+    enabled = True
+
+    def __init__(self, meta: Optional[Dict[str, object]] = None) -> None:
+        self.meta: Dict[str, object] = dict(meta or {})
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.phase_seconds: Dict[str, float] = {}
+        self.phase_events: Dict[str, int] = {}
+        self.engine_events = 0
+        self.engine_seconds = 0.0
+        self.created = time.time()
+        self._started = time.perf_counter()
+        #: relationship -> counter-name cache (avoids per-update f-strings)
+        self._relationship_keys: Dict[object, str] = {}
+
+    # ------------------------------------------------------------------
+    # Generic instruments
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the named counter (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def phase(self, name: str, engine: Optional[object] = None) -> _Phase:
+        """Time a stage: ``with telemetry.phase("warmup", engine=e): ...``.
+
+        Re-entering the same name accumulates; ``engine`` (anything with
+        an ``executed_events`` attribute) adds a per-phase event count.
+        """
+        return _Phase(self, name, engine)
+
+    def record_phase(self, name: str, seconds: float, events: int = 0) -> None:
+        """Accumulate one completed stage (the :meth:`phase` exit path)."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+        self.phase_events[name] = self.phase_events.get(name, 0) + events
+
+    # ------------------------------------------------------------------
+    # Component hooks
+    # ------------------------------------------------------------------
+    def on_engine_run(self, events: int, seconds: float) -> None:
+        """One ``Engine.run`` call finished: ``events`` in ``seconds``."""
+        self.engine_events += events
+        self.engine_seconds += seconds
+
+    def on_delivery(self, is_withdrawal: bool) -> None:
+        """The network delivered one update message."""
+        self.inc("network.deliveries")
+        if is_withdrawal:
+            self.inc("network.deliveries.withdrawals")
+
+    def on_drop(self) -> None:
+        """An in-flight message was dropped (failed link)."""
+        self.inc("network.drops")
+
+    def on_update(self, relationship: object, is_withdrawal: bool) -> None:
+        """A node processed one update from a neighbour of ``relationship``."""
+        self.inc("node.updates")
+        key = self._relationship_keys.get(relationship)
+        if key is None:
+            key = f"node.updates.from_{getattr(relationship, 'value', relationship)}"
+            self._relationship_keys[relationship] = key
+        self.inc(key)
+        if is_withdrawal:
+            self.inc("node.updates.withdrawals")
+        else:
+            self.inc("node.updates.announcements")
+
+    def on_decision(self) -> None:
+        """A node ran its decision process for one prefix."""
+        self.inc("node.decision_runs")
+
+    def on_mrai_send(self, is_withdrawal: bool) -> None:
+        """An output channel put one update on the wire."""
+        self.inc("mrai.sends")
+        if is_withdrawal:
+            self.inc("mrai.sends.withdrawals")
+
+    def on_mrai_invalidation(self) -> None:
+        """A queued update was replaced by a newer one before sending."""
+        self.inc("mrai.invalidations")
+
+    def on_mrai_wakeup(self) -> None:
+        """An MRAI timer expiry was serviced."""
+        self.inc("mrai.wakeups")
+
+    # ------------------------------------------------------------------
+    # Readout
+    # ------------------------------------------------------------------
+    @property
+    def wall_clock_seconds(self) -> float:
+        """Seconds since this hub was created."""
+        return time.perf_counter() - self._started
+
+    @property
+    def events_per_sec(self) -> float:
+        """Aggregate engine throughput across all instrumented runs."""
+        if self.engine_seconds <= 0:
+            return 0.0
+        return self.engine_events / self.engine_seconds
+
+    def phases(self) -> List[Dict[str, object]]:
+        """Per-phase breakdown rows, in first-recorded order."""
+        rows = []
+        for name, seconds in self.phase_seconds.items():
+            events = self.phase_events.get(name, 0)
+            rows.append(
+                {
+                    "name": name,
+                    "seconds": seconds,
+                    "events": events,
+                    "events_per_sec": (events / seconds) if seconds > 0 else 0.0,
+                }
+            )
+        return rows
+
+    def snapshot(self) -> Dict[str, object]:
+        """The full state as JSON-ready primitives."""
+        return {
+            "meta": dict(self.meta),
+            "phases": self.phases(),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "summary": {
+                "wall_clock_seconds": self.wall_clock_seconds,
+                "engine_events": self.engine_events,
+                "engine_run_seconds": self.engine_seconds,
+                "events_per_sec": self.events_per_sec,
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Ambient telemetry
+# ----------------------------------------------------------------------
+_CURRENT: "NullTelemetry | Telemetry" = NULL_TELEMETRY
+
+
+def current_telemetry() -> "NullTelemetry | Telemetry":
+    """The ambient sink new networks and experiment drivers report into.
+
+    :data:`NULL_TELEMETRY` unless a :func:`telemetry_session` is active.
+    """
+    return _CURRENT
+
+
+@contextlib.contextmanager
+def telemetry_session(
+    telemetry: Optional[Telemetry] = None,
+) -> Iterator[Telemetry]:
+    """Install ``telemetry`` (a fresh hub if None) as the ambient sink.
+
+    Sessions nest; the previous sink is restored on exit.  Objects built
+    *inside* the session keep their reference, so a network outliving the
+    session keeps reporting into the same hub — by design, a hub is
+    per-run state, not a global registry.
+    """
+    global _CURRENT
+    hub = telemetry if telemetry is not None else Telemetry()
+    previous = _CURRENT
+    _CURRENT = hub
+    try:
+        yield hub
+    finally:
+        _CURRENT = previous

@@ -14,9 +14,11 @@ instead of a hang.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import ConvergenceError, SimulationError
+from repro.obs.telemetry import NULL_TELEMETRY
 
 Callback = Callable[[], None]
 
@@ -32,6 +34,12 @@ class Engine:
         self._queue: List[Tuple[float, int, Callback]] = []
         self._next_sequence = 0
         self.executed_events = 0
+        #: Observability sink (null object by default).  The per-event
+        #: loop is deliberately uninstrumented — event counts come from
+        #: ``executed_events`` snapshots at :meth:`run` boundaries, so a
+        #: disabled sink costs one attribute check per ``run()`` call,
+        #: nothing per event.
+        self.telemetry = NULL_TELEMETRY
 
     def schedule(self, delay: float, callback: Callback) -> None:
         """Run ``callback`` ``delay`` seconds from the current time."""
@@ -128,6 +136,25 @@ class Engine:
         moves backwards, so relative scheduling stays consistent across
         repeated ``run(until=...)`` calls.
         """
+        if self.telemetry.enabled:
+            before = self.executed_events
+            started = time.perf_counter()
+            try:
+                self._drain(until=until, max_events=max_events)
+            finally:
+                self.telemetry.on_engine_run(
+                    self.executed_events - before, time.perf_counter() - started
+                )
+            return
+        self._drain(until=until, max_events=max_events)
+
+    def _drain(
+        self,
+        *,
+        until: Optional[float],
+        max_events: int,
+    ) -> None:
+        """The :meth:`run` loop body (uninstrumented)."""
         if until is not None:
             until = max(until, self.now)
         executed = 0

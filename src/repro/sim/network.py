@@ -22,6 +22,7 @@ from repro.bgp.node import BGPNode
 from repro.bgp.route import stable_hash
 from repro.errors import SimulationError
 from repro.bgp.events import Delivery
+from repro.obs.telemetry import current_telemetry
 from repro.sim.counters import UpdateCounter
 from repro.sim.engine import DEFAULT_MAX_EVENTS, Engine
 from repro.sim.trace import MonitorTrace
@@ -38,6 +39,7 @@ class SimNetwork:
         config: Optional[BGPConfig] = None,
         *,
         seed: int = 0,
+        telemetry=None,
     ) -> None:
         self.graph = graph
         self.config = config if config is not None else BGPConfig()
@@ -46,6 +48,11 @@ class SimNetwork:
         self.counter = UpdateCounter()
         self.trace: Optional[MonitorTrace] = None
         self.delivered_messages = 0
+        # The telemetry sink (ambient session unless passed explicitly)
+        # is shared by the engine, every node and every output channel;
+        # it observes the run without influencing any RNG or event order.
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
+        self.engine.telemetry = self.telemetry
         self.nodes: Dict[int, BGPNode] = {}
         for node in graph.nodes():
             rng = random.Random(stable_hash(seed, node.node_id))
@@ -57,6 +64,7 @@ class SimNetwork:
                 config=self.config,
                 rng=rng,
                 transmit=self._transmit,
+                telemetry=self.telemetry,
             )
 
     # ------------------------------------------------------------------
@@ -84,6 +92,7 @@ class SimNetwork:
                 message.sender,
                 is_withdrawal=message.is_withdrawal,
             )
+        self.telemetry.on_delivery(message.is_withdrawal)
         receiver.receive(message)
 
     # ------------------------------------------------------------------

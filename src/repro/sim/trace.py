@@ -94,12 +94,19 @@ class MonitorTrace:
         if hi <= lo:
             raise ParameterError("empty analysis window")
         series: List[Tuple[float, float]] = []
+        # Edges are computed as lo + i * bin_width rather than by repeated
+        # addition: accumulating `edge += bin_width` drifts by an ulp per
+        # bin, which after thousands of bins moves edges past arrival
+        # timestamps and miscounts bins at exact-multiple arrival times.
+        index = 0
         edge = lo
         while edge < hi:
+            next_edge = lo + (index + 1) * bin_width
             left = bisect.bisect_left(times, edge)
-            right = bisect.bisect_left(times, edge + bin_width)
+            right = bisect.bisect_left(times, next_edge)
             series.append((edge, (right - left) / bin_width))
-            edge += bin_width
+            index += 1
+            edge = next_edge
         return series
 
     def burstiness(

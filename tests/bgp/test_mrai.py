@@ -185,3 +185,110 @@ class TestReset:
         # gate re-opened: next update queues against a fresh timer at now
         _, wakeup = ch.set_target(0, (9,), now=12.0)
         assert wakeup == pytest.approx(22.0)
+
+
+class TestPerPrefixGatePruning:
+    """Expired per-prefix gates must not accumulate (unbounded growth bug)."""
+
+    def test_wakeup_prunes_expired_gates(self):
+        ch = channel(mrai_mode=MRAIMode.PER_PREFIX)
+        for prefix in range(50):
+            ch.set_target(prefix, (9,), now=0.0)  # all gates at 10
+        ch.wakeup(now=10.0)  # flush everything
+        assert ch.pending_count == 0
+        # Regression: the gates of already-flushed prefixes used to stay in
+        # _prefix_gates forever; after the re-armed gates (20) expire, a
+        # wakeup must drop them all.
+        ch.wakeup(now=25.0)
+        assert ch._prefix_gates == {}
+
+    def test_pruning_preserves_semantics(self):
+        # An expired gate behaves exactly like a missing one, so pruning
+        # must not change what a later update for that prefix does.
+        pruned = channel(mrai_mode=MRAIMode.PER_PREFIX)
+        pruned.set_target(0, (9,), now=0.0)
+        pruned.wakeup(now=10.0)   # sent; gate re-armed to 20
+        pruned.wakeup(now=30.0)   # nothing pending: prunes the stale gate
+        assert pruned._prefix_gates == {}
+        _, wakeup = pruned.set_target(0, (8, 9), now=31.0)
+        assert wakeup == pytest.approx(41.0)  # fresh timer from now
+
+    def test_pending_prefix_gates_survive_pruning(self):
+        ch = channel(mrai_mode=MRAIMode.PER_PREFIX)
+        ch.set_target(0, (9,), now=0.0)   # gate 10
+        ch.wakeup(now=10.0)               # sent, re-armed to 20
+        ch.set_target(1, (7,), now=15.0)  # gate 25, pending
+        messages, next_wakeup = ch.wakeup(now=22.0)  # prefix-0 gate stale
+        assert messages == []
+        assert next_wakeup == pytest.approx(25.0)
+        assert ch._prefix_gates == {1: pytest.approx(25.0)}
+        flushed, _ = ch.wakeup(now=25.0)
+        assert [m.prefix for m in flushed] == [1]
+
+    def test_dump_load_roundtrip_after_pruning(self):
+        ch = channel(mrai_mode=MRAIMode.PER_PREFIX)
+        for prefix in range(5):
+            ch.set_target(prefix, (9,), now=0.0)
+        ch.wakeup(now=10.0)
+        ch.set_target(0, (8, 9), now=12.0)  # pending again, gate 20
+        ch.wakeup(now=15.0)                 # prunes prefixes 1..4
+        state = ch.dump_state()
+        restored = channel(mrai_mode=MRAIMode.PER_PREFIX)
+        restored.load_state(state)
+        assert restored.dump_state() == state
+        a, wa = ch.wakeup(now=20.0)
+        b, wb = restored.wakeup(now=20.0)
+        assert [m.prefix for m in a] == [m.prefix for m in b] == [0]
+        assert wa == wb
+
+
+class TestWakeupEdgeCases:
+    """Timer edge cases at the node level: stale and early wakeups."""
+
+    def test_early_wakeup_sends_nothing_and_reports_gate(self):
+        ch = channel()
+        _, gate = ch.set_target(0, (9,), now=0.0)
+        messages, next_wakeup = ch.wakeup(now=gate - 1.0)
+        assert messages == []
+        assert next_wakeup == pytest.approx(gate)
+        assert ch.pending_count == 1
+        # The real expiry still flushes normally afterwards.
+        flushed, _ = ch.wakeup(now=gate)
+        assert len(flushed) == 1
+
+    def test_early_wakeup_per_prefix(self):
+        ch = channel(mrai_mode=MRAIMode.PER_PREFIX)
+        _, gate = ch.set_target(0, (9,), now=0.0)
+        messages, next_wakeup = ch.wakeup(now=gate - 1.0)
+        assert messages == []
+        assert next_wakeup == pytest.approx(gate)
+        flushed, _ = ch.wakeup(now=gate)
+        assert [m.prefix for m in flushed] == [0]
+
+    def test_superseded_wakeup_is_ignored_by_node(self, diamond, fast_config):
+        from repro.sim.network import SimNetwork
+
+        network = SimNetwork(diamond, fast_config, seed=3)
+        node = network.node(2)
+        # Arm a wakeup at a late time, then supersede it with an earlier
+        # one; delivering the stale MRAIWakeup must be a no-op.
+        node._schedule_wakeup(4, 50.0)
+        node._schedule_wakeup(4, 20.0)
+        assert node._wakeup_at[4] == 20.0
+        node._mrai_wakeup(4, 50.0)  # stale: at != scheduled
+        assert node._wakeup_at[4] == 20.0  # untouched, no send attempted
+
+    def test_wakeup_before_gate_reschedules(self, diamond, fast_config):
+        from repro.sim.network import SimNetwork
+
+        network = SimNetwork(diamond, fast_config, seed=3)
+        node = network.node(2)
+        ch = node.channel(4)
+        _, gate = ch.set_target(0, (9,), now=0.0)
+        assert gate is not None
+        # Fire the node's wakeup handler before the gate expires: nothing
+        # may be sent, and the correct next wakeup must be re-armed.
+        node._wakeup_at[4] = 5.0
+        node._mrai_wakeup(4, 5.0)
+        assert ch.pending_count == 1
+        assert node._wakeup_at[4] == pytest.approx(gate)

@@ -256,6 +256,39 @@ class TestIntrospection:
         assert node.busy_time > 0
         assert node.max_queue_length >= 1
 
+    def test_busy_time_excludes_interrupted_service(self, diamond):
+        # Regression: busy_time used to accrue the full drawn service delay
+        # at _start_service, so a run halted mid-service reported more busy
+        # seconds than simulated seconds — occupancy (busy_time / horizon)
+        # above 1.0 in the ext_load accounting.  Accrual-on-completion
+        # bounds every node's busy_time by the simulated horizon.
+        config = BGPConfig(
+            mrai=0.0, link_delay=0.0001, processing_time_max=10.0
+        )
+        network = SimNetwork(diamond, config, seed=6)
+        network.originate(4, 0)
+        horizon = 0.002  # far shorter than a typical drawn service time
+        network.engine.run(until=horizon)
+        assert any(node._busy for node in network.nodes.values())
+        for node in network.nodes.values():
+            assert node.busy_time <= network.engine.now
+
+    def test_busy_time_matches_horizonless_run(self, diamond, fast_config):
+        # Fully drained runs complete every started service, so the fix
+        # changes nothing there: interrupt-and-continue equals one shot.
+        one_shot = SimNetwork(diamond, fast_config, seed=6)
+        one_shot.originate(4, 0)
+        one_shot.run_to_convergence()
+
+        stepped = SimNetwork(diamond, fast_config, seed=6)
+        stepped.originate(4, 0)
+        stepped.engine.run(until=0.002)
+        stepped.run_to_convergence()
+        for node_id in stepped.nodes:
+            assert stepped.node(node_id).busy_time == pytest.approx(
+                one_shot.node(node_id).busy_time
+            )
+
 
 class TestQueueing:
     def test_queue_length_visible(self):

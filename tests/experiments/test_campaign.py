@@ -98,3 +98,53 @@ class TestParallelCampaign:
         assert (tmp_path / "warm" / "campaign.json").read_bytes() == (
             serial_output / "campaign.json"
         ).read_bytes()
+
+
+class TestCampaignObservability:
+    def test_telemetry_jsonl_written(self, campaign):
+        from repro.obs import read_jsonl, summarize_records
+
+        _, output = campaign
+        records = read_jsonl(output / "telemetry.jsonl")
+        assert records[0]["kind"] == "meta"
+        assert records[0]["run_kind"] == "campaign"
+        assert records[0]["scale"] == "tiny-campaign"
+        assert records[-1]["kind"] == "summary"
+        snapshot = summarize_records(records)
+        # The campaign's simulations reported into the ambient hub ...
+        assert snapshot["counters"]["network.deliveries"] > 0
+        assert snapshot["summary"]["engine_events"] > 0
+        assert snapshot["summary"]["events_per_sec"] > 0
+        # ... with the per-phase wall-clock breakdown of the sweep loop.
+        names = {phase["name"] for phase in snapshot["phases"]}
+        assert {"topology-gen", "warmup", "measured", "analysis"} <= names
+        # cache accounting: the TINY campaign reuses the Baseline sweep
+        assert snapshot["counters"].get("cache.memory_hits", 0) > 0
+
+    def test_telemetry_does_not_change_artifacts(self, campaign, tmp_path):
+        # Telemetry and the progress line are pure observers: forcing the
+        # progress line on and collecting telemetry yields a byte-identical
+        # campaign.json.
+        _, serial_output = campaign
+        cache.clear_cache()
+        output = tmp_path / "observed"
+        summary = run_campaign(
+            TINY, seed=5, output_dir=output, show_progress=False
+        )
+        cache.clear_cache()
+        assert summary.passed == load_and_pass(serial_output)
+        assert (output / "campaign.json").read_bytes() == (
+            serial_output / "campaign.json"
+        ).read_bytes()
+
+    def test_progress_line_forced_on(self, tmp_path, capsys):
+        cache.clear_cache()
+        run_campaign(TINY, seed=5, show_progress=True)
+        cache.clear_cache()
+        err = capsys.readouterr().err
+        assert "experiments:" in err
+        assert "(100%)" in err
+
+
+def load_and_pass(output):
+    return all(result.passed for result in load_results(output / "campaign.json"))

@@ -234,3 +234,76 @@ class TestCheckpointCommand:
         out = capsys.readouterr().out
         assert "FAIL" in out
         assert "digest mismatch" in out
+
+
+class TestProfileCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["profile", "fig01"])
+        assert args.experiment == "fig01"
+        assert args.output is None
+        assert args.top == 10
+        assert args.no_profile is False
+
+    def test_profile_fig01(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["profile", "fig01", "--scale", "smoke", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        # human-readable summary: run totals, phases and hotspots
+        assert "run summary" in out
+        assert "events/sec" in out
+        assert "per-phase breakdown" in out
+        assert "top 10 functions by cumulative time" in out
+        assert "cumtime" in out
+        # and the JSONL artifact next to it
+        default = tmp_path / "fig01-telemetry.jsonl"
+        assert default.exists()
+        from repro.obs import read_jsonl
+
+        records = read_jsonl(default)
+        assert records[0]["kind"] == "meta"
+        assert records[0]["experiment"] == "fig01"
+        assert records[-1]["kind"] == "summary"
+
+    def test_profile_explicit_output_and_no_profile(self, tmp_path, capsys):
+        target = tmp_path / "out" / "t.jsonl"
+        code = main(
+            [
+                "profile",
+                "fig01",
+                "--scale",
+                "smoke",
+                "--no-profile",
+                "-o",
+                str(target),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert target.exists()
+        assert "run summary" in out
+        assert "top 10 functions" not in out  # cProfile skipped
+
+    def test_profile_unknown_experiment_exits_2(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["profile", "fig99", "--scale", "smoke"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestStatsCommand:
+    def test_stats_of_profile_run(self, tmp_path, capsys):
+        target = tmp_path / "telemetry.jsonl"
+        main(["profile", "fig01", "--scale", "smoke", "-o", str(target)])
+        capsys.readouterr()
+        # by direct file path
+        assert main(["stats", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "run summary" in out
+        assert "experiment=fig01" in out
+        # and by run directory
+        assert main(["stats", str(tmp_path)]) == 0
+        assert "run summary" in capsys.readouterr().out
+
+    def test_stats_missing_log_exits_2(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path)]) == 2
+        assert "error" in capsys.readouterr().err

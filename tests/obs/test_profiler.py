@@ -1,0 +1,60 @@
+"""Tests for the opt-in cProfile hooks."""
+
+from repro.obs.profiler import format_top_entries, maybe_profile, top_entries
+
+
+def busy_function():
+    return sum(i * i for i in range(2000))
+
+
+class TestMaybeProfile:
+    def test_disabled_yields_none(self):
+        with maybe_profile(enabled=False) as profiler:
+            busy_function()
+        assert profiler is None
+
+    def test_enabled_yields_profiler(self):
+        with maybe_profile() as profiler:
+            busy_function()
+        assert profiler is not None
+        rows = top_entries(profiler, limit=10)
+        assert 0 < len(rows) <= 10
+
+    def test_profiler_disabled_after_exit_on_error(self):
+        try:
+            with maybe_profile() as profiler:
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        # Must be usable afterwards: the profiler was cleanly disabled.
+        assert isinstance(top_entries(profiler, limit=5), list)
+
+
+class TestTopEntries:
+    def test_rows_have_expected_fields(self):
+        with maybe_profile() as profiler:
+            busy_function()
+        rows = top_entries(profiler, limit=3)
+        for row in rows:
+            assert set(row) == {"ncalls", "tottime", "cumtime", "function"}
+            assert row["cumtime"] >= row["tottime"] >= 0
+
+    def test_limit_respected(self):
+        with maybe_profile() as profiler:
+            busy_function()
+        assert len(top_entries(profiler, limit=1)) == 1
+
+    def test_sorted_by_cumulative(self):
+        with maybe_profile() as profiler:
+            busy_function()
+        rows = top_entries(profiler, limit=10)
+        cumtimes = [row["cumtime"] for row in rows]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+
+    def test_format_is_tabular(self):
+        with maybe_profile() as profiler:
+            busy_function()
+        text = format_top_entries(top_entries(profiler, limit=3))
+        lines = text.splitlines()
+        assert "ncalls" in lines[0] and "cumtime" in lines[0]
+        assert len(lines) == 4

@@ -1,0 +1,82 @@
+"""Tests for the live progress line."""
+
+import io
+import threading
+
+from repro.obs.progress import ProgressLine, format_eta
+
+
+class TestFormatEta:
+    def test_bands(self):
+        assert format_eta(42) == "42s"
+        assert format_eta(190) == "3m10s"
+        assert format_eta(7500) == "2h05m"
+        assert format_eta(-3) == "0s"
+
+
+class TestProgressLine:
+    def test_advance_and_render(self):
+        line = ProgressLine(4, label="units", enabled=False)
+        text = line.advance()
+        assert text.startswith("units: 1/4 (25%)")
+        line.advance(2)
+        assert line.done == 3
+        assert "3/4 (75%)" in line.render()
+
+    def test_extra_suffix(self):
+        line = ProgressLine(2, enabled=False)
+        assert "5 cache hit(s)" in line.advance(extra="5 cache hit(s)")
+
+    def test_never_exceeds_total(self):
+        line = ProgressLine(2, enabled=False)
+        line.advance(10)
+        assert line.done == 2
+        assert "(100%)" in line.render()
+
+    def test_eta_appears_after_first_unit(self):
+        line = ProgressLine(10, enabled=False)
+        assert line.eta_seconds() is None
+        line.advance()
+        assert line.eta_seconds() is not None
+        assert "ETA" in line.render()
+
+    def test_resumed_work_excluded_from_eta(self):
+        # A resumed campaign starts with done > 0; those units carry no
+        # rate information, so ETA must wait for fresh completions.
+        line = ProgressLine(10, done=5, enabled=False)
+        assert line.done == 5
+        assert line.eta_seconds() is None
+        line.advance()
+        assert line.eta_seconds() is not None
+
+    def test_non_tty_stream_disables_rendering(self):
+        stream = io.StringIO()  # isatty() -> False
+        line = ProgressLine(2, stream=stream)
+        assert not line.enabled
+        line.advance()
+        line.finish()
+        assert stream.getvalue() == ""
+
+    def test_enabled_writes_in_place(self):
+        stream = io.StringIO()
+        line = ProgressLine(2, stream=stream, enabled=True, label="x")
+        line.advance()
+        line.finish()
+        output = stream.getvalue()
+        assert output.startswith("\r\x1b[2K")
+        assert "x: 1/2" in output
+        assert output.endswith("\n")
+
+    def test_thread_safe_advance(self):
+        line = ProgressLine(400, enabled=False)
+
+        def worker():
+            for _ in range(100):
+                line.advance()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert line.done == 400

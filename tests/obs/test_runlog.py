@@ -1,0 +1,103 @@
+"""Tests for the JSONL run-log writer/reader."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.obs.runlog import (
+    SCHEMA_VERSION,
+    TELEMETRY_FILENAME,
+    find_telemetry_file,
+    read_jsonl,
+    summarize_records,
+    telemetry_records,
+    write_telemetry_jsonl,
+)
+from repro.obs.telemetry import Telemetry
+
+
+def populated_hub():
+    t = Telemetry(meta={"experiment": "fig04", "seed": 3})
+    t.inc("network.deliveries", 10)
+    t.inc("mrai.sends", 10)
+    t.set_gauge("campaign.wall_clock_seconds", 1.25)
+    t.record_phase("warmup", 0.5, events=100)
+    t.record_phase("measured", 1.5, events=400)
+    t.on_engine_run(500, 2.0)
+    return t
+
+
+class TestRecords:
+    def test_meta_first_summary_last(self):
+        records = telemetry_records(populated_hub())
+        assert records[0]["kind"] == "meta"
+        assert records[0]["schema"] == SCHEMA_VERSION
+        assert records[0]["experiment"] == "fig04"
+        assert "code_version" in records[0]
+        assert records[-1]["kind"] == "summary"
+        assert records[-1]["engine_events"] == 500
+
+    def test_extra_meta_merged(self):
+        records = telemetry_records(populated_hub(), {"run_id": "abc"})
+        assert records[0]["run_id"] == "abc"
+
+    def test_one_record_per_instrument(self):
+        records = telemetry_records(populated_hub())
+        kinds = [r["kind"] for r in records]
+        assert kinds.count("phase") == 2
+        assert kinds.count("counter") == 2
+        assert kinds.count("gauge") == 1
+
+
+class TestRoundtrip:
+    def test_write_read_summarize(self, tmp_path):
+        hub = populated_hub()
+        path = write_telemetry_jsonl(hub, tmp_path / "run" / TELEMETRY_FILENAME)
+        assert path.exists()
+        snapshot = summarize_records(read_jsonl(path))
+        original = hub.snapshot()
+        assert snapshot["counters"] == original["counters"]
+        assert snapshot["gauges"] == original["gauges"]
+        assert snapshot["phases"] == original["phases"]
+        assert snapshot["summary"]["engine_events"] == 500
+        assert snapshot["meta"]["experiment"] == "fig04"
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "meta"}\nnot json\n', encoding="utf-8")
+        with pytest.raises(SerializationError, match="bad.jsonl:2"):
+            read_jsonl(path)
+
+    def test_non_object_record_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2, 3]\n", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            read_jsonl(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"kind": "meta"}\n\n{"kind": "summary"}\n', encoding="utf-8")
+        assert len(read_jsonl(path)) == 2
+
+    def test_unknown_kinds_skipped(self):
+        snapshot = summarize_records(
+            [{"kind": "meta"}, {"kind": "frobnicate", "x": 1}, {"kind": "summary"}]
+        )
+        assert snapshot["counters"] == {}
+
+
+class TestFindTelemetryFile:
+    def test_resolves_run_directory(self, tmp_path):
+        target = tmp_path / TELEMETRY_FILENAME
+        target.write_text("", encoding="utf-8")
+        assert find_telemetry_file(tmp_path) == target
+
+    def test_direct_file_passthrough(self, tmp_path):
+        target = tmp_path / "custom.jsonl"
+        target.write_text("", encoding="utf-8")
+        assert find_telemetry_file(target) == target
+
+    def test_missing_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            find_telemetry_file(tmp_path)
+        with pytest.raises(SerializationError):
+            find_telemetry_file(tmp_path / "nope.jsonl")

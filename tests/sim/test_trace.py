@@ -60,6 +60,25 @@ class TestRateSeries:
         with pytest.raises(ParameterError):
             trace.rate_series(1.0, start=10.0, end=5.0)
 
+    def test_no_bin_edge_drift_over_long_window(self):
+        # Regression: edges accumulated as `edge += bin_width` drift by an
+        # ulp per bin; with one arrival at every exact multiple of 0.1 the
+        # drifted edges land past some timestamps, yielding bins counting
+        # 0 or 2 arrivals.  Exact edges (lo + i * width) count 1 everywhere.
+        bin_width = 0.1
+        arrivals = [i * bin_width for i in range(5000)]
+        trace = self.make_trace(arrivals)
+        series = trace.rate_series(bin_width, start=0.0, end=500.0)
+        assert len(series) == 5000
+        counts = {round(rate * bin_width) for _, rate in series}
+        assert counts == {1}
+
+    def test_edges_are_exact_multiples(self):
+        trace = self.make_trace([0.0])
+        series = trace.rate_series(0.1, start=0.0, end=100.0)
+        for index, (edge, _rate) in enumerate(series):
+            assert edge == 0.0 + index * 0.1
+
 
 class TestBurstiness:
     def test_peak_to_mean(self):
