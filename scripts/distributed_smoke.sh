@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Distributed determinism smoke test.
+#
+# Runs the same campaign twice — once serially, once as a coordinator
+# with two worker processes — and diffs the artifacts byte-for-byte.
+# Any scheduling, framing, or merge-order bug in the distributed layer
+# shows up as a diff here.  summary.txt is excluded (it reports wall
+# clock and worker counts, which legitimately differ).
+set -euo pipefail
+
+SCALE="${REPRO_SCALE:-smoke}"
+PORT="${1:-7799}"
+WORK="$(mktemp -d)"
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+export PYTHONPATH=src
+
+echo "== serial campaign (scale=$SCALE) =="
+python -m repro.experiments.cli campaign --scale "$SCALE" -o "$WORK/serial"
+
+echo "== distributed campaign: coordinator + 2 workers =="
+python -m repro.experiments.cli serve --scale "$SCALE" -o "$WORK/dist" \
+    --bind "127.0.0.1:$PORT" --lease-timeout 30 &
+SERVE_PID=$!
+# Workers retry with backoff, so they may start before the port is up.
+python -m repro.experiments.cli worker "127.0.0.1:$PORT" --quiet &
+python -m repro.experiments.cli worker "127.0.0.1:$PORT" --quiet &
+wait "$SERVE_PID"
+
+echo "== diffing artifacts =="
+diff "$WORK/serial/campaign.json" "$WORK/dist/campaign.json"
+diff "$WORK/serial/campaign.md" "$WORK/dist/campaign.md"
+echo "OK: distributed campaign.json and campaign.md are byte-identical to serial"

@@ -20,7 +20,9 @@ from __future__ import annotations
 import dataclasses
 import logging
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -48,6 +50,11 @@ DEFAULT_SIZES = (400, 800, 1200, 1600, 2000)
 
 #: Env var for the crash-injection test hook (see :func:`maybe_inject_fault`).
 FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
+
+#: Companion env var selecting the injected fault's behaviour:
+#: ``exit`` (default — die hard) or ``sleep:<seconds>`` (hang, for
+#: timeout tests).  Both fire exactly once, disarmed by the marker file.
+FAULT_MODE_ENV = "REPRO_FAULT_MODE"
 
 #: Signature of a progress callback: (scenario, n, stats).
 ProgressFn = Callable[[str, int, CEventStats], None]
@@ -154,16 +161,38 @@ def split_origins(origins: Sequence[int], num_batches: int) -> List[List[int]]:
     return batches
 
 
+def _fault_mode() -> tuple:
+    """Parse ``REPRO_FAULT_MODE``: ("exit",) or ("sleep", seconds)."""
+    mode = os.environ.get(FAULT_MODE_ENV, "exit")
+    if mode == "exit":
+        return ("exit",)
+    if mode.startswith("sleep:"):
+        try:
+            seconds = float(mode.split(":", 1)[1])
+        except ValueError as exc:
+            raise ExperimentError(
+                f"malformed {FAULT_MODE_ENV} value {mode!r} "
+                "(want 'exit' or 'sleep:<seconds>')"
+            ) from exc
+        return ("sleep", seconds)
+    raise ExperimentError(
+        f"malformed {FAULT_MODE_ENV} value {mode!r} "
+        "(want 'exit' or 'sleep:<seconds>')"
+    )
+
+
 def maybe_inject_fault(unit: SweepUnit, events_done: int) -> None:
-    """Crash-injection hook for fault-tolerance tests.
+    """Fault-injection hook for fault-tolerance and timeout tests.
 
     When ``REPRO_FAULT_INJECT`` is set to
     ``"scenario:n:batch_index:event_index:marker_path"``, the process
-    executing the matching unit dies hard (``os._exit``) once it reaches
-    the given measured-event count — exactly once: the marker file is
-    created before dying, and a set marker disarms the hook, so the
-    retried unit survives.  Inherited by pool workers through the
-    environment under both fork and spawn start methods.
+    executing the matching unit misbehaves once it reaches the given
+    measured-event count: it dies hard (``os._exit``) by default, or
+    hangs for ``REPRO_FAULT_MODE=sleep:<seconds>`` — exactly once either
+    way: the marker file is created before the fault fires, and a set
+    marker disarms the hook, so the retried unit survives.  Inherited by
+    pool workers through the environment under both fork and spawn start
+    methods.
 
     A no-op unless the env var is set; production runs never pay for it.
     """
@@ -178,12 +207,16 @@ def maybe_inject_fault(unit: SweepUnit, events_done: int) -> None:
             f"malformed {FAULT_INJECT_ENV} spec {spec!r} "
             "(want scenario:n:batch_index:event_index:marker_path)"
         ) from exc
+    mode = _fault_mode()  # validate eagerly, even when the unit won't match
     if (unit.scenario.upper(), unit.n, unit.batch_index, events_done) != wanted:
         return
     marker_path = Path(marker)
     if marker_path.exists():
         return
     marker_path.write_text("fault injected\n", encoding="utf-8")
+    if mode[0] == "sleep":
+        time.sleep(mode[1])
+        return
     os._exit(1)
 
 
@@ -240,6 +273,7 @@ def _run_units_parallel(
     checkpoint_dir: Optional[Union[str, Path]],
     checkpoint_every: int,
     on_unit_done: Optional[UnitDoneFn] = None,
+    unit_timeout: Optional[float] = None,
 ) -> List[CEventBatchResult]:
     """Fan units out over a process pool, surviving worker deaths.
 
@@ -250,10 +284,21 @@ def _run_units_parallel(
     With checkpointing enabled the retry resumes from the dead worker's
     last checkpoint instead of starting over.  Unit *errors* (in the
     simulation itself) are not retried; they propagate as before.
+
+    ``unit_timeout`` bounds how long the collector waits on any single
+    unit's future: a hung worker (stuck I/O, runaway loop) can no longer
+    stall the sweep forever.  Timed-out units take the same recovery
+    path as ``BrokenProcessPool`` — the pool's processes are killed and
+    the units re-run serially from their checkpoints.  The wait starts
+    when collection reaches the unit, so the bound is conservative
+    (units run concurrently while earlier ones are being collected);
+    pick a timeout comfortably above one unit's expected wall clock.
     """
     results: List[Optional[CEventBatchResult]] = [None] * len(units)
     failed: List[int] = []
-    with ProcessPoolExecutor(max_workers=min(jobs, len(units))) as pool:
+    timed_out: List[int] = []
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(units)))
+    try:
         futures = [
             pool.submit(_run_unit, unit, checkpoint_dir, checkpoint_every)
             for unit in units
@@ -265,19 +310,33 @@ def _run_units_parallel(
             for unit, future in zip(units, futures):
                 future.add_done_callback(
                     lambda fut, unit=unit: (
-                        on_unit_done(unit) if fut.exception() is None else None
+                        on_unit_done(unit)
+                        if not fut.cancelled() and fut.exception() is None
+                        else None
                     )
                 )
         for index, future in enumerate(futures):
             try:
-                results[index] = future.result()
+                results[index] = future.result(timeout=unit_timeout)
             except BrokenProcessPool:
                 failed.append(index)
-    for index in failed:
+            except FutureTimeoutError:
+                timed_out.append(index)
+                future.cancel()  # no-op if running; stops a queued unit
+    finally:
+        if timed_out:
+            # The hung workers still occupy the pool; a graceful shutdown
+            # would block on them forever.  Kill the whole pool — every
+            # collectible result is already in hand.
+            for process in list((getattr(pool, "_processes", None) or {}).values()):
+                process.kill()
+        pool.shutdown(wait=True, cancel_futures=True)
+    for index in failed + sorted(timed_out):
         unit = units[index]
         _LOG.warning(
-            "worker died while running sweep unit %s n=%d batch %d/%d; "
+            "worker %s while running sweep unit %s n=%d batch %d/%d; "
             "re-running serially%s",
+            "timed out" if index in timed_out else "died",
             unit.scenario,
             unit.n,
             unit.batch_index,
@@ -326,6 +385,21 @@ def _sweep_units(
     ]
 
 
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Validated worker count: None → 1 (serial), 0 → auto (CPU count).
+
+    Raises :class:`~repro.errors.ExperimentError` on negative values —
+    nothing downstream ever sees a ``ProcessPoolExecutor(max_workers<=0)``.
+    """
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ExperimentError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
 def run_growth_sweep(
     scenario: str,
     *,
@@ -340,6 +414,8 @@ def run_growth_sweep(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 1,
     on_unit_done: Optional[UnitDoneFn] = None,
+    unit_timeout: Optional[float] = None,
+    coordinator: Optional[object] = None,
 ) -> SweepResult:
     """Run a full size sweep for one named growth scenario.
 
@@ -347,20 +423,28 @@ def run_growth_sweep(
     different scenarios at the same (seed, size) share nothing but remain
     individually reproducible.
 
-    ``jobs`` > 1 fans the work units out over a process pool; results are
-    merged in fixed (size, batch) order, so the returned numbers are
-    bit-identical to a serial run.  A unit whose worker process dies is
-    re-run serially instead of aborting the sweep.  ``origin_batch_size``
-    bounds how many origins one unit simulates: smaller batches expose
-    more parallelism within a single size (each batch runs on its own
-    deterministically seeded network, so the batch size — unlike ``jobs``
-    — is part of the sweep's reproducibility key).
+    ``jobs`` > 1 fans the work units out over a process pool (``0`` =
+    one worker per CPU); results are merged in fixed (size, batch)
+    order, so the returned numbers are bit-identical to a serial run.  A
+    unit whose worker process dies is re-run serially instead of
+    aborting the sweep, and ``unit_timeout`` additionally bounds how
+    long any single unit may keep the sweep waiting (hung workers take
+    the same serial-retry path).  ``origin_batch_size`` bounds how many
+    origins one unit simulates: smaller batches expose more parallelism
+    within a single size (each batch runs on its own deterministically
+    seeded network, so the batch size — unlike ``jobs`` — is part of the
+    sweep's reproducibility key).
 
     ``checkpoint_dir`` enables per-unit checkpoints every
     ``checkpoint_every`` measured C-events (see
     :mod:`repro.checkpoint.batch`): interrupted or crashed units resume
     mid-batch instead of restarting.  Checkpointing never changes the
     returned numbers.
+
+    ``coordinator`` — a started :class:`repro.dist.Coordinator` — routes
+    the units to remote pull-based workers instead of local processes
+    (``jobs`` is then ignored).  Distribution never changes the returned
+    numbers either: every execution mode is bit-identical.
 
     ``on_unit_done`` is invoked once per completed work unit (live, i.e.
     in completion order under parallel execution) — the hook behind the
@@ -379,12 +463,17 @@ def run_growth_sweep(
         dict(scenario_kwargs or {}),
         origin_batch_size,
     )
-    effective_jobs = 1 if jobs is None else jobs
-    if effective_jobs < 0:
-        raise ExperimentError(f"jobs must be >= 0, got {jobs}")
-    if effective_jobs > 1 and len(units) > 1:
+    effective_jobs = resolve_jobs(jobs)
+    if coordinator is not None:
+        batch_results = coordinator.run_units(units, on_unit_done=on_unit_done)
+    elif effective_jobs > 1 and len(units) > 1:
         batch_results = _run_units_parallel(
-            units, effective_jobs, checkpoint_dir, checkpoint_every, on_unit_done
+            units,
+            effective_jobs,
+            checkpoint_dir,
+            checkpoint_every,
+            on_unit_done,
+            unit_timeout,
         )
     else:
         batch_results = []
@@ -426,6 +515,8 @@ def run_scenario_comparison(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 1,
     on_unit_done: Optional[UnitDoneFn] = None,
+    unit_timeout: Optional[float] = None,
+    coordinator: Optional[object] = None,
 ) -> Dict[str, SweepResult]:
     """Sweep several scenarios over the same size grid (Fig. 8–11 style)."""
     results: Dict[str, SweepResult] = {}
@@ -442,5 +533,7 @@ def run_scenario_comparison(
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=checkpoint_every,
             on_unit_done=on_unit_done,
+            unit_timeout=unit_timeout,
+            coordinator=coordinator,
         )
     return results

@@ -1,0 +1,42 @@
+"""Distributed campaign execution: coordinator/worker over TCP.
+
+The sweeps behind every figure decompose into independent
+:class:`~repro.core.sweep.SweepUnit` work items (PR 1), each of which is
+deterministically seeded and checkpointable (PR 2).  This package fans
+those units out across worker *processes on other hosts*:
+
+* :mod:`repro.dist.protocol` — the wire format: length-prefixed
+  canonical-JSON frames with a versioned, strictly-decoded schema;
+* :mod:`repro.dist.coordinator` — the server side: a lease-based unit
+  queue with heartbeat tracking and lost-worker requeue;
+* :mod:`repro.dist.worker` — the client side: a pull loop that executes
+  units (resuming from checkpoints after a crash) and streams results
+  and telemetry back.
+
+Because every unit derives its seeds from the sweep's master seed alone
+and results are merged in a fixed order, a distributed run produces
+numbers *bit-identical* to a serial one — distribution is purely a
+throughput and robustness layer.
+"""
+
+from repro.dist.coordinator import Coordinator, DEFAULT_PORT, parse_address
+from repro.dist.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameStream,
+    decode_frame_payload,
+    encode_frame,
+)
+from repro.dist.worker import run_worker
+
+__all__ = [
+    "Coordinator",
+    "DEFAULT_PORT",
+    "FrameStream",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "decode_frame_payload",
+    "encode_frame",
+    "parse_address",
+    "run_worker",
+]

@@ -1,0 +1,600 @@
+"""The coordinator: a lease-based sweep-unit queue served over TCP.
+
+One :class:`Coordinator` lives inside the campaign process (``repro-bgp
+serve``).  Workers connect at any time, register, and *pull* leases; the
+campaign thread hands each sweep's unit list to :meth:`run_units` and
+blocks until every slot is filled, exactly where the process-pool
+executor would have blocked — so the distributed path slots under
+:func:`~repro.experiments.cache.cached_sweep` and inherits the PR-1
+cache short-circuit unchanged (a cached sweep never reaches the wire).
+
+Scheduling is lease-based:
+
+* a granted unit carries a **deadline**; heartbeats from the executing
+  worker renew it;
+* a worker that disconnects (crash, kill -9 → socket EOF) has its leases
+  requeued immediately;
+* a worker that goes *silent* while its connection stays open (hung
+  host) has its lease expire at the deadline and the unit is re-leased
+  to the next idle worker;
+* duplicate results — the original worker finishing after its lease was
+  re-assigned — are deduplicated by the unit's content key
+  (:func:`~repro.checkpoint.batch.unit_checkpoint_key`): the first
+  result wins, later ones are acknowledged as duplicates and discarded.
+  Every unit is deterministically seeded, so *which* result wins is
+  irrelevant — they are bit-identical.
+
+Results are placed into submission-order slots before the merge, so a
+distributed sweep returns numbers bit-identical to a serial run.
+Worker-side telemetry counters arriving in RESULT frames are aggregated
+into the ambient :func:`~repro.obs.telemetry.current_telemetry` hub
+under a ``worker.`` prefix; purely observational.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import socket
+import threading
+import time
+import uuid
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.checkpoint.batch import unit_checkpoint_key
+from repro.core.cevent import CEventBatchResult
+from repro.core.sweep import SweepUnit, UnitDoneFn
+from repro.dist.protocol import (
+    MSG_HEARTBEAT,
+    MSG_LEASE,
+    MSG_NACK,
+    MSG_REGISTER,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    FrameStream,
+    batch_result_from_wire,
+    unit_to_wire,
+)
+from repro.errors import DistributedError, ProtocolError
+from repro.obs.progress import ProgressLine, format_eta
+from repro.obs.telemetry import current_telemetry
+
+_LOG = logging.getLogger(__name__)
+
+#: Default TCP port for ``repro-bgp serve`` (unassigned by IANA).
+DEFAULT_PORT = 7787
+
+#: How long an idle worker is told to wait before asking again.
+_RETRY_AFTER_S = 0.5
+
+
+def parse_address(address: str, *, default_port: int = DEFAULT_PORT) -> Tuple[str, int]:
+    """Split ``host:port`` (port optional) into a connectable pair."""
+    text = address.strip()
+    if not text:
+        raise DistributedError("empty coordinator address")
+    if ":" in text:
+        host, _, port_text = text.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError as exc:
+            raise DistributedError(
+                f"malformed coordinator address {address!r} (want host:port)"
+            ) from exc
+    else:
+        host, port = text, default_port
+    if not 0 <= port <= 65535:
+        raise DistributedError(f"port {port} outside 0..65535")
+    return host or "127.0.0.1", port
+
+
+@dataclasses.dataclass
+class _WorkerState:
+    """Everything the coordinator tracks about one connected worker."""
+
+    worker_id: str
+    address: str
+    stream: FrameStream
+    connected_at: float
+    units_done: int = 0
+    busy_seconds: float = 0.0
+    #: unit keys currently leased to this worker
+    leases: set = dataclasses.field(default_factory=set)
+    #: serializes frame writes (the handler thread vs the close broadcast)
+    send_lock: threading.Lock = dataclasses.field(default_factory=threading.Lock)
+
+    def send(self, message: Dict[str, object]) -> None:
+        with self.send_lock:
+            self.stream.send(message)
+
+
+@dataclasses.dataclass
+class _UnitJob:
+    """One distinct unit of the active sweep (dedup'd by content key)."""
+
+    key: str
+    unit: SweepUnit
+    #: result slots this job fills (submission-order indices)
+    indices: List[int]
+    lease_id: Optional[str] = None
+    worker_id: Optional[str] = None
+    deadline: float = 0.0
+    requeues: int = 0
+
+    @property
+    def leased(self) -> bool:
+        return self.lease_id is not None
+
+
+class Coordinator:
+    """Serve sweep units to pull-based workers over TCP.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`address` reports
+    the actual endpoint.  The object is a context manager: entering
+    starts the accept loop, exiting broadcasts SHUTDOWN to connected
+    workers and closes the listener.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        lease_timeout: float = 60.0,
+        echo: Optional[Callable[[str], None]] = None,
+        show_progress: Optional[bool] = None,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise DistributedError(
+                f"lease_timeout must be > 0, got {lease_timeout}"
+            )
+        self._host = host
+        self._port = port
+        self.lease_timeout = lease_timeout
+        #: workers should heartbeat a few times per lease window
+        self.heartbeat_interval = max(0.05, lease_timeout / 4.0)
+        self._echo = echo
+        self._show_progress = show_progress
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._closing = threading.Event()
+        self._cond = threading.Condition()
+        # --- all state below is guarded by self._cond ---
+        self._workers: Dict[str, _WorkerState] = {}
+        self._worker_counter = 0
+        self._jobs: Dict[str, _UnitJob] = {}  # active run, by unit key
+        self._queue: List[str] = []  # unleased job keys, FIFO
+        self._results: List[Optional[CEventBatchResult]] = []
+        self._filled = 0
+        self._failure: Optional[str] = None
+        self._on_unit_done: Optional[UnitDoneFn] = None
+        self._progress: Optional[ProgressLine] = None
+        # cumulative stats (over the coordinator's lifetime)
+        self.units_completed = 0
+        self.dedupe_hits = 0
+        self.requeues = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); raises unless :meth:`start` ran."""
+        if self._listener is None:
+            raise DistributedError("coordinator is not listening")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "Coordinator":
+        """Bind, listen, and start accepting workers in the background."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((self._host, self._port))
+        except OSError as exc:
+            listener.close()
+            raise DistributedError(
+                f"cannot bind coordinator to {self._host}:{self._port}: {exc}"
+            ) from exc
+        listener.listen(64)
+        # A short accept timeout keeps the loop responsive to close().
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="dist-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Shut down: broadcast SHUTDOWN, drop workers, stop listening."""
+        if self._closing.is_set():
+            return
+        self._closing.set()
+        with self._cond:
+            workers = list(self._workers.values())
+            self._cond.notify_all()
+        for worker in workers:
+            try:
+                worker.send({"type": MSG_SHUTDOWN})
+            except (OSError, ProtocolError):
+                pass
+        # Give workers a moment to say goodbye on their own (their
+        # connection threads then clean up) before forcing sockets shut.
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            with self._cond:
+                if not self._workers:
+                    break
+            time.sleep(0.05)
+        with self._cond:
+            leftover = list(self._workers.values())
+        for worker in leftover:
+            worker.stream.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        if self._listener is not None:
+            self._listener.close()
+
+    def __enter__(self) -> "Coordinator":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @property
+    def worker_count(self) -> int:
+        """Currently connected (registered) workers."""
+        with self._cond:
+            return len(self._workers)
+
+    def worker_stats(self) -> List[Dict[str, object]]:
+        """Per-worker completion stats (for the campaign summary)."""
+        with self._cond:
+            return [
+                {
+                    "worker_id": worker.worker_id,
+                    "address": worker.address,
+                    "units_done": worker.units_done,
+                    "busy_seconds": worker.busy_seconds,
+                }
+                for worker in self._workers.values()
+            ]
+
+    # ------------------------------------------------------------------
+    # The blocking executor interface (what the sweep layer calls)
+    # ------------------------------------------------------------------
+    def run_units(
+        self,
+        units: Sequence[SweepUnit],
+        on_unit_done: Optional[UnitDoneFn] = None,
+    ) -> List[CEventBatchResult]:
+        """Distribute ``units`` and block until all results are in.
+
+        Results come back in submission order, exactly like the serial
+        and process-pool executors, so the downstream merge is identical.
+        Raises :class:`~repro.errors.DistributedError` if a worker NACKs
+        a unit (deterministic simulation errors propagate, mirroring the
+        serial path) or the coordinator is shut down mid-sweep.
+        """
+        if self._listener is None:
+            raise DistributedError("coordinator is not listening; call start()")
+        with self._cond:
+            if self._jobs:
+                raise DistributedError("a distributed sweep is already running")
+            self._results = [None] * len(units)
+            self._filled = 0
+            self._failure = None
+            self._on_unit_done = on_unit_done
+            for index, unit in enumerate(units):
+                key = unit_checkpoint_key(unit)
+                job = self._jobs.get(key)
+                if job is not None:  # identical unit twice in one sweep
+                    job.indices.append(index)
+                    self.dedupe_hits += 1
+                    continue
+                self._jobs[key] = _UnitJob(key=key, unit=unit, indices=[index])
+                self._queue.append(key)
+            self._progress = ProgressLine(
+                total=len(units),
+                label=f"units[{units[0].scenario.upper()}]" if units else "units",
+                enabled=self._show_progress,
+            )
+            self._cond.notify_all()
+            try:
+                while self._filled < len(units) and self._failure is None:
+                    if self._closing.is_set():
+                        raise DistributedError(
+                            "coordinator shut down with units outstanding"
+                        )
+                    self._requeue_expired_locked()
+                    self._cond.wait(timeout=0.2)
+                if self._failure is not None:
+                    raise DistributedError(self._failure)
+                results = list(self._results)
+            finally:
+                self._jobs.clear()
+                self._queue.clear()
+                self._results = []
+                self._on_unit_done = None
+                if self._progress is not None:
+                    self._progress.finish()
+                    self._progress = None
+        return results  # type: ignore[return-value]  # all slots filled
+
+    # ------------------------------------------------------------------
+    # Lease bookkeeping (all *_locked helpers expect self._cond held)
+    # ------------------------------------------------------------------
+    def _requeue_expired_locked(self) -> None:
+        now = time.monotonic()
+        for job in self._jobs.values():
+            if job.leased and job.indices and now > job.deadline:
+                _LOG.warning(
+                    "lease %s on unit n=%d batch %d expired (worker %s silent); "
+                    "requeueing",
+                    job.lease_id,
+                    job.unit.n,
+                    job.unit.batch_index,
+                    job.worker_id,
+                )
+                self._release_job_locked(job)
+
+    def _release_job_locked(self, job: _UnitJob) -> None:
+        """Return a leased, unfinished job to the queue."""
+        worker = self._workers.get(job.worker_id or "")
+        if worker is not None:
+            worker.leases.discard(job.key)
+        job.lease_id = None
+        job.worker_id = None
+        job.deadline = 0.0
+        job.requeues += 1
+        self.requeues += 1
+        if job.key not in self._queue:
+            self._queue.append(job.key)
+        self._cond.notify_all()
+
+    def _next_lease_locked(self, worker: _WorkerState) -> Optional[_UnitJob]:
+        while self._queue:
+            key = self._queue.pop(0)
+            job = self._jobs.get(key)
+            if job is None or job.leased or not job.indices:
+                continue
+            job.lease_id = uuid.uuid4().hex
+            job.worker_id = worker.worker_id
+            job.deadline = time.monotonic() + self.lease_timeout
+            worker.leases.add(key)
+            return job
+        return None
+
+    def _progress_extra_locked(self) -> str:
+        workers = len(self._workers)
+        busy = sum(1 for worker in self._workers.values() if worker.leases)
+        parts = [f"{busy}/{workers} worker(s) busy"]
+        if self.requeues:
+            parts.append(f"{self.requeues} requeued")
+        if self.dedupe_hits:
+            parts.append(f"{self.dedupe_hits} deduped")
+        # Per-worker ETA: mean unit cost over the busy workers' throughput.
+        done = [w for w in self._workers.values() if w.units_done]
+        if done and workers:
+            mean_unit = sum(w.busy_seconds for w in done) / sum(
+                w.units_done for w in done
+            )
+            remaining = len(self._results) - self._filled
+            if remaining > 0:
+                parts.append(
+                    f"~{format_eta(mean_unit * remaining / workers)}/worker"
+                )
+        return ", ".join(parts)
+
+    # ------------------------------------------------------------------
+    # Per-connection protocol loop
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closing.is_set():
+            try:
+                conn, addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            conn.settimeout(None)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn, f"{addr[0]}:{addr[1]}"),
+                name=f"dist-conn-{addr[1]}",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket, address: str) -> None:
+        stream = FrameStream(conn)
+        worker: Optional[_WorkerState] = None
+        try:
+            # Keep serving even while closing: the worker exits on its own
+            # after the SHUTDOWN broadcast, and cutting the socket first
+            # would RST away the buffered goodbye.  close() force-closes
+            # stragglers, which lands here as OSError/EOF.
+            while True:
+                try:
+                    message = stream.recv()
+                except ProtocolError as exc:
+                    _LOG.warning("dropping %s: %s", address, exc)
+                    break
+                if message is None:  # peer closed
+                    break
+                kind = message["type"]
+                if kind == MSG_REGISTER:
+                    worker = self._handle_register(stream, address)
+                elif worker is None:
+                    _LOG.warning(
+                        "%s sent %s before registering; dropping", address, kind
+                    )
+                    break
+                elif kind == MSG_LEASE:
+                    self._handle_lease_request(worker)
+                elif kind == MSG_HEARTBEAT:
+                    self._handle_heartbeat(worker, message)
+                elif kind == MSG_RESULT:
+                    self._handle_result(worker, message)
+                elif kind == MSG_NACK:
+                    self._handle_nack(worker, message)
+                elif kind == MSG_SHUTDOWN:  # worker says goodbye
+                    break
+        except OSError:
+            pass  # connection reset mid-reply: treated like EOF below
+        finally:
+            stream.close()
+            if worker is not None:
+                self._forget_worker(worker)
+
+    def _handle_register(
+        self, stream: FrameStream, address: str
+    ) -> _WorkerState:
+        with self._cond:
+            self._worker_counter += 1
+            worker = _WorkerState(
+                worker_id=f"w{self._worker_counter}",
+                address=address,
+                stream=stream,
+                connected_at=time.monotonic(),
+            )
+            self._workers[worker.worker_id] = worker
+            self._cond.notify_all()
+        if self._echo is not None:
+            self._echo(f"worker {worker.worker_id} joined from {address}")
+        worker.send(
+            {
+                "type": MSG_REGISTER,
+                "worker_id": worker.worker_id,
+                "heartbeat_interval_s": self.heartbeat_interval,
+                "lease_timeout_s": self.lease_timeout,
+            }
+        )
+        return worker
+
+    def _handle_lease_request(self, worker: _WorkerState) -> None:
+        with self._cond:
+            job = self._next_lease_locked(worker)
+        if self._closing.is_set():
+            worker.send({"type": MSG_SHUTDOWN})
+            return
+        if job is None:
+            worker.send(
+                {"type": MSG_LEASE, "unit": None, "retry_after_s": _RETRY_AFTER_S}
+            )
+            return
+        worker.send(
+            {
+                "type": MSG_LEASE,
+                "unit": unit_to_wire(job.unit),
+                "unit_key": job.key,
+                "lease_id": job.lease_id,
+                "lease_timeout_s": self.lease_timeout,
+            }
+        )
+
+    def _handle_heartbeat(self, worker: _WorkerState, message: dict) -> None:
+        lease_id = message.get("lease_id")
+        known = False
+        with self._cond:
+            for job in self._jobs.values():
+                if job.lease_id == lease_id and job.worker_id == worker.worker_id:
+                    job.deadline = time.monotonic() + self.lease_timeout
+                    known = True
+                    break
+        worker.send({"type": MSG_HEARTBEAT, "known": known})
+
+    def _handle_result(self, worker: _WorkerState, message: dict) -> None:
+        key = message.get("unit_key")
+        try:
+            result = batch_result_from_wire(message["result"])
+        except (KeyError, ProtocolError) as exc:
+            worker.send(
+                {"type": MSG_RESULT, "accepted": False, "error": str(exc)}
+            )
+            return
+        accepted = False
+        with self._cond:
+            job = self._jobs.get(key) if isinstance(key, str) else None
+            if job is not None and job.indices:
+                for index in job.indices:
+                    self._results[index] = result
+                self._filled += len(job.indices)
+                self.units_completed += 1
+                worker.units_done += 1
+                worker.busy_seconds += float(
+                    message.get("wall_clock_seconds") or result.wall_clock_seconds
+                )
+                worker.leases.discard(job.key)
+                done_unit, done_count = job.unit, len(job.indices)
+                job.indices = []  # job closed; late duplicates are discarded
+                job.lease_id = None
+                accepted = True
+                on_unit_done = self._on_unit_done
+                if self._progress is not None:
+                    self._progress.advance(
+                        amount=done_count, extra=self._progress_extra_locked()
+                    )
+                self._cond.notify_all()
+        self._absorb_telemetry(message.get("telemetry"))
+        worker.send(
+            {
+                "type": MSG_RESULT,
+                "accepted": accepted,
+                "duplicate": not accepted,
+            }
+        )
+        if accepted and on_unit_done is not None:
+            for _ in range(done_count):
+                on_unit_done(done_unit)
+
+    def _handle_nack(self, worker: _WorkerState, message: dict) -> None:
+        error = str(message.get("error") or "unit failed on worker")
+        with self._cond:
+            job = None
+            for candidate in self._jobs.values():
+                if candidate.lease_id == message.get("lease_id"):
+                    job = candidate
+                    break
+            if job is not None:
+                # Deterministic simulation errors are not retried (the
+                # serial executor would have raised too); fail the sweep.
+                self._failure = (
+                    f"worker {worker.worker_id} failed unit n={job.unit.n} "
+                    f"batch {job.unit.batch_index}: {error}"
+                )
+            else:
+                self._failure = f"worker {worker.worker_id} reported: {error}"
+            self._cond.notify_all()
+        worker.send({"type": MSG_NACK})
+
+    def _forget_worker(self, worker: _WorkerState) -> None:
+        with self._cond:
+            self._workers.pop(worker.worker_id, None)
+            for key in list(worker.leases):
+                job = self._jobs.get(key)
+                if job is not None and job.indices:
+                    _LOG.warning(
+                        "worker %s disconnected holding unit n=%d batch %d; "
+                        "requeueing",
+                        worker.worker_id,
+                        job.unit.n,
+                        job.unit.batch_index,
+                    )
+                    self._release_job_locked(job)
+            worker.leases.clear()
+            self._cond.notify_all()
+        if self._echo is not None and not self._closing.is_set():
+            self._echo(f"worker {worker.worker_id} left")
+
+    @staticmethod
+    def _absorb_telemetry(counters: object) -> None:
+        """Fold worker-side counters into the ambient hub (observational)."""
+        if not isinstance(counters, dict):
+            return
+        telemetry = current_telemetry()
+        if not telemetry.enabled:
+            return
+        for name, value in counters.items():
+            if isinstance(name, str) and isinstance(value, int):
+                telemetry.inc(f"worker.{name}", value)

@@ -38,3 +38,11 @@ class SerializationError(ReproError):
 
 class CheckpointError(ReproError):
     """A simulation checkpoint could not be captured, read, or restored."""
+
+
+class ProtocolError(ReproError):
+    """A distributed-execution wire frame is malformed or incompatible."""
+
+
+class DistributedError(ReproError):
+    """A distributed campaign failed at the coordinator/worker layer."""

@@ -40,7 +40,7 @@ from repro.bgp.config import BGPConfig
 from repro.core.sweep import ProgressFn, SweepResult, UnitDoneFn, run_growth_sweep
 from repro.errors import SerializationError
 from repro.obs.telemetry import current_telemetry
-from repro.experiments.results_io import load_sweep, save_sweep
+from repro.experiments.results_io import load_sweep, sweep_result_to_dict
 from repro.experiments.scale import Scale
 
 #: Bump when the simulation's measured quantities change meaning, to
@@ -119,6 +119,11 @@ class SweepExecution:
     checkpoint_every: int = 1
     #: live per-unit completion hook (the CLI progress line); observational
     on_unit_done: Optional[UnitDoneFn] = None
+    #: upper bound on one unit's collection wait under parallel execution
+    unit_timeout: Optional[float] = None
+    #: a started repro.dist Coordinator: route sweep units to remote
+    #: workers instead of local processes (jobs is then ignored)
+    coordinator: Optional[object] = None
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
@@ -149,6 +154,8 @@ def sweep_execution(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 1,
     on_unit_done: Optional[UnitDoneFn] = None,
+    unit_timeout: Optional[float] = None,
+    coordinator: Optional[object] = None,
 ) -> Iterator[SweepExecution]:
     """Install an execution context for the duration of a ``with`` block."""
     global _EXECUTION
@@ -160,6 +167,8 @@ def sweep_execution(
         checkpoint_dir=Path(checkpoint_dir) if checkpoint_dir is not None else None,
         checkpoint_every=checkpoint_every,
         on_unit_done=on_unit_done,
+        unit_timeout=unit_timeout,
+        coordinator=coordinator,
     )
     try:
         yield _EXECUTION
@@ -172,6 +181,107 @@ def sweep_execution(
 # ----------------------------------------------------------------------
 def _disk_path(cache_dir: Path, key: str) -> Path:
     return cache_dir / f"sweep-{key}.json"
+
+
+def _write_entry(path: Path, result: SweepResult, key: str) -> None:
+    """Persist one sweep with provenance metadata (atomic tmp + rename).
+
+    The embedded ``cache_meta`` block records which key/code version
+    wrote the entry: the loader ignores it (unknown top-level keys are
+    skipped), but ``repro-bgp cache gc`` uses it to prune entries that
+    the current build can never look up again (their content key embeds
+    a different version, so they are dead weight on disk).
+    """
+    document = sweep_result_to_dict(result)
+    document["cache_meta"] = {
+        "key": key,
+        "key_version": _KEY_VERSION,
+        "code_version": __version__,
+    }
+    payload = json.dumps(document, indent=1)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(payload, encoding="utf-8")
+    tmp.replace(path)
+
+
+@dataclasses.dataclass
+class CacheGcReport:
+    """Outcome of one ``repro-bgp cache gc`` pass."""
+
+    scanned: int = 0
+    kept: int = 0
+    pruned_files: list = dataclasses.field(default_factory=list)
+    reclaimed_bytes: int = 0
+    dry_run: bool = False
+
+    @property
+    def pruned(self) -> int:
+        """Number of entries removed (or that would be, under dry-run)."""
+        return len(self.pruned_files)
+
+    def to_text(self) -> str:
+        verb = "would prune" if self.dry_run else "pruned"
+        return (
+            f"cache gc: scanned {self.scanned} entr{'y' if self.scanned == 1 else 'ies'}, "
+            f"kept {self.kept}, {verb} {self.pruned} "
+            f"({self.reclaimed_bytes} bytes reclaimed)"
+        )
+
+
+def _entry_is_live(path: Path) -> bool:
+    """Whether a cache file was written by the current key/code version.
+
+    Anything unreadable, non-JSON, or lacking a matching ``cache_meta``
+    block is stale: entries written before metadata existed belong to an
+    older build by definition, and the content-hash filename means the
+    current build can never produce their key again.
+    """
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+        return False
+    if not isinstance(data, dict):
+        return False
+    meta = data.get("cache_meta")
+    if not isinstance(meta, dict):
+        return False
+    return (
+        meta.get("key_version") == _KEY_VERSION
+        and meta.get("code_version") == __version__
+    )
+
+
+def gc_cache_dir(
+    cache_dir: Union[str, Path], *, dry_run: bool = False
+) -> CacheGcReport:
+    """Prune on-disk sweep entries a stale key/code version wrote.
+
+    Only files matching the cache's own naming scheme
+    (``sweep-*.json`` plus orphaned ``.tmp`` leftovers from interrupted
+    writes) are considered; everything else in the directory is left
+    alone.  Returns a :class:`CacheGcReport` with the reclaimed bytes.
+    """
+    cache_dir = Path(cache_dir)
+    report = CacheGcReport(dry_run=dry_run)
+    if not cache_dir.is_dir():
+        return report
+    for path in sorted(cache_dir.glob("sweep-*.json.tmp")):
+        size = path.stat().st_size
+        report.pruned_files.append(path)
+        report.reclaimed_bytes += size
+        if not dry_run:
+            path.unlink(missing_ok=True)
+    for path in sorted(cache_dir.glob("sweep-*.json")):
+        report.scanned += 1
+        if _entry_is_live(path):
+            report.kept += 1
+            continue
+        size = path.stat().st_size
+        report.pruned_files.append(path)
+        report.reclaimed_bytes += size
+        if not dry_run:
+            path.unlink(missing_ok=True)
+    return report
 
 
 def cached_sweep(
@@ -234,6 +344,8 @@ def cached_sweep(
         checkpoint_dir=execution.checkpoint_dir,
         checkpoint_every=execution.checkpoint_every,
         on_unit_done=execution.on_unit_done,
+        unit_timeout=execution.unit_timeout,
+        coordinator=execution.coordinator,
     )
     execution.misses += 1
     telemetry.inc("cache.misses")
@@ -244,7 +356,7 @@ def cached_sweep(
     if cache_dir is not None:
         try:
             cache_dir.mkdir(parents=True, exist_ok=True)
-            save_sweep(result, _disk_path(cache_dir, key))
+            _write_entry(_disk_path(cache_dir, key), result, key)
         except OSError:
             pass  # a read-only cache dir must not fail the sweep
     return result

@@ -145,6 +145,9 @@ def run_campaign(
     resume: bool = False,
     telemetry: Optional[Telemetry] = None,
     show_progress: Optional[bool] = None,
+    unit_timeout: Optional[float] = None,
+    distributed: Optional[str] = None,
+    lease_timeout: float = 60.0,
 ) -> CampaignSummary:
     """Run all registered experiments; optionally persist the artifacts.
 
@@ -156,7 +159,16 @@ def run_campaign(
     ``jobs`` fans each sweep out over that many worker processes and
     ``cache_dir`` enables the persistent sweep cache; neither changes any
     measured number (``campaign.json`` is byte-identical for every
-    ``jobs`` value and for cold vs warm caches).
+    ``jobs`` value and for cold vs warm caches).  ``unit_timeout`` bounds
+    how long a hung pool worker can stall any single sweep unit.
+
+    ``distributed="host:port"`` turns this process into a
+    :class:`repro.dist.Coordinator` bound to that address: sweep units
+    are leased to ``repro-bgp worker`` processes (local or remote)
+    instead of a local pool, with lost workers detected via
+    ``lease_timeout`` and their units re-leased.  Every unit is
+    deterministically seeded, so the artifacts stay byte-identical to a
+    serial run — the same guarantee ``jobs`` carries.
 
     ``checkpoint_dir`` makes the campaign restartable: each completed
     experiment is recorded there as it finishes, sweep workers checkpoint
@@ -218,12 +230,35 @@ def run_campaign(
         done=sum(1 for experiment_id in ids if experiment_id in done),
     )
 
+    coordinator = None
+    if distributed is not None:
+        from repro.dist import Coordinator, parse_address
+
+        host, port = parse_address(distributed)
+        coordinator = Coordinator(
+            host,
+            port,
+            lease_timeout=lease_timeout,
+            echo=echo,
+            show_progress=show_progress,
+        ).start()
+        if echo is not None:
+            bound_host, bound_port = coordinator.address
+            echo(
+                f"coordinator listening on {bound_host}:{bound_port}; "
+                "start workers with: repro-bgp worker "
+                f"{bound_host}:{bound_port}"
+            )
+            echo("")
+
     with telemetry_session(telemetry) if telemetry is not None else contextlib.nullcontext():
         with sweep_execution(
             jobs=jobs,
             cache_dir=cache_dir,
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=checkpoint_every,
+            unit_timeout=unit_timeout,
+            coordinator=coordinator,
         ) as execution:
             try:
                 for experiment_id in ids:
@@ -255,6 +290,16 @@ def run_campaign(
                 raise
             finally:
                 progress.finish()
+                if coordinator is not None:
+                    if echo is not None:
+                        for stats in coordinator.worker_stats():
+                            echo(
+                                f"worker {stats['worker_id']} "
+                                f"({stats['address']}): "
+                                f"{stats['units_done']} unit(s), "
+                                f"{stats['busy_seconds']:.1f}s busy"
+                            )
+                    coordinator.close()
     if state_path is not None:
         state_path.unlink(missing_ok=True)
     summary = CampaignSummary(

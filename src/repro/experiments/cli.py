@@ -14,11 +14,19 @@ Subcommands:
   events/sec, the per-phase wall-clock breakdown and the hottest
   functions (also writes the run's ``telemetry.jsonl``);
 * ``stats`` — render the telemetry log of a previous run (a run
-  directory or a ``telemetry.jsonl`` path).
+  directory or a ``telemetry.jsonl`` path);
+* ``serve`` / ``worker`` — distributed campaigns: ``serve`` runs a
+  campaign as a lease-based coordinator, ``worker`` connects (from any
+  host) and executes sweep units, with byte-identical artifacts;
+* ``cache gc`` — prune on-disk sweep-cache entries written by a stale
+  key/code version and report the reclaimed bytes.
 
 Examples::
 
     repro-bgp run fig04 --scale default
+    repro-bgp serve --bind 127.0.0.1:7787 --scale default -o runs/dist
+    repro-bgp worker 127.0.0.1:7787
+    repro-bgp cache gc ~/.cache/repro-sweeps
     repro-bgp topology generate -n 1000 --scenario DENSE-CORE -o dense.json
     repro-bgp topology metrics dense.json
     repro-bgp simulate dense.json --origins 10 --wrate
@@ -114,6 +122,87 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_execution_options(campaign_parser)
+    _add_distributed_options(campaign_parser)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help=(
+            "run a campaign as a distributed coordinator: sweep units are "
+            "leased to connected 'repro-bgp worker' processes"
+        ),
+    )
+    serve_parser.add_argument(
+        "--scale", choices=sorted(PRESETS), default=None,
+    )
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument("-o", "--output", type=Path, required=True)
+    serve_parser.add_argument("--extensions", action="store_true")
+    serve_parser.add_argument("--resume", action="store_true")
+    serve_parser.add_argument(
+        "--bind",
+        default="127.0.0.1:7787",
+        metavar="HOST:PORT",
+        help="address to listen on (default: 127.0.0.1:7787)",
+    )
+    serve_parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help=(
+            "how long a silent worker keeps a unit leased before it is "
+            "given to another worker (default: 60)"
+        ),
+    )
+    _add_execution_options(serve_parser)
+
+    worker_parser = sub.add_parser(
+        "worker",
+        help="pull and execute sweep units from a 'repro-bgp serve' coordinator",
+    )
+    worker_parser.add_argument(
+        "address", metavar="HOST:PORT", help="coordinator to connect to"
+    )
+    worker_parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "checkpoint in-progress units there and resume them after a "
+            "worker crash (results are byte-identical either way)"
+        ),
+    )
+    worker_parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="write a unit checkpoint every N measured C-events (default: 1)",
+    )
+    worker_parser.add_argument(
+        "--max-units", type=int, default=None, metavar="N",
+        help="exit after executing N units (default: run until shutdown)",
+    )
+    worker_parser.add_argument(
+        "--connect-attempts", type=int, default=8, metavar="N",
+        help="transient connect failures to retry with backoff (default: 8)",
+    )
+    worker_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-unit progress output"
+    )
+
+    cache_parser = sub.add_parser("cache", help="manage the on-disk sweep cache")
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    gc_parser = cache_sub.add_parser(
+        "gc",
+        help=(
+            "prune cache entries written under a stale key/code version "
+            "and report reclaimed bytes"
+        ),
+    )
+    gc_parser.add_argument("cache_dir", type=Path, metavar="DIR")
+    gc_parser.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be pruned without deleting anything",
+    )
 
     checkpoint_parser = sub.add_parser(
         "checkpoint", help="inspect / verify checkpoint files"
@@ -218,8 +307,19 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="N",
         help=(
-            "fan sweeps out over N worker processes (results are "
-            "bit-identical to a serial run; default: serial)"
+            "fan sweeps out over N worker processes; 0 = one per CPU "
+            "(results are bit-identical to a serial run; default: serial)"
+        ),
+    )
+    parser.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-unit wall-clock bound under --jobs: a hung worker is "
+            "killed and its unit re-run serially from checkpoint "
+            "(default: wait forever)"
         ),
     )
     parser.add_argument(
@@ -250,6 +350,28 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
         default=1,
         metavar="N",
         help="write a checkpoint every N measured C-events (default: 1)",
+    )
+
+
+def _add_distributed_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--distributed",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "serve sweep units to 'repro-bgp worker' processes from this "
+            "address instead of running them locally"
+        ),
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help=(
+            "how long a silent worker keeps a unit leased before it is "
+            "given to another worker (default: 60)"
+        ),
     )
 
 
@@ -342,6 +464,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"{stats.mean_up_convergence:.1f}s up; "
         f"{stats.measured_messages} updates delivered"
     )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.dist import run_worker
+
+    echo = (lambda line: None) if args.quiet else print
+    units = run_worker(
+        args.address,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        max_units=args.max_units,
+        max_connect_attempts=args.connect_attempts,
+        echo=echo,
+    )
+    if not args.quiet:
+        print(f"worker done: {units} unit(s) executed")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.cache import gc_cache_dir
+
+    report = gc_cache_dir(args.cache_dir, dry_run=args.dry_run)
+    for path in report.pruned_files:
+        print(f"{'would prune' if args.dry_run else 'pruned'} {path.name}")
+    print(report.to_text())
     return 0
 
 
@@ -484,6 +633,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
+        unit_timeout=args.unit_timeout,
     ), maybe_profile(not args.no_profile) as profiler:
         # The outer "experiment" phase guarantees a per-phase row even for
         # experiments that run no simulation (e.g. fig01's synthetic
@@ -533,7 +683,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             for experiment_id in experiment_ids():
                 print(experiment_id)
             return 0
-        if args.command == "campaign":
+        if args.command in ("campaign", "serve"):
             from repro.experiments.campaign import run_campaign
 
             summary = run_campaign(
@@ -547,9 +697,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 checkpoint_dir=args.checkpoint_dir,
                 checkpoint_every=args.checkpoint_every,
                 resume=args.resume,
+                unit_timeout=args.unit_timeout,
+                distributed=(
+                    args.bind if args.command == "serve" else args.distributed
+                ),
+                lease_timeout=args.lease_timeout,
             )
             print(summary.to_text())
             return 0 if summary.passed else 1
+        if args.command == "worker":
+            return _cmd_worker(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "checkpoint":
             return _cmd_checkpoint(args)
         if args.command == "topology":
@@ -571,6 +730,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache_dir=args.cache_dir,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
+            unit_timeout=args.unit_timeout,
         ):
             if args.experiment.lower() == "all":
                 results = run_all(

@@ -1,5 +1,7 @@
 """Tests for growth sweeps."""
 
+import os
+
 import pytest
 
 from repro.bgp.config import BGPConfig
@@ -7,6 +9,7 @@ from repro.core.sweep import (
     SweepResult,
     SweepUnit,
     execute_sweep_unit,
+    resolve_jobs,
     run_growth_sweep,
     run_scenario_comparison,
     split_origins,
@@ -216,3 +219,36 @@ class TestSweepResultValidation:
             SweepResult(
                 scenario="X", sizes=[80, 160], stats=sweep.stats, config=FAST
             )
+
+
+class TestResolveJobs:
+    def test_none_is_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_zero_is_auto(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert resolve_jobs(0) == 6
+
+    def test_zero_with_unknown_cpu_count_falls_back_to_one(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert resolve_jobs(0) == 1
+
+    def test_positive_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    @pytest.mark.parametrize("bad", [-1, -8])
+    def test_negative_rejected(self, bad):
+        with pytest.raises(ExperimentError, match="jobs must be >= 0"):
+            resolve_jobs(bad)
+
+    def test_jobs_zero_sweep_matches_serial(self, monkeypatch):
+        # jobs=0 = one worker per CPU; clamp the auto value so the test
+        # stays cheap while still exercising the parallel path.
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        serial = run_growth_sweep(
+            "BASELINE", sizes=SIZES, config=FAST, num_origins=2, seed=1
+        )
+        auto = run_growth_sweep(
+            "BASELINE", sizes=SIZES, config=FAST, num_origins=2, seed=1, jobs=0
+        )
+        assert measured_numbers(auto) == measured_numbers(serial)

@@ -5,6 +5,7 @@ import pytest
 from repro.bgp.config import BGPConfig
 from repro.core.sweep import (
     FAULT_INJECT_ENV,
+    FAULT_MODE_ENV,
     SweepUnit,
     execute_sweep_unit,
     maybe_inject_fault,
@@ -99,5 +100,66 @@ class TestFaultInjectionHook:
 
     def test_malformed_spec_rejected(self, monkeypatch):
         monkeypatch.setenv(FAULT_INJECT_ENV, "nonsense")
+        with pytest.raises(ExperimentError, match="malformed"):
+            maybe_inject_fault(self._unit(), 0)
+
+
+class TestHungWorkerTimeout:
+    """A hung worker must trip ``unit_timeout``, not stall the sweep."""
+
+    def test_sweep_survives_hung_worker(self, serial_sweep, tmp_path, monkeypatch):
+        marker = tmp_path / "hung.marker"
+        # The process running the n=80 unit sleeps far past the timeout
+        # after its first event; the collector must give up on it and
+        # re-run the unit serially (the marker disarms the fault there).
+        monkeypatch.setenv(FAULT_INJECT_ENV, f"BASELINE:80:0:1:{marker}")
+        monkeypatch.setenv(FAULT_MODE_ENV, "sleep:300")
+        result = run_growth_sweep(
+            "baseline",
+            jobs=2,
+            unit_timeout=5.0,
+            checkpoint_dir=tmp_path / "ck",
+            **SWEEP_KW,
+        )
+        assert marker.exists(), "the hang should actually have fired"
+        assert _series(result) == _series(serial_sweep)
+        # The serial retry resumed from checkpoint, completed, cleaned up.
+        assert list((tmp_path / "ck").glob("unit-*.json")) == []
+
+    def test_generous_timeout_changes_nothing(self, serial_sweep, monkeypatch):
+        monkeypatch.delenv(FAULT_INJECT_ENV, raising=False)
+        result = run_growth_sweep(
+            "baseline", jobs=2, unit_timeout=600.0, **SWEEP_KW
+        )
+        assert _series(result) == _series(serial_sweep)
+
+
+class TestFaultMode:
+    def _unit(self):
+        return SweepUnit(
+            scenario="baseline",
+            n=60,
+            num_origins=2,
+            batch_index=0,
+            num_batches=1,
+            seed=9,
+            config=FAST,
+            scenario_kwargs=(),
+        )
+
+    def test_sleep_mode_hangs_then_disarms(self, tmp_path, monkeypatch):
+        marker = tmp_path / "m"
+        monkeypatch.setenv(FAULT_INJECT_ENV, f"BASELINE:60:0:0:{marker}")
+        monkeypatch.setenv(FAULT_MODE_ENV, "sleep:0.01")
+        maybe_inject_fault(self._unit(), 0)  # sleeps briefly, returns
+        assert marker.exists()
+        maybe_inject_fault(self._unit(), 0)  # marker set: no second fault
+
+    @pytest.mark.parametrize("bad", ["sleep:", "sleep:abc", "hang", "exit:5"])
+    def test_malformed_mode_rejected(self, bad, tmp_path, monkeypatch):
+        marker = tmp_path / "m"
+        monkeypatch.setenv(FAULT_INJECT_ENV, f"OTHER:999:0:0:{marker}")
+        monkeypatch.setenv(FAULT_MODE_ENV, bad)
+        # Validated eagerly, even though the unit does not match the spec.
         with pytest.raises(ExperimentError, match="malformed"):
             maybe_inject_fault(self._unit(), 0)

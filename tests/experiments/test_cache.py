@@ -1,5 +1,7 @@
 """Tests for sweep memoization (in-process and on-disk)."""
 
+import json
+
 import pytest
 
 from repro.bgp.config import BGPConfig
@@ -9,6 +11,7 @@ from repro.experiments.cache import (
     cached_sweep,
     clear_cache,
     current_execution,
+    gc_cache_dir,
     sweep_cache_key,
     sweep_execution,
 )
@@ -180,3 +183,79 @@ class TestSweepExecutionContext:
         with sweep_execution(jobs=2, cache_dir=tmp_path):
             assert current_execution().jobs == 2
         assert current_execution() is outer
+
+
+class TestCacheGc:
+    def setup_method(self):
+        clear_cache()
+
+    def teardown_method(self):
+        clear_cache()
+
+    def _populate_mixed_dir(self, tmp_path):
+        """One live entry plus every flavour of stale file gc must prune."""
+        cached_sweep("BASELINE", TINY, config=FAST, seed=1, cache_dir=tmp_path)
+        (live,) = tmp_path.glob("sweep-*.json")
+
+        stale_version = tmp_path / "sweep-deadbeef.json"
+        document = json.loads(live.read_text(encoding="utf-8"))
+        document["cache_meta"]["key_version"] = -1
+        stale_version.write_text(json.dumps(document), encoding="utf-8")
+
+        legacy = tmp_path / "sweep-cafebabe.json"
+        document = json.loads(live.read_text(encoding="utf-8"))
+        del document["cache_meta"]  # written before provenance existed
+        legacy.write_text(json.dumps(document), encoding="utf-8")
+
+        corrupt = tmp_path / "sweep-0badf00d.json"
+        corrupt.write_text("{ not json", encoding="utf-8")
+
+        orphan = tmp_path / "sweep-f33db33f.json.tmp"
+        orphan.write_text("interrupted write", encoding="utf-8")
+
+        unrelated = tmp_path / "notes.txt"
+        unrelated.write_text("hands off", encoding="utf-8")
+        return live, [stale_version, legacy, corrupt, orphan], unrelated
+
+    def test_prunes_stale_entries_only(self, tmp_path):
+        live, stale, unrelated = self._populate_mixed_dir(tmp_path)
+        report = gc_cache_dir(tmp_path)
+        assert live.exists()
+        assert unrelated.exists()
+        assert not any(path.exists() for path in stale)
+        assert report.scanned == 4  # the sweep-*.json files, tmp aside
+        assert report.kept == 1
+        assert report.pruned == 4
+        assert sorted(report.pruned_files) == sorted(stale)
+        assert report.reclaimed_bytes > 0
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        live, stale, unrelated = self._populate_mixed_dir(tmp_path)
+        report = gc_cache_dir(tmp_path, dry_run=True)
+        assert all(path.exists() for path in stale)
+        assert live.exists() and unrelated.exists()
+        assert report.pruned == 4
+        assert report.dry_run is True
+        assert "would prune" in report.to_text()
+
+    def test_kept_entry_still_loads(self, tmp_path):
+        self._populate_mixed_dir(tmp_path)
+        gc_cache_dir(tmp_path)
+        clear_cache()
+        result = cached_sweep(
+            "BASELINE", TINY, config=FAST, seed=1, cache_dir=tmp_path
+        )
+        assert result.sizes == [80]
+
+    def test_stale_code_version_pruned(self, tmp_path, monkeypatch):
+        cached_sweep("BASELINE", TINY, config=FAST, seed=1, cache_dir=tmp_path)
+        monkeypatch.setattr(cache, "__version__", "999.0.0")
+        report = gc_cache_dir(tmp_path)
+        assert report.pruned == 1
+        assert list(tmp_path.glob("sweep-*.json")) == []
+
+    def test_missing_dir_is_empty_report(self, tmp_path):
+        report = gc_cache_dir(tmp_path / "nope")
+        assert report.scanned == 0
+        assert report.pruned == 0
+        assert "pruned 0" in report.to_text()

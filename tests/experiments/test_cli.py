@@ -307,3 +307,115 @@ class TestStatsCommand:
     def test_stats_missing_log_exits_2(self, tmp_path, capsys):
         assert main(["stats", str(tmp_path)]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestDistributedOptions:
+    def test_campaign_accepts_distributed_flags(self):
+        args = build_parser().parse_args(
+            [
+                "campaign",
+                "-o",
+                "out",
+                "--distributed",
+                "0.0.0.0:7787",
+                "--lease-timeout",
+                "30",
+                "--unit-timeout",
+                "120",
+            ]
+        )
+        assert args.distributed == "0.0.0.0:7787"
+        assert args.lease_timeout == 30.0
+        assert args.unit_timeout == 120.0
+
+    def test_campaign_distributed_defaults_off(self):
+        args = build_parser().parse_args(["campaign", "-o", "out"])
+        assert args.distributed is None
+        assert args.unit_timeout is None
+        assert args.lease_timeout == 60.0
+
+    def test_jobs_zero_is_accepted(self):
+        args = build_parser().parse_args(["campaign", "-o", "out", "--jobs", "0"])
+        assert args.jobs == 0
+
+    def test_serve_args(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--scale",
+                "smoke",
+                "-o",
+                str(tmp_path),
+                "--bind",
+                "127.0.0.1:0",
+                "--lease-timeout",
+                "5",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.bind == "127.0.0.1:0"
+        assert args.lease_timeout == 5.0
+
+    def test_serve_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--scale", "smoke"])
+
+    def test_worker_args(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "worker",
+                "localhost:7787",
+                "--checkpoint-dir",
+                str(tmp_path),
+                "--max-units",
+                "3",
+                "--connect-attempts",
+                "2",
+                "--quiet",
+            ]
+        )
+        assert args.command == "worker"
+        assert args.address == "localhost:7787"
+        assert args.checkpoint_dir == tmp_path
+        assert args.max_units == 3
+        assert args.connect_attempts == 2
+        assert args.quiet is True
+
+    def test_worker_requires_address(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_worker_unreachable_coordinator_exits_2(self, capsys):
+        # Port 1 on localhost refuses immediately; one attempt, no retry
+        # stall.  A DistributedError must surface as a clean exit code.
+        rc = main(
+            ["worker", "127.0.0.1:1", "--connect-attempts", "1", "--quiet"]
+        )
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCacheGcCommand:
+    def test_parser(self, tmp_path):
+        args = build_parser().parse_args(["cache", "gc", str(tmp_path), "--dry-run"])
+        assert args.command == "cache"
+        assert args.cache_command == "gc"
+        assert args.cache_dir == tmp_path
+        assert args.dry_run is True
+
+    def test_gc_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_gc_runs_and_reports(self, tmp_path, capsys):
+        stale = tmp_path / "sweep-feedface.json"
+        stale.write_text("{ not json", encoding="utf-8")
+        assert main(["cache", "gc", str(tmp_path), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would prune sweep-feedface.json" in out
+        assert stale.exists()
+        assert main(["cache", "gc", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "pruned sweep-feedface.json" in out
+        assert "cache gc: scanned 1" in out
+        assert not stale.exists()
