@@ -8,9 +8,13 @@ regressions in the hot paths show up in
 
 import json
 import os
+import random
+import sys
 import time
 
-from repro.bgp.config import BGPConfig
+from repro.bgp.config import BGPConfig, DampingConfig, MRAIMode
+from repro.bgp.node import BGPNode
+from repro.bgp.route import Route, best_route, clear_intern_caches, import_route
 from repro.core.cevent import run_c_event_experiment
 from repro.core.reference import steady_state_routes
 from repro.core.sweep import run_growth_sweep
@@ -20,9 +24,22 @@ from repro.sim.engine import Engine
 from repro.sim.network import SimNetwork
 from repro.topology.generator import generate_topology
 from repro.topology.params import baseline_params
-from repro.topology.types import NodeType
+from repro.topology.types import NodeType, Relationship
 
 FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+
+
+def _merge_bench_json(results_dir, payload: dict) -> None:
+    """Merge ``payload`` into ``BENCH_sim_core.json`` (shared by two tests)."""
+    out = results_dir / "BENCH_sim_core.json"
+    existing = {}
+    if out.exists():
+        try:
+            existing = json.loads(out.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+    existing.update(payload)
+    out.write_text(json.dumps(existing, indent=1) + "\n", encoding="utf-8")
 
 #: Workers for the sweep-parallelism benchmark: one per available core,
 #: capped at 4 — on a single-core box the executor degrades to serial
@@ -187,9 +204,7 @@ def test_sim_core_telemetry(benchmark, results_dir):
         "engine_events": snapshot["summary"]["engine_events"],
         "phases": snapshot["phases"],
     }
-    (results_dir / "BENCH_sim_core.json").write_text(
-        json.dumps(payload, indent=1) + "\n", encoding="utf-8"
-    )
+    _merge_bench_json(results_dir, payload)
     print(
         f"\nsim core telemetry: {snapshot['summary']['events_per_sec']:.0f} "
         f"events/sec enabled, overhead {overhead_pct:+.1f}%"
@@ -199,6 +214,199 @@ def test_sim_core_telemetry(benchmark, results_dir):
     # ~20%+); the expected overhead is a run()-boundary sample, well
     # under this deliberately loose, CI-noise-tolerant bound.
     assert overhead_pct < 50.0
+
+
+def _time_per_call_us(fn, rounds: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    return (time.perf_counter() - t0) / rounds * 1e6
+
+
+def test_sim_core_budget(results_dir):
+    """Per-op cost budget table for the simulation kernel.
+
+    Measures the unit costs the ROADMAP budgets (best-path µs, decision
+    µs, route bytes, events/s) plus the *deterministic* event-economy
+    counters of the supersession fixes, and merges everything into
+    ``BENCH_sim_core.json``.  The CI perf-smoke job diffs that file
+    against the committed baseline (``benchmarks/baselines/``) via
+    ``scripts/check_perf_budget.py``: counters exactly, timings within a
+    tolerance band.  Regenerate with::
+
+        PYTHONPATH=src python -m pytest \
+            benchmarks/bench_perf_components.py::test_sim_core_budget \
+            -q --benchmark-disable
+    """
+    rounds = 20_000
+
+    # --- best-path selection -----------------------------------------
+    # Warm: the steady-state cost once routes are interned and their
+    # preference keys memoized (the sim's actual hot-path regime).
+    clear_intern_caches()
+    cands = [
+        import_route(0, (10 + i, 20 + i, 30 + i, 40 + i), Relationship.PEER)
+        for i in range(5)
+    ]
+    best_route(cands, 7)  # populate the per-receiver key memos
+    best_warm_us = _time_per_call_us(lambda: best_route(cands, 7), rounds)
+
+    # Cold: construction plus first key computation (fresh objects each
+    # call, bypassing the intern table) — bounds the one-time cost.
+    def cold_once():
+        fresh = [
+            Route(prefix=0, path=(10 + i, 20 + i, 30 + i, 40 + i), local_pref=90)
+            for i in range(5)
+        ]
+        best_route(fresh, 7)
+
+    best_cold_us = _time_per_call_us(cold_once, 2_000)
+
+    # --- decision process --------------------------------------------
+    graph = generate_topology(baseline_params(200), seed=3)
+    network = SimNetwork(graph, FAST, seed=3)
+    origin = [n for n in graph.node_ids if not graph.customers_of(n)][0]
+    network.originate(origin, 0)
+    network.run_to_convergence()
+    node = max(
+        network.nodes.values(), key=lambda n: len(n.adj_rib_in.candidates(0))
+    )
+    now = network.engine.now
+    decision_full_us = _time_per_call_us(lambda: node._run_decision(0, now), rounds)
+
+    current_best = node.loc_rib.best(0)
+    non_best = next(
+        route for _, route in node.adj_rib_in.candidates(0) if route != current_best
+    )
+    decision_incremental_us = _time_per_call_us(
+        lambda: node._run_decision_incremental(0, non_best, non_best, now), rounds
+    )
+
+    # --- per-route memory --------------------------------------------
+    route = cands[0]
+    route_bytes = sys.getsizeof(route)
+    path_bytes = sys.getsizeof(route.path)  # shared across interned copies
+
+    # --- raw event throughput ----------------------------------------
+    engine = Engine()
+    remaining = [100_000]
+
+    def tick():
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            engine.schedule(0.001, tick)
+
+    engine.schedule(0.0, tick)
+    t0 = time.perf_counter()
+    engine.run()
+    events_per_sec = engine.executed_events / (time.perf_counter() - t0)
+
+    # --- MRAI wakeup supersession (deterministic, no timing) ----------
+    # Each _schedule_wakeup call supersedes the previous (strictly
+    # earlier wakeup); pre-fix every superseded event still executed as
+    # a no-op, so the old kernel's executed count equals `scheduled`.
+    sup_engine = Engine()
+    sup_node = BGPNode(
+        node_id=1,
+        node_type=NodeType.C,
+        neighbors={2: Relationship.PEER},
+        engine=sup_engine,
+        config=FAST,
+        rng=random.Random(0),
+        transmit=lambda message, at: None,
+    )
+    scheduled = 200
+    for i in range(scheduled):
+        sup_node._schedule_wakeup(2, 100.0 - i * 0.25)
+    sup_engine.run()
+    supersession = {
+        "scheduled": scheduled,
+        "executed": sup_engine.executed_events,
+        "cancelled": sup_engine.cancelled_events,
+        "executed_pre_fix": scheduled,
+    }
+    assert supersession["executed"] * 2 <= scheduled, (
+        "stale-wakeup fix must cut executed heap events by >= 2x"
+    )
+
+    # --- realistic per-prefix WRATE churn (deterministic counters) ----
+    churn_cfg = BGPConfig(
+        mrai=2.0,
+        wrate=True,
+        mrai_mode=MRAIMode.PER_PREFIX,
+        link_delay=0.001,
+        processing_time_max=0.01,
+    )
+    churn_graph = generate_topology(baseline_params(150), seed=6)
+    churn_net = SimNetwork(churn_graph, churn_cfg, seed=6)
+    stubs = [n for n in churn_graph.node_ids if not churn_graph.customers_of(n)]
+    origins = stubs[:4]
+    for prefix, node_id in enumerate(origins):
+        churn_net.originate(node_id, prefix)
+    churn_net.run_to_convergence()
+    for _ in range(2):
+        for prefix, node_id in enumerate(origins):
+            churn_net.withdraw(node_id, prefix)
+        churn_net.run_to_convergence()
+        for prefix, node_id in enumerate(origins):
+            churn_net.originate(node_id, prefix)
+        churn_net.run_to_convergence()
+    churn = {
+        "executed_events": churn_net.engine.executed_events,
+        "delivered_messages": churn_net.delivered_messages,
+        "cancelled_events": churn_net.engine.cancelled_events,
+    }
+
+    # --- damping reuse-check dedupe (deterministic counters) ----------
+    damp_cfg = BGPConfig(
+        mrai=2.0,
+        link_delay=0.001,
+        processing_time_max=0.01,
+        damping=DampingConfig(
+            enabled=True,
+            suppress_threshold=1.5,
+            reuse_threshold=0.5,
+            half_life=5.0,
+        ),
+    )
+    damp_graph = generate_topology(baseline_params(100), seed=8)
+    damp_net = SimNetwork(damp_graph, damp_cfg, seed=8)
+    damp_origin = [n for n in damp_graph.node_ids if not damp_graph.customers_of(n)][0]
+    damp_net.originate(damp_origin, 0)
+    damp_net.run_to_convergence()
+    for _ in range(3):
+        damp_net.withdraw(damp_origin, 0)
+        damp_net.run_to_convergence()
+        damp_net.originate(damp_origin, 0)
+        damp_net.run_to_convergence()
+    damping = {
+        "executed_events": damp_net.engine.executed_events,
+        "cancelled_events": damp_net.engine.cancelled_events,
+    }
+
+    payload = {
+        "per_op": {
+            "best_path_us_warm": best_warm_us,
+            "best_path_us_cold": best_cold_us,
+            "decision_full_us": decision_full_us,
+            "decision_incremental_us": decision_incremental_us,
+            "decision_candidates": len(node.adj_rib_in.candidates(0)),
+            "route_bytes": route_bytes,
+            "path_bytes_shared": path_bytes,
+            "events_per_sec": events_per_sec,
+        },
+        "wakeup_supersession": supersession,
+        "churn_per_prefix": churn,
+        "damping_churn": damping,
+    }
+    _merge_bench_json(results_dir, payload)
+    print(
+        f"\nper-op budget: best-path {best_warm_us:.2f}us warm / "
+        f"{best_cold_us:.2f}us cold, decision {decision_full_us:.2f}us full / "
+        f"{decision_incremental_us:.2f}us incremental, route {route_bytes}B, "
+        f"{events_per_sec:,.0f} events/s; supersession "
+        f"{supersession['executed']}/{scheduled} executed"
+    )
 
 
 def test_oracle_n1000(benchmark):

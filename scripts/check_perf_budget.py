@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""CI gate: compare BENCH_sim_core.json against the committed baseline.
+
+Two classes of checks, matching the two classes of numbers the budget
+benchmark records (see ``benchmarks/bench_perf_components.py``):
+
+* **Deterministic counters** (executed/delivered/cancelled event counts
+  of fixed-seed scenarios) must match the baseline *exactly* — they are
+  machine-independent, so any drift is a real behavior change (e.g. the
+  stale-wakeup fix regressing and no-op events sneaking back into the
+  heap).
+* **Timing metrics** (per-op µs, events/s) are compared within a
+  tolerance band (default 3.0x, ``--tolerance``): CI runners are noisy
+  and slower than dev machines, but an order-of-magnitude regression —
+  say the preference-key memoization being dropped — still trips it.
+
+Additionally the supersession invariant itself is asserted: the tracked
+scenario must execute at most half the events the pre-fix kernel did.
+
+Usage::
+
+    python scripts/check_perf_budget.py \
+        --current benchmark_results/BENCH_sim_core.json \
+        --baseline benchmarks/baselines/BENCH_sim_core.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (section, key) pairs that must match the baseline exactly.
+EXACT_COUNTERS = [
+    ("wakeup_supersession", "scheduled"),
+    ("wakeup_supersession", "executed"),
+    ("wakeup_supersession", "cancelled"),
+    ("churn_per_prefix", "executed_events"),
+    ("churn_per_prefix", "delivered_messages"),
+    ("churn_per_prefix", "cancelled_events"),
+    ("damping_churn", "executed_events"),
+    ("damping_churn", "cancelled_events"),
+]
+
+#: per_op keys where *larger* is worse (cost in µs or bytes).
+COST_METRICS = [
+    "best_path_us_warm",
+    "best_path_us_cold",
+    "decision_full_us",
+    "decision_incremental_us",
+    "route_bytes",
+]
+
+#: per_op keys where *smaller* is worse (throughput).
+THROUGHPUT_METRICS = ["events_per_sec"]
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+
+
+def _get(data: dict, section: str, key: str, path: Path):
+    try:
+        return data[section][key]
+    except (KeyError, TypeError):
+        sys.exit(f"error: {path} is missing {section}.{key}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=Path("benchmark_results/BENCH_sim_core.json"),
+        help="budget table produced by this run",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("benchmarks/baselines/BENCH_sim_core.json"),
+        help="committed reference budget table",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="allowed slowdown factor for timing metrics (default 3.0)",
+    )
+    args = parser.parse_args(argv)
+
+    current = _load(args.current)
+    baseline = _load(args.baseline)
+    failures = []
+
+    for section, key in EXACT_COUNTERS:
+        got = _get(current, section, key, args.current)
+        want = _get(baseline, section, key, args.baseline)
+        if got != want:
+            failures.append(
+                f"{section}.{key}: {got} != baseline {want} (deterministic "
+                "counter drifted — event economy changed)"
+            )
+
+    supersession = current.get("wakeup_supersession", {})
+    executed = supersession.get("executed", 0)
+    pre_fix = supersession.get("executed_pre_fix", supersession.get("scheduled", 0))
+    if executed * 2 > pre_fix:
+        failures.append(
+            f"wakeup_supersession: executed {executed} events vs {pre_fix} "
+            "pre-fix — the >=2x stale-wakeup reduction no longer holds"
+        )
+
+    for key in COST_METRICS:
+        got = float(_get(current, "per_op", key, args.current))
+        want = float(_get(baseline, "per_op", key, args.baseline))
+        limit = want * args.tolerance
+        if got > limit:
+            failures.append(
+                f"per_op.{key}: {got:.3f} exceeds budget {limit:.3f} "
+                f"(baseline {want:.3f} x tolerance {args.tolerance})"
+            )
+
+    for key in THROUGHPUT_METRICS:
+        got = float(_get(current, "per_op", key, args.current))
+        want = float(_get(baseline, "per_op", key, args.baseline))
+        floor = want / args.tolerance
+        if got < floor:
+            failures.append(
+                f"per_op.{key}: {got:,.0f} below floor {floor:,.0f} "
+                f"(baseline {want:,.0f} / tolerance {args.tolerance})"
+            )
+
+    if failures:
+        print("perf budget check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"perf budget check OK: {len(EXACT_COUNTERS)} counters exact, "
+        f"{len(COST_METRICS) + len(THROUGHPUT_METRICS)} timing metrics within "
+        f"{args.tolerance}x of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -105,6 +105,31 @@ class RouteFlapDamper:
         wait = self._config.half_life * math.log2(penalty / self._config.reuse_threshold)
         return min(wait, max(0.0, self._config.max_suppress_time - (now - record.last_update)))
 
+    def earliest_reuse(self, prefix: int, now: float) -> Optional[float]:
+        """Shortest wait until any record for ``prefix`` leaves suppression.
+
+        Returns None when nothing for the prefix is suppressed at ``now``.
+        Used by the node to keep exactly one reuse-check event pending per
+        prefix: after a check fires, the next one is scheduled at this
+        horizon instead of leaning on the per-flap event spray.
+
+        Records whose penalty already decayed below the reuse threshold
+        are unsuppressed as a side effect (via :meth:`is_suppressed`) even
+        when the neighbour no longer advertises the prefix — otherwise a
+        withdrawn-then-suppressed record would never be visited by the
+        decision process and would report a zero wait forever.
+        """
+        best: Optional[float] = None
+        for (neighbor, pfx), record in self._records.items():
+            if pfx != prefix or not record.suppressed:
+                continue
+            if not self.is_suppressed(neighbor, prefix, now):
+                continue
+            wait = self.time_until_reuse(neighbor, prefix, now)
+            if wait is not None and (best is None or wait < best):
+                best = wait
+        return best
+
     def dump_state(self) -> list:
         """All penalty records in insertion order (checkpointing)."""
         return [

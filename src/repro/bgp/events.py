@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, List, Type
 
 from repro.bgp.messages import UpdateMessage
+from repro.bgp.route import intern_path
 from repro.errors import CheckpointError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -150,7 +151,11 @@ class Delivery(SimEvent):
             sender=int(sender),
             receiver=int(receiver),
             prefix=int(prefix),
-            path=tuple(int(hop) for hop in path) if path is not None else None,
+            path=(
+                intern_path(tuple(int(hop) for hop in path))
+                if path is not None
+                else None
+            ),
         )
         return cls(network, message)
 

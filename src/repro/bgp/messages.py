@@ -10,8 +10,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Tuple
 
+from repro.bgp.route import intern_path
 
-@dataclasses.dataclass(frozen=True)
+
+@dataclasses.dataclass(frozen=True, slots=True)
 class UpdateMessage:
     """One BGP UPDATE for a single prefix.
 
@@ -47,7 +49,9 @@ def announcement(sender: int, receiver: int, prefix: int, path: Tuple[int, ...])
     """Build an announcement message (path must be non-empty)."""
     if not path:
         raise ValueError("announcement requires a non-empty AS path")
-    return UpdateMessage(sender=sender, receiver=receiver, prefix=prefix, path=tuple(path))
+    return UpdateMessage(
+        sender=sender, receiver=receiver, prefix=prefix, path=intern_path(tuple(path))
+    )
 
 
 def withdrawal(sender: int, receiver: int, prefix: int) -> UpdateMessage:

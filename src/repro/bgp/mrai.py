@@ -38,6 +38,18 @@ TargetState = Optional[Tuple[int, ...]]
 class OutputChannel:
     """Out-queue and MRAI state for one directed (node → neighbour) session."""
 
+    __slots__ = (
+        "owner",
+        "neighbor",
+        "_config",
+        "_rng",
+        "_obs",
+        "_sent",
+        "_pending",
+        "_interface_gate",
+        "_prefix_gates",
+    )
+
     def __init__(
         self,
         owner: int,

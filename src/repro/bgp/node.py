@@ -35,6 +35,11 @@ from repro.topology.types import NodeType, Relationship
 
 TransmitFn = Callable[[UpdateMessage, float], None]
 
+#: Floor on the wait before a re-scheduled damping reuse check.  Guards
+#: against a zero-wait loop when a penalty sits exactly on the reuse
+#: threshold (decay makes the next check strictly later).
+_REUSE_EPSILON = 1e-6
+
 
 class BGPNode:
     """One AS in the simulation."""
@@ -68,6 +73,13 @@ class BGPNode:
             for neighbor in neighbors
         }
         self._wakeup_at: Dict[int, Optional[float]] = {n: None for n in neighbors}
+        #: Live engine handles for the pending MRAI wakeup per neighbour,
+        #: so a superseding (earlier) wakeup cancels the later event in
+        #: O(1) instead of leaving a no-op in the heap.
+        self._wakeup_entries: Dict[int, Optional[list]] = {n: None for n in neighbors}
+        #: (due time, engine handle) of the single pending damping
+        #: reuse check per prefix (dedupes the per-flap event spray).
+        self._reuse_pending: Dict[int, tuple] = {}
         self._down_neighbors: set[int] = set()
         self._damper = RouteFlapDamper(config.damping)
         #: Messages processed by this node (for queue/occupancy statistics).
@@ -170,8 +182,13 @@ class BGPNode:
             route = import_route(prefix, message.path, self.neighbors[sender])
         if self._damper.enabled:
             self._record_flap(previous, route, sender, prefix, now)
-        self.adj_rib_in.update(prefix, sender, route)
-        self._run_decision(prefix, now)
+            self.adj_rib_in.update(prefix, sender, route)
+            # Suppression state depends on the clock, so the installed
+            # best cannot be trusted as a comparison anchor: full scan.
+            self._run_decision(prefix, now)
+        else:
+            self.adj_rib_in.update(prefix, sender, route)
+            self._run_decision_incremental(prefix, previous, route, now)
 
     def _record_flap(
         self,
@@ -193,11 +210,38 @@ class BGPNode:
         if self._damper.is_suppressed(sender, prefix, now):
             wait = self._damper.time_until_reuse(sender, prefix, now)
             if wait is not None and wait > 0:
-                self._engine.schedule(wait, DampingReuseCheck(self, prefix))
+                self._schedule_reuse_check(prefix, now + wait)
+
+    def _schedule_reuse_check(self, prefix: int, at: float) -> None:
+        """Keep exactly one pending reuse check per prefix.
+
+        An identical-or-earlier pending check already covers ``at``; a
+        strictly earlier ``at`` supersedes (and cancels) the pending one.
+        """
+        pending = self._reuse_pending.get(prefix)
+        if pending is not None:
+            if pending[0] <= at:
+                return
+            self._engine.cancel(pending[1])
+        entry = self._engine.schedule_at(at, DampingReuseCheck(self, prefix))
+        self._reuse_pending[prefix] = (at, entry)
 
     def _reuse_check(self, prefix: int) -> None:
-        """Re-run the decision once a damped route may be reusable."""
-        self._run_decision(prefix, self._engine.now)
+        """Re-run the decision once a damped route may be reusable.
+
+        Because checks are deduped to one pending event per prefix, this
+        re-arms itself for the next suppressed record of the prefix (the
+        per-flap spray used to provide that coverage by brute force).
+        """
+        now = self._engine.now
+        pending = self._reuse_pending.get(prefix)
+        if pending is not None and pending[0] <= now:
+            del self._reuse_pending[prefix]
+        self._run_decision(prefix, now)
+        if self._damper.enabled:
+            wait = self._damper.earliest_reuse(prefix, now)
+            if wait is not None:
+                self._schedule_reuse_check(prefix, now + max(wait, _REUSE_EPSILON))
 
     def _candidates(self, prefix: int, now: float) -> list[Route]:
         candidates: list[Route] = []
@@ -213,8 +257,57 @@ class BGPNode:
     def _run_decision(self, prefix: int, now: float) -> None:
         self._obs.on_decision()
         best = select_best(self.node_id, self._candidates(prefix, now))
-        changed = self.loc_rib.install(prefix, best)
-        if changed:
+        self._install(prefix, best, now)
+
+    def _run_decision_incremental(
+        self,
+        prefix: int,
+        previous: Optional[Route],
+        route: Optional[Route],
+        now: float,
+    ) -> None:
+        """Decision for a single Adj-RIB-In change (damping disabled).
+
+        Compares the changed entry against the installed best instead of
+        re-scanning every candidate; falls back to the full scan exactly
+        when the removed/replaced entry *was* the best and the change may
+        let another candidate win.  Matches the full scan's first-wins
+        tie semantics: the loop invariant of ``select_best`` guarantees
+        every candidate ordered before the installed best has a strictly
+        greater key and every one after has a greater-or-equal key, which
+        is what the ``<=`` / ``<`` splits below encode.
+        """
+        self._obs.on_decision()
+        current = self.loc_rib.best(prefix)
+        if route is not None:
+            if current is None:
+                # Nothing was installed, so nothing else can compete.
+                best: Optional[Route] = route
+            elif previous == current:
+                # The replaced entry was the best; it keeps its position
+                # in candidate order, so the new route wins iff it is no
+                # worse than the old best (everything later has a >= key).
+                if route.preference_key(self.node_id) <= current.preference_key(
+                    self.node_id
+                ):
+                    best = route
+                else:
+                    best = select_best(self.node_id, self._candidates(prefix, now))
+            elif route.preference_key(self.node_id) < current.preference_key(
+                self.node_id
+            ):
+                best = route
+            else:
+                best = current
+        else:
+            if previous is None or current is None or previous != current:
+                best = current  # removed nothing, or a non-best entry
+            else:
+                best = select_best(self.node_id, self._candidates(prefix, now))
+        self._install(prefix, best, now)
+
+    def _install(self, prefix: int, best: Optional[Route], now: float) -> None:
+        if self.loc_rib.install(prefix, best):
             self.best_change_count[prefix] = self.best_change_count.get(prefix, 0) + 1
             self._export(prefix, best, now)
 
@@ -250,6 +343,10 @@ class BGPNode:
             return
         self._down_neighbors.add(neighbor)
         self._channels[neighbor].reset()
+        entry = self._wakeup_entries.get(neighbor)
+        if entry is not None:
+            self._engine.cancel(entry)
+            self._wakeup_entries[neighbor] = None
         self._wakeup_at[neighbor] = None
         now = self._engine.now
         for prefix in self.adj_rib_in.prefixes_from(neighbor):
@@ -287,15 +384,27 @@ class BGPNode:
     # ------------------------------------------------------------------
     def _schedule_wakeup(self, neighbor: int, at: float) -> None:
         scheduled = self._wakeup_at[neighbor]
-        if scheduled is not None and scheduled <= at:
-            return
+        if scheduled is not None:
+            if scheduled <= at:
+                return
+            # A strictly earlier wakeup supersedes the pending one: drop
+            # the later event from the heap instead of letting it fire as
+            # a no-op (the stale-wakeup heap-bloat fix).
+            entry = self._wakeup_entries.get(neighbor)
+            if entry is not None:
+                self._engine.cancel(entry)
         self._wakeup_at[neighbor] = at
-        self._engine.schedule_at(at, MRAIWakeup(self, neighbor, at))
+        self._wakeup_entries[neighbor] = self._engine.schedule_at(
+            at, MRAIWakeup(self, neighbor, at)
+        )
 
     def _mrai_wakeup(self, neighbor: int, at: float) -> None:
         if self._wakeup_at[neighbor] != at:
-            return  # superseded by an earlier wakeup
+            # Superseded wakeup without a cancellation handle — only
+            # possible for events restored from a pre-1.2 checkpoint.
+            return
         self._wakeup_at[neighbor] = None
+        self._wakeup_entries[neighbor] = None
         now = self._engine.now
         messages, next_wakeup = self._channels[neighbor].wakeup(now)
         for message in messages:
@@ -362,6 +471,10 @@ class BGPNode:
             self._channels[neighbor].load_state(channel_state)
         self._wakeup_at = {n: None for n in self.neighbors}
         self._wakeup_at.update(state["wakeup_at"])
+        # Cancellation handles cannot be serialized; the restore flow
+        # rebuilds them afterwards via adopt_pending_event.
+        self._wakeup_entries = {n: None for n in self.neighbors}
+        self._reuse_pending = {}
         self._down_neighbors = set(state["down_neighbors"])
         self._damper.load_state(state["damper"])
         self.processed_count = state["processed_count"]
@@ -369,6 +482,27 @@ class BGPNode:
         self._service_delay = state["service_delay"]
         self.max_queue_length = state["max_queue_length"]
         self.best_change_count = dict(state["best_change_count"])
+
+    def adopt_pending_event(self, entry: list) -> None:
+        """Re-attach a restored heap entry as a live cancellation handle.
+
+        Called once per restored pending event that targets this node.
+        The entry is the engine's own ``[time, sequence, event]`` heap
+        record; holding it lets supersession keep cancelling in O(1)
+        after a restore, exactly as in the uninterrupted run.  Events
+        that do not match the restored timer bookkeeping (stale wakeups
+        from a pre-1.2 checkpoint) are left alone — the execution-time
+        guards still neutralize them.
+        """
+        event = entry[2]
+        if isinstance(event, MRAIWakeup):
+            if self._wakeup_at.get(event.neighbor) == event.at:
+                self._wakeup_entries[event.neighbor] = entry
+        elif isinstance(event, DampingReuseCheck):
+            at = entry[0]
+            pending = self._reuse_pending.get(event.prefix)
+            if pending is None or at < pending[0]:
+                self._reuse_pending[event.prefix] = (at, entry)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -387,12 +521,19 @@ class BGPNode:
 
 
 class EngineProtocol:
-    """Structural interface the node expects from the event engine."""
+    """Structural interface the node expects from the event engine.
+
+    ``schedule``/``schedule_at`` return an opaque handle accepted by
+    ``cancel`` (see :class:`repro.sim.engine.Engine`).
+    """
 
     now: float
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+    def schedule(self, delay: float, callback: Callable[[], None]) -> list:
         raise NotImplementedError
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> list:
+        raise NotImplementedError
+
+    def cancel(self, handle: list) -> None:
         raise NotImplementedError

@@ -19,10 +19,21 @@ from repro.bgp.route import Route
 
 
 class AdjRIBIn:
-    """Latest routes learned from neighbours, keyed (prefix, neighbour)."""
+    """Latest routes learned from neighbours, keyed (prefix, neighbour).
+
+    The flat ``(prefix, neighbour) -> route`` dict stays authoritative —
+    its insertion order is the checkpoint contract (:meth:`entries`) and
+    feeds :meth:`prefixes_from`/:meth:`prefixes`.  A per-prefix index
+    mirrors it so :meth:`candidates` (the decision process hot path) is
+    O(neighbours of this prefix) instead of O(all routes at this node).
+    Within one prefix both orders coincide: a dict re-assignment keeps the
+    slot position and a delete+reinsert appends, in the flat dict and the
+    inner index alike, so candidate iteration order is unchanged.
+    """
 
     def __init__(self) -> None:
         self._routes: Dict[Tuple[int, int], Route] = {}
+        self._by_prefix: Dict[int, Dict[int, Route]] = {}
 
     def update(self, prefix: int, neighbor: int, route: Optional[Route]) -> Optional[Route]:
         """Install ``route`` (or remove on ``None``); returns the previous route."""
@@ -30,8 +41,14 @@ class AdjRIBIn:
         previous = self._routes.get(key)
         if route is None:
             self._routes.pop(key, None)
+            per_prefix = self._by_prefix.get(prefix)
+            if per_prefix is not None:
+                per_prefix.pop(neighbor, None)
+                if not per_prefix:
+                    del self._by_prefix[prefix]
         else:
             self._routes[key] = route
+            self._by_prefix.setdefault(prefix, {})[neighbor] = route
         return previous
 
     def route_from(self, prefix: int, neighbor: int) -> Optional[Route]:
@@ -40,11 +57,10 @@ class AdjRIBIn:
 
     def candidates(self, prefix: int) -> List[Tuple[int, Route]]:
         """All (neighbour, route) pairs for ``prefix``."""
-        return [
-            (neighbor, route)
-            for (pfx, neighbor), route in self._routes.items()
-            if pfx == prefix
-        ]
+        per_prefix = self._by_prefix.get(prefix)
+        if per_prefix is None:
+            return []
+        return list(per_prefix.items())
 
     def prefixes(self) -> Iterator[int]:
         """All prefixes with at least one learned route (repeat-free)."""

@@ -6,12 +6,42 @@ ids ordered most-recent-first: ``path[0]`` is the neighbour that advertised
 the route, ``path[-1]`` the origin AS.  The origin's own route to its
 prefix is represented with an empty path and :data:`LOCAL_ROUTE_PREF`,
 which outranks anything learned from a neighbour.
+
+Hot-path representation
+-----------------------
+
+Routes sit on the innermost simulation loop (every delivered update runs
+the decision process over them), so the class is hand-slotted rather than
+a dataclass and two layers of value sharing keep the per-route cost low:
+
+* **path interning** (:func:`intern_path`) — equal AS-path tuples are
+  one shared object, so a churning prefix re-imported thousands of times
+  carries one path allocation, and tuple equality short-circuits on
+  identity;
+* **route interning** (:func:`import_route` / :func:`local_route` build
+  through an intern table) — re-importing the same (prefix, path,
+  local_pref) yields the *same* ``Route`` object, which makes the
+  ``previous == route`` / Loc-RIB comparisons identity-fast and shares
+  the per-route preference-key cache below across re-announcements.
+
+``preference_key`` results are memoized per (route, receiver): the
+SplitMix64 chain over the full AS path used to re-run on *every*
+comparison inside ``best_route``/``select_best``; now it runs once per
+(route, receiver) for the lifetime of the route object.  The cache is a
+plain dict stored in a slot that is excluded from equality/hash/repr, so
+the route still behaves as a frozen value object.
+
+The intern tables are process-global caches keyed purely by value —
+sharing them across concurrent simulations is safe, and clearing them
+(:func:`clear_intern_caches`) only costs future sharing, never
+correctness.  They self-clear when they exceed a size cap so arbitrarily
+long multi-campaign processes cannot leak unboundedly.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Optional, Tuple
+from dataclasses import FrozenInstanceError
+from typing import Dict, Optional, Tuple
 
 from repro.topology.types import LOCAL_PREFERENCE, Relationship
 
@@ -19,6 +49,13 @@ from repro.topology.types import LOCAL_PREFERENCE, Relationship
 LOCAL_ROUTE_PREF = max(LOCAL_PREFERENCE.values()) + 1
 
 _HASH_MASK = (1 << 64) - 1
+
+#: Cap on each intern table; on overflow the table is cleared (a pure
+#: cache eviction — interning is an optimization, not an invariant).
+_INTERN_CAP = 1 << 17
+
+_PATH_INTERN: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+_ROUTE_INTERN: Dict[Tuple[int, Tuple[int, ...], int], "Route"] = {}
 
 
 def stable_hash(*values: int) -> int:
@@ -39,13 +76,71 @@ def stable_hash(*values: int) -> int:
     return state
 
 
-@dataclasses.dataclass(frozen=True)
-class Route:
-    """An imported route for one prefix."""
+def intern_path(path: Tuple[int, ...]) -> Tuple[int, ...]:
+    """The canonical shared tuple equal to ``path``."""
+    cached = _PATH_INTERN.get(path)
+    if cached is not None:
+        return cached
+    if len(_PATH_INTERN) >= _INTERN_CAP:
+        _PATH_INTERN.clear()
+    _PATH_INTERN[path] = path
+    return path
 
-    prefix: int
-    path: Tuple[int, ...]
-    local_pref: int
+
+def clear_intern_caches() -> None:
+    """Drop the path/route intern tables (tests, memory pressure)."""
+    _PATH_INTERN.clear()
+    _ROUTE_INTERN.clear()
+
+
+class Route:
+    """An imported route for one prefix (frozen value object)."""
+
+    __slots__ = ("prefix", "path", "local_pref", "_pref_keys")
+
+    def __init__(self, prefix: int, path: Tuple[int, ...], local_pref: int) -> None:
+        _set = object.__setattr__
+        _set(self, "prefix", prefix)
+        _set(self, "path", intern_path(tuple(path)))
+        _set(self, "local_pref", local_pref)
+        _set(self, "_pref_keys", {})
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise FrozenInstanceError(f"cannot assign to field {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise FrozenInstanceError(f"cannot delete field {name!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Route):
+            return NotImplemented
+        return (
+            self.prefix == other.prefix
+            and self.local_pref == other.local_pref
+            and self.path == other.path
+        )
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash((self.prefix, self.path, self.local_pref))
+
+    def __repr__(self) -> str:
+        return (
+            f"Route(prefix={self.prefix!r}, path={self.path!r}, "
+            f"local_pref={self.local_pref!r})"
+        )
+
+    def __reduce__(self):
+        # Pickle as the constructor call; the per-receiver key cache is a
+        # derived memo and is rebuilt lazily on the other side.
+        return (Route, (self.prefix, self.path, self.local_pref))
 
     @property
     def next_hop(self) -> Optional[int]:
@@ -72,28 +167,50 @@ class Route:
         Ordering per Sec. 2: highest local preference, then shortest AS
         path, then a stable hash of the node ids on the path (and the
         receiver, so different receivers break ties independently).
+        Memoized per receiver — the underlying values are all immutable.
         """
-        return (-self.local_pref, len(self.path), stable_hash(receiver_id, *self.path))
+        key = self._pref_keys.get(receiver_id)
+        if key is None:
+            key = (
+                -self.local_pref,
+                len(self.path),
+                stable_hash(receiver_id, *self.path),
+            )
+            self._pref_keys[receiver_id] = key
+        return key
+
+
+def make_route(prefix: int, path: Tuple[int, ...], local_pref: int) -> Route:
+    """Build (or reuse) the interned :class:`Route` for these attributes."""
+    key = (prefix, path, local_pref)
+    route = _ROUTE_INTERN.get(key)
+    if route is None:
+        if len(_ROUTE_INTERN) >= _INTERN_CAP:
+            _ROUTE_INTERN.clear()
+        route = Route(prefix=prefix, path=path, local_pref=local_pref)
+        _ROUTE_INTERN[(prefix, route.path, local_pref)] = route
+    return route
 
 
 def local_route(prefix: int) -> Route:
     """The origin's own route to ``prefix``."""
-    return Route(prefix=prefix, path=(), local_pref=LOCAL_ROUTE_PREF)
+    return make_route(prefix, (), LOCAL_ROUTE_PREF)
 
 
 def import_route(
     prefix: int, path: Tuple[int, ...], learned_from_relationship: Relationship
 ) -> Route:
     """Build the imported :class:`Route` for an announcement from a neighbour."""
-    return Route(
-        prefix=prefix,
-        path=path,
-        local_pref=LOCAL_PREFERENCE[learned_from_relationship],
-    )
+    return make_route(prefix, path, LOCAL_PREFERENCE[learned_from_relationship])
 
 
 def best_route(routes: "list[Route]", receiver_id: int) -> Optional[Route]:
     """The most preferred route among ``routes`` (None if empty)."""
-    if not routes:
-        return None
-    return min(routes, key=lambda route: route.preference_key(receiver_id))
+    best: Optional[Route] = None
+    best_key: Optional[Tuple[int, int, int]] = None
+    for route in routes:
+        key = route.preference_key(receiver_id)
+        if best_key is None or key < best_key:
+            best = route
+            best_key = key
+    return best

@@ -21,7 +21,12 @@ half-checkpoint that a resume could trip over.
 Restores refuse checkpoints written by a different code version — the
 simulator's event vocabulary and state layout are only guaranteed
 stable within one version, and the byte-identity contract would be
-meaningless across versions anyway.
+meaningless across versions anyway.  The one exception is the explicit
+migration allow-list :data:`COMPATIBLE_CODE_VERSIONS`: versions whose
+payload layout this build still reads (the state *schema* is unchanged
+even though execution trajectories may differ across the versions, so
+restored runs are deterministic but not byte-comparable to runs of the
+writing version).
 """
 
 from __future__ import annotations
@@ -37,6 +42,13 @@ from repro.errors import CheckpointError
 
 FORMAT_NAME = "repro-checkpoint"
 FORMAT_VERSION = 1
+
+#: Older code versions whose checkpoints this build can still restore.
+#: 1.1.0 wrote the same state layout (the 1.2.0 kernel changed in-memory
+#: representations — slotted/interned routes, cancellable heap entries —
+#: but not the serialized schema); its heaps may carry stale superseded
+#: wakeups, which the node-level execution guards neutralize.
+COMPATIBLE_CODE_VERSIONS = frozenset({"1.1.0"})
 
 #: Recognised checkpoint kinds (the envelope's ``kind`` field).
 KIND_NETWORK = "network"
@@ -133,7 +145,11 @@ def read_checkpoint(
         raise CheckpointError(
             f"{target}: payload digest mismatch (file is corrupt or was edited)"
         )
-    if require_code_version and document.code_version != __version__:
+    if (
+        require_code_version
+        and document.code_version != __version__
+        and document.code_version not in COMPATIBLE_CODE_VERSIONS
+    ):
         raise CheckpointError(
             f"{target}: written by repro {document.code_version}, this build is "
             f"{__version__}; refusing to restore across versions"

@@ -122,8 +122,11 @@ def restore_network(graph: "ASGraph", payload: dict) -> SimNetwork:
     for node_id, state in node_states:
         network.nodes[int(node_id)].restore_state(node_state_from_json(state))
 
+    # Build mutable heap entries so they double as live cancellation
+    # handles: the engine adopts these exact list objects, and each node
+    # re-attaches the ones that implement its pending timers.
     pending = [
-        (float(time), int(sequence), build_event(network, descriptor))
+        [float(time), int(sequence), build_event(network, descriptor)]
         for time, sequence, descriptor in engine_state["pending"]
     ]
     network.engine.restore_state(
@@ -132,6 +135,10 @@ def restore_network(graph: "ASGraph", payload: dict) -> SimNetwork:
         executed_events=int(engine_state["executed_events"]),
         pending=pending,
     )
+    for entry in pending:
+        node = getattr(entry[2], "node", None)
+        if node is not None:
+            node.adopt_pending_event(entry)
 
     network.delivered_messages = delivered
     network.counter.load_state(counter_state_from_json(counter_data))

@@ -17,7 +17,7 @@ import json
 from typing import List, Optional, Tuple
 
 from repro.bgp.messages import UpdateMessage
-from repro.bgp.route import Route
+from repro.bgp.route import Route, intern_path, make_route
 from repro.errors import CheckpointError
 from repro.topology.graph import ASGraph
 from repro.topology.types import Relationship
@@ -43,7 +43,7 @@ def path_to_json(path: Optional[Tuple[int, ...]]) -> Optional[list]:
 
 
 def path_from_json(data: Optional[list]) -> Optional[Tuple[int, ...]]:
-    return tuple(int(hop) for hop in data) if data is not None else None
+    return intern_path(tuple(int(hop) for hop in data)) if data is not None else None
 
 
 def message_to_json(message: UpdateMessage) -> list:
@@ -71,10 +71,11 @@ def route_to_json(route: Route) -> list:
 
 def route_from_json(data: list) -> Route:
     prefix, path, local_pref = data
-    return Route(
-        prefix=int(prefix),
-        path=tuple(int(hop) for hop in path),
-        local_pref=int(local_pref),
+    # Restored routes go through the intern table so the live network
+    # regains the sharing (and warmed preference-key caches) it had
+    # before the snapshot.
+    return make_route(
+        int(prefix), tuple(int(hop) for hop in path), int(local_pref)
     )
 
 

@@ -1,7 +1,7 @@
 """Deterministic discrete-event engine.
 
-A minimal heap-based kernel: events are ``(time, sequence, callback)``
-tuples, executed in time order with FIFO tie-breaking (the monotonically
+A minimal heap-based kernel: events are ``[time, sequence, callback]``
+entries, executed in time order with FIFO tie-breaking (the monotonically
 increasing sequence number), which makes runs bit-reproducible for a fixed
 seed regardless of hash randomization.
 
@@ -9,6 +9,20 @@ The engine exposes both relative (:meth:`schedule`) and absolute
 (:meth:`schedule_at`) scheduling, plus a run loop with an event budget that
 turns runaway simulations into a :class:`~repro.errors.ConvergenceError`
 instead of a hang.
+
+Cancellation
+------------
+
+Heap entries are mutable lists precisely so a scheduled event can be
+*cancelled in O(1)*: :meth:`schedule`/:meth:`schedule_at` return the entry
+as an opaque handle, and :meth:`cancel` nulls its callback slot in place
+(the classic "mark invalid" heapq pattern — removing from the middle of a
+heap would be O(n)).  Cancelled entries stay in the heap but are silently
+discarded when they surface in :meth:`step`: they do not advance the
+clock, do not count as executed, and are excluded from
+:attr:`pending_events` and :meth:`dump_pending`.  This is what lets the
+BGP layer drop superseded MRAI wakeups / damping reuse checks instead of
+letting no-op callbacks pile up and churn the heap.
 """
 
 from __future__ import annotations
@@ -22,6 +36,11 @@ from repro.obs.telemetry import NULL_TELEMETRY
 
 Callback = Callable[[], None]
 
+#: An event entry: ``[time, sequence, callback]`` where ``callback`` is
+#: set to None when the event has been cancelled.  Mutable on purpose —
+#: see the module docstring.
+EventHandle = list
+
 #: Default safety budget: more events than any sane C-event needs.
 DEFAULT_MAX_EVENTS = 50_000_000
 
@@ -31,9 +50,15 @@ class Engine:
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._queue: List[Tuple[float, int, Callback]] = []
+        self._queue: List[EventHandle] = []
         self._next_sequence = 0
         self.executed_events = 0
+        #: Cancelled entries still sitting in the heap (bookkeeping for
+        #: :attr:`pending_events`).
+        self._cancelled = 0
+        #: Cumulative count of cancellations over the engine's lifetime
+        #: (observability: how much work the supersession logic saved).
+        self.cancelled_events = 0
         #: Observability sink (null object by default).  The per-event
         #: loop is deliberately uninstrumented — event counts come from
         #: ``executed_events`` snapshots at :meth:`run` boundaries, so a
@@ -41,25 +66,41 @@ class Engine:
         #: nothing per event.
         self.telemetry = NULL_TELEMETRY
 
-    def schedule(self, delay: float, callback: Callback) -> None:
-        """Run ``callback`` ``delay`` seconds from the current time."""
+    def schedule(self, delay: float, callback: Callback) -> EventHandle:
+        """Run ``callback`` ``delay`` seconds from now; returns a handle.
+
+        The handle is opaque; pass it to :meth:`cancel` to drop the event.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self.schedule_at(self.now + delay, callback)
+        return self.schedule_at(self.now + delay, callback)
 
-    def schedule_at(self, time: float, callback: Callback) -> None:
-        """Run ``callback`` at absolute simulation time ``time``."""
+    def schedule_at(self, time: float, callback: Callback) -> EventHandle:
+        """Run ``callback`` at absolute simulation time ``time``; returns a handle."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule into the past (at={time}, now={self.now})"
             )
-        heapq.heappush(self._queue, (time, self._next_sequence, callback))
+        entry: EventHandle = [time, self._next_sequence, callback]
+        heapq.heappush(self._queue, entry)
         self._next_sequence += 1
+        return entry
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a scheduled event in O(1).
+
+        Idempotent; cancelling an event that already executed is a no-op
+        (its entry has left the heap, nulling it changes nothing).
+        """
+        if handle[2] is not None:
+            handle[2] = None
+            self._cancelled += 1
+            self.cancelled_events += 1
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue) - self._cancelled
 
     @property
     def next_sequence(self) -> int:
@@ -72,13 +113,20 @@ class Engine:
         return self._next_sequence
 
     def dump_pending(self) -> List[Tuple[float, int, Callback]]:
-        """The queued events as ``(time, sequence, callback)`` tuples.
+        """The live queued events as ``(time, sequence, callback)`` tuples.
 
-        The list is a copy in unspecified internal (heap) order; the
-        ``(time, sequence)`` pairs form a total order, so re-heapifying
-        the entries reproduces the exact execution order.
+        Cancelled entries are omitted — a checkpoint holds only events
+        that will actually execute, so a restored run and the reference
+        run see identical queues.  The list is a copy in unspecified
+        internal (heap) order; the ``(time, sequence)`` pairs form a total
+        order, so re-heapifying the entries reproduces the exact execution
+        order.
         """
-        return list(self._queue)
+        return [
+            (entry[0], entry[1], entry[2])
+            for entry in self._queue
+            if entry[2] is not None
+        ]
 
     def restore_state(
         self,
@@ -86,12 +134,15 @@ class Engine:
         now: float,
         next_sequence: int,
         executed_events: int,
-        pending: List[Tuple[float, int, Callback]],
+        pending: List,
     ) -> None:
         """Install a previously captured engine state (checkpoint restore).
 
         ``pending`` entries may arrive in any order; they are re-heapified.
-        The caller is responsible for rebinding callbacks to live objects.
+        List entries are adopted *by identity* (so callers can keep them as
+        live cancellation handles — the checkpoint layer hands them back to
+        the nodes); tuples are converted.  The caller is responsible for
+        rebinding callbacks to live objects.
         """
         for time, sequence, _callback in pending:
             if time < now:
@@ -103,21 +154,33 @@ class Engine:
                     f"pending event sequence {sequence} >= next_sequence "
                     f"{next_sequence}"
                 )
-        self._queue = list(pending)
+        self._queue = [
+            entry if isinstance(entry, list) else list(entry) for entry in pending
+        ]
         heapq.heapify(self._queue)
         self.now = now
         self._next_sequence = next_sequence
         self.executed_events = executed_events
+        self._cancelled = 0
 
     def step(self) -> bool:
-        """Execute the next event; returns False when the queue is empty."""
-        if not self._queue:
-            return False
-        time, _seq, callback = heapq.heappop(self._queue)
-        self.now = time
-        self.executed_events += 1
-        callback()
-        return True
+        """Execute the next live event; returns False when none remain.
+
+        Cancelled entries surfacing at the heap top are discarded without
+        advancing the clock or counting as executed.
+        """
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            callback = entry[2]
+            if callback is None:
+                self._cancelled -= 1
+                continue
+            self.now = entry[0]
+            self.executed_events += 1
+            callback()
+            return True
+        return False
 
     def run(
         self,
@@ -158,14 +221,21 @@ class Engine:
         if until is not None:
             until = max(until, self.now)
         executed = 0
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head[2] is None:
+                # Dead head: discard without charging the event budget.
+                heapq.heappop(queue)
+                self._cancelled -= 1
+                continue
+            if until is not None and head[0] > until:
                 self.now = until
                 return
             if executed >= max_events:
                 raise ConvergenceError(
                     f"event budget of {max_events} exhausted at t={self.now:.3f}s "
-                    f"with {len(self._queue)} events still pending"
+                    f"with {self.pending_events} events still pending"
                 )
             self.step()
             executed += 1
@@ -185,3 +255,5 @@ class Engine:
         self.now = 0.0
         self._next_sequence = 0
         self.executed_events = 0
+        self._cancelled = 0
+        self.cancelled_events = 0

@@ -98,6 +98,25 @@ class TestValidation:
         # ...but verification is version-agnostic by design.
         assert verify_checkpoint(path).code_version == "0.0.0-other"
 
+    def test_compatible_old_code_version_accepted(self, path):
+        """Checkpoints from the 1.1.x kernel restore into the current one.
+
+        The 1.2.0 fast-path kernel changed in-memory representations but
+        not the checkpoint schema, so every version in
+        COMPATIBLE_CODE_VERSIONS must pass the restore gate.
+        """
+        from repro.checkpoint.format import COMPATIBLE_CODE_VERSIONS
+
+        assert "1.1.0" in COMPATIBLE_CODE_VERSIONS
+        for old_version in COMPATIBLE_CODE_VERSIONS:
+            write_checkpoint(path, KIND_NETWORK, {"value": 1})
+            data = json.loads(path.read_text(encoding="utf-8"))
+            data["code_version"] = old_version
+            path.write_text(json.dumps(data), encoding="utf-8")
+            document = read_checkpoint(path)
+            assert document.code_version == old_version
+            assert document.payload == {"value": 1}
+
     def test_digest_is_format_independent(self):
         # Same payload, different key order -> same digest.
         assert payload_digest({"a": 1, "b": 2}) == payload_digest({"b": 2, "a": 1})

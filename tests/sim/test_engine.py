@@ -189,6 +189,95 @@ class TestRunControl:
         assert used.executed_events == fresh.executed_events == 0
 
 
+class TestCancellation:
+    def test_cancelled_event_never_runs(self):
+        engine = Engine()
+        seen = []
+        handle = engine.schedule(1.0, lambda: seen.append("cancelled"))
+        engine.schedule(2.0, lambda: seen.append("kept"))
+        engine.cancel(handle)
+        engine.run()
+        assert seen == ["kept"]
+        assert engine.executed_events == 1
+        assert engine.cancelled_events == 1
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.cancel(handle)
+        engine.cancel(handle)
+        assert engine.pending_events == 0
+        assert engine.cancelled_events == 1
+        engine.run()
+        assert engine.executed_events == 0
+
+    def test_pending_events_excludes_cancelled(self):
+        engine = Engine()
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert engine.pending_events == 5
+        engine.cancel(handles[0])
+        engine.cancel(handles[3])
+        assert engine.pending_events == 3
+
+    def test_dump_pending_excludes_cancelled(self):
+        engine = Engine()
+        keep = lambda: None  # noqa: E731
+        drop = lambda: None  # noqa: E731
+        engine.schedule(1.0, keep)
+        handle = engine.schedule(2.0, drop)
+        engine.cancel(handle)
+        dumped = engine.dump_pending()
+        assert [callback for _, _, callback in dumped] == [keep]
+
+    def test_cancelled_head_does_not_advance_clock(self):
+        """Discarding a dead heap head is bookkeeping, not simulation:
+        neither the clock nor executed_events may move."""
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(5.0, lambda: None)
+        engine.cancel(handle)
+        assert engine.step() is True
+        assert engine.now == 5.0
+        assert engine.executed_events == 1
+
+    def test_step_returns_false_when_only_cancelled_remain(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.cancel(handle)
+        assert engine.step() is False
+        assert engine.now == 0.0
+
+    def test_cancelled_events_do_not_count_against_budget(self):
+        engine = Engine()
+        for i in range(50):
+            handle = engine.schedule(float(i + 1), lambda: None)
+            engine.cancel(handle)
+        engine.schedule(100.0, lambda: None)
+        engine.run(max_events=1)  # only the live event should be charged
+        assert engine.executed_events == 1
+
+    def test_reset_clears_cancellation_counters(self):
+        engine = Engine()
+        engine.cancel(engine.schedule(1.0, lambda: None))
+        engine.reset()
+        assert engine.cancelled_events == 0
+        assert engine.pending_events == 0
+
+    def test_restore_state_adopts_list_entries_by_identity(self):
+        """Restoring from list entries must keep them live handles:
+        cancelling the original entry cancels the restored event."""
+        engine = Engine()
+        seen = []
+        entry = [3.0, 0, lambda: seen.append("x")]
+        engine.restore_state(
+            now=1.0, next_sequence=1, executed_events=0, pending=[entry]
+        )
+        engine.cancel(entry)
+        engine.run()
+        assert seen == []
+        assert engine.pending_events == 0
+
+
 class TestRestoreState:
     def test_restore_round_trip(self):
         engine = Engine()
