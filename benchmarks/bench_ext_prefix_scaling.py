@@ -1,0 +1,13 @@
+"""Extension bench: churn and table growth along the prefix axis.
+
+The paper scales the topology at one prefix per event; this bench
+regenerates the ``ext-prefix-scaling`` study — table size P swept on one
+topology, PER_INTERFACE vs PER_PREFIX MRAI — and asserts its shape
+checks: churn grows with P, Loc-RIBs track the allocated table, and the
+per-prefix dirty-set tracking skips nearly all re-decisions.
+"""
+
+
+def test_prefix_scaling(run_figure):
+    result = run_figure("ext-prefix-scaling")
+    assert result.passed, result.to_text()

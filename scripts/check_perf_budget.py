@@ -41,19 +41,27 @@ EXACT_COUNTERS = [
     ("churn_per_prefix", "cancelled_events"),
     ("damping_churn", "executed_events"),
     ("damping_churn", "cancelled_events"),
+    ("prefix_churn", "events_executed"),
+    ("prefix_churn", "total_updates"),
+    ("prefix_churn", "decisions_run"),
+    ("prefix_churn", "decisions_skipped"),
+    ("prefix_churn", "loc_rib_digest"),
 ]
 
-#: per_op keys where *larger* is worse (cost in µs or bytes).
+#: (section, key) pairs where *larger* is worse (cost in µs or bytes).
 COST_METRICS = [
-    "best_path_us_warm",
-    "best_path_us_cold",
-    "decision_full_us",
-    "decision_incremental_us",
-    "route_bytes",
+    ("per_op", "best_path_us_warm"),
+    ("per_op", "best_path_us_cold"),
+    ("per_op", "decision_full_us"),
+    ("per_op", "decision_incremental_us"),
+    ("per_op", "route_bytes"),
+    ("prefix_per_op", "trie_insert_us"),
+    ("prefix_per_op", "trie_longest_match_us"),
+    ("prefix_per_op", "redecide_1_of_10k_us"),
 ]
 
-#: per_op keys where *smaller* is worse (throughput).
-THROUGHPUT_METRICS = ["events_per_sec"]
+#: (section, key) pairs where *smaller* is worse (throughput).
+THROUGHPUT_METRICS = [("per_op", "events_per_sec")]
 
 
 def _load(path: Path) -> dict:
@@ -114,23 +122,33 @@ def main(argv=None) -> int:
             "pre-fix — the >=2x stale-wakeup reduction no longer holds"
         )
 
-    for key in COST_METRICS:
-        got = float(_get(current, "per_op", key, args.current))
-        want = float(_get(baseline, "per_op", key, args.baseline))
+    prefix_churn = current.get("prefix_churn", {})
+    skipped = prefix_churn.get("decisions_skipped", 0)
+    ran = prefix_churn.get("decisions_run", 0)
+    if skipped <= 10 * ran:
+        failures.append(
+            f"prefix_churn: skipped {skipped} vs run {ran} decisions — "
+            "per-prefix dirty tracking no longer dominates the multi-prefix "
+            "decision economy"
+        )
+
+    for section, key in COST_METRICS:
+        got = float(_get(current, section, key, args.current))
+        want = float(_get(baseline, section, key, args.baseline))
         limit = want * args.tolerance
         if got > limit:
             failures.append(
-                f"per_op.{key}: {got:.3f} exceeds budget {limit:.3f} "
+                f"{section}.{key}: {got:.3f} exceeds budget {limit:.3f} "
                 f"(baseline {want:.3f} x tolerance {args.tolerance})"
             )
 
-    for key in THROUGHPUT_METRICS:
-        got = float(_get(current, "per_op", key, args.current))
-        want = float(_get(baseline, "per_op", key, args.baseline))
+    for section, key in THROUGHPUT_METRICS:
+        got = float(_get(current, section, key, args.current))
+        want = float(_get(baseline, section, key, args.baseline))
         floor = want / args.tolerance
         if got < floor:
             failures.append(
-                f"per_op.{key}: {got:,.0f} below floor {floor:,.0f} "
+                f"{section}.{key}: {got:,.0f} below floor {floor:,.0f} "
                 f"(baseline {want:,.0f} / tolerance {args.tolerance})"
             )
 

@@ -100,10 +100,19 @@ class BGPConfig:
     #: One-way link propagation delay in seconds.
     link_delay: float = 0.002
     damping: DampingConfig = dataclasses.field(default_factory=DampingConfig)
+    #: RIB storage engine: ``"dict"`` (the reference implementation) or
+    #: ``"radix"`` (trie-backed, adds longest-match/covered queries for
+    #: multi-prefix workloads).  Both produce identical decisions; the
+    #: equivalence suite in ``tests/prefix`` holds them to it.
+    rib_backend: str = "dict"
 
     def __post_init__(self) -> None:
         if self.mrai < 0:
             raise ParameterError(f"mrai must be >= 0, got {self.mrai}")
+        if self.rib_backend not in ("dict", "radix"):
+            raise ParameterError(
+                f"rib_backend must be 'dict' or 'radix', got {self.rib_backend!r}"
+            )
         if not 0 < self.jitter_low <= self.jitter_high:
             raise ParameterError(
                 f"invalid jitter band [{self.jitter_low}, {self.jitter_high}]"
@@ -129,8 +138,13 @@ class BGPConfig:
 
         Shared by the sweep cache, result files and checkpoints, so the
         on-disk representation of a config is identical everywhere.
+
+        ``rib_backend`` is emitted only when it deviates from the default:
+        the default's serialization must stay byte-identical to what
+        pre-radix versions wrote, because sweep caches and recorded
+        campaign artifacts embed this dict verbatim.
         """
-        return {
+        data = {
             "mrai": self.mrai,
             "wrate": self.wrate,
             "jitter_low": self.jitter_low,
@@ -141,6 +155,9 @@ class BGPConfig:
             "link_delay": self.link_delay,
             "damping": dataclasses.asdict(self.damping),
         }
+        if self.rib_backend != "dict":
+            data["rib_backend"] = self.rib_backend
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "BGPConfig":
@@ -156,6 +173,7 @@ class BGPConfig:
                 processing_time_max=data["processing_time_max"],
                 link_delay=data["link_delay"],
                 damping=DampingConfig(**data["damping"]),
+                rib_backend=data.get("rib_backend", "dict"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SerializationError(f"malformed config document: {exc}") from exc

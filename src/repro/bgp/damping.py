@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.bgp.config import DampingConfig
+from repro.prefix.prefix import PrefixToken
 
 
 class FlapKind(enum.Enum):
@@ -45,11 +46,26 @@ class PenaltyRecord:
 
 
 class RouteFlapDamper:
-    """All damping state of one receiving node."""
+    """All damping state of one receiving node.
+
+    Records are indexed prefix-first (``prefix -> neighbor -> record``) so
+    the per-prefix scans the node runs on its hot path —
+    :meth:`earliest_reuse` after every reuse check — touch only the
+    neighbours that actually flapped that prefix, not every record the
+    node has ever accumulated.  Under a multi-prefix workload the flat
+    (neighbour, prefix) table made each check O(total records); with tens
+    of thousands of prefixes that scan dominated the run.
+    """
 
     def __init__(self, config: DampingConfig) -> None:
         self._config = config
-        self._records: Dict[Tuple[int, int], PenaltyRecord] = {}
+        self._records: Dict[PrefixToken, Dict[int, PenaltyRecord]] = {}
+
+    def _record(self, neighbor: int, prefix: PrefixToken) -> Optional[PenaltyRecord]:
+        by_neighbor = self._records.get(prefix)
+        if by_neighbor is None:
+            return None
+        return by_neighbor.get(neighbor)
 
     @property
     def enabled(self) -> bool:
@@ -63,9 +79,13 @@ class RouteFlapDamper:
             return self._config.readvertisement_penalty
         return self._config.attribute_change_penalty
 
-    def record_flap(self, neighbor: int, prefix: int, kind: FlapKind, now: float) -> float:
+    def record_flap(
+        self, neighbor: int, prefix: PrefixToken, kind: FlapKind, now: float
+    ) -> float:
         """Register a flap; returns the updated penalty."""
-        record = self._records.setdefault((neighbor, prefix), PenaltyRecord())
+        record = self._records.setdefault(prefix, {}).setdefault(
+            neighbor, PenaltyRecord()
+        )
         record.penalty = record.decayed_penalty(now, self._config.half_life)
         record.penalty += self._penalty_for(kind)
         record.last_update = now
@@ -73,11 +93,11 @@ class RouteFlapDamper:
             record.suppressed = True
         return record.penalty
 
-    def is_suppressed(self, neighbor: int, prefix: int, now: float) -> bool:
+    def is_suppressed(self, neighbor: int, prefix: PrefixToken, now: float) -> bool:
         """Whether routes from ``neighbor`` for ``prefix`` are unusable now."""
         if not self._config.enabled:
             return False
-        record = self._records.get((neighbor, prefix))
+        record = self._record(neighbor, prefix)
         if record is None or not record.suppressed:
             return False
         penalty = record.decayed_penalty(now, self._config.half_life)
@@ -91,12 +111,14 @@ class RouteFlapDamper:
             return False
         return True
 
-    def time_until_reuse(self, neighbor: int, prefix: int, now: float) -> Optional[float]:
+    def time_until_reuse(
+        self, neighbor: int, prefix: PrefixToken, now: float
+    ) -> Optional[float]:
         """Seconds until the record decays to the reuse threshold.
 
         Returns None when the route is not currently suppressed.
         """
-        record = self._records.get((neighbor, prefix))
+        record = self._record(neighbor, prefix)
         if record is None or not record.suppressed:
             return None
         penalty = record.decayed_penalty(now, self._config.half_life)
@@ -118,10 +140,16 @@ class RouteFlapDamper:
         when the neighbour no longer advertises the prefix — otherwise a
         withdrawn-then-suppressed record would never be visited by the
         decision process and would report a zero wait forever.
+
+        Cost: O(neighbours with records for ``prefix``) — records for
+        other prefixes are never touched.
         """
+        by_neighbor = self._records.get(prefix)
+        if not by_neighbor:
+            return None
         best: Optional[float] = None
-        for (neighbor, pfx), record in self._records.items():
-            if pfx != prefix or not record.suppressed:
+        for neighbor, record in by_neighbor.items():
+            if not record.suppressed:
                 continue
             if not self.is_suppressed(neighbor, prefix, now):
                 continue
@@ -131,10 +159,16 @@ class RouteFlapDamper:
         return best
 
     def dump_state(self) -> list:
-        """All penalty records in insertion order (checkpointing)."""
+        """All penalty records in insertion order (checkpointing).
+
+        Rows keep the flat ``[neighbor, prefix, penalty, last, suppressed]``
+        checkpoint layout; grouping by prefix is an in-memory indexing
+        choice, not part of the on-disk schema.
+        """
         return [
             [neighbor, prefix, record.penalty, record.last_update, record.suppressed]
-            for (neighbor, prefix), record in self._records.items()
+            for prefix, by_neighbor in self._records.items()
+            for neighbor, record in by_neighbor.items()
         ]
 
     def load_state(self, state: list) -> None:
@@ -145,11 +179,11 @@ class RouteFlapDamper:
             record.penalty = penalty
             record.last_update = last_update
             record.suppressed = suppressed
-            self._records[(neighbor, prefix)] = record
+            self._records.setdefault(prefix, {})[neighbor] = record
 
-    def penalty(self, neighbor: int, prefix: int, now: float) -> float:
+    def penalty(self, neighbor: int, prefix: PrefixToken, now: float) -> float:
         """Current decayed penalty (0 when no record exists)."""
-        record = self._records.get((neighbor, prefix))
+        record = self._record(neighbor, prefix)
         if record is None:
             return 0.0
         return record.decayed_penalty(now, self._config.half_life)

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Type
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.route import intern_path
 from repro.errors import CheckpointError
+from repro.prefix.prefix import PrefixToken, prefix_from_json, prefix_to_json
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.bgp.node import BGPNode
@@ -110,7 +111,7 @@ class DampingReuseCheck(SimEvent):
     __slots__ = ("node", "prefix")
     kind = "damping-reuse-check"
 
-    def __init__(self, node: "BGPNode", prefix: int) -> None:
+    def __init__(self, node: "BGPNode", prefix: PrefixToken) -> None:
         self.node = node
         self.prefix = prefix
 
@@ -118,12 +119,12 @@ class DampingReuseCheck(SimEvent):
         self.node._reuse_check(self.prefix)
 
     def describe(self) -> List[object]:
-        return [self.kind, self.node.node_id, self.prefix]
+        return [self.kind, self.node.node_id, prefix_to_json(self.prefix)]
 
     @classmethod
     def build(cls, network: "SimNetwork", args: List[object]) -> "DampingReuseCheck":
         node_id, prefix = args
-        return cls(network.node(int(node_id)), int(prefix))
+        return cls(network.node(int(node_id)), prefix_from_json(prefix))
 
 
 class Delivery(SimEvent):
@@ -142,7 +143,13 @@ class Delivery(SimEvent):
     def describe(self) -> List[object]:
         message = self.message
         path = list(message.path) if message.path is not None else None
-        return [self.kind, message.sender, message.receiver, message.prefix, path]
+        return [
+            self.kind,
+            message.sender,
+            message.receiver,
+            prefix_to_json(message.prefix),
+            path,
+        ]
 
     @classmethod
     def build(cls, network: "SimNetwork", args: List[object]) -> "Delivery":
@@ -150,7 +157,7 @@ class Delivery(SimEvent):
         message = UpdateMessage(
             sender=int(sender),
             receiver=int(receiver),
-            prefix=int(prefix),
+            prefix=prefix_from_json(prefix),
             path=(
                 intern_path(tuple(int(hop) for hop in path))
                 if path is not None

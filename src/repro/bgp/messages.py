@@ -3,6 +3,10 @@
 A message is either an **announcement** (carries an AS path) or an explicit
 **withdrawal** (no path).  The distinction matters for the MRAI variants:
 NO-WRATE lets withdrawals bypass the rate-limiting timer, WRATE does not.
+
+Prefixes are opaque tokens: legacy bare ints (one synthetic prefix per
+C-event origin) or real :class:`~repro.prefix.prefix.Prefix` values —
+the message layer never looks inside them.
 """
 
 from __future__ import annotations
@@ -11,6 +15,7 @@ import dataclasses
 from typing import Optional, Tuple
 
 from repro.bgp.route import intern_path
+from repro.prefix.prefix import PrefixToken
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -23,7 +28,7 @@ class UpdateMessage:
 
     sender: int
     receiver: int
-    prefix: int
+    prefix: PrefixToken
     path: Optional[Tuple[int, ...]]
 
     @property
@@ -45,7 +50,9 @@ class UpdateMessage:
         )
 
 
-def announcement(sender: int, receiver: int, prefix: int, path: Tuple[int, ...]) -> UpdateMessage:
+def announcement(
+    sender: int, receiver: int, prefix: PrefixToken, path: Tuple[int, ...]
+) -> UpdateMessage:
     """Build an announcement message (path must be non-empty)."""
     if not path:
         raise ValueError("announcement requires a non-empty AS path")
@@ -54,6 +61,6 @@ def announcement(sender: int, receiver: int, prefix: int, path: Tuple[int, ...])
     )
 
 
-def withdrawal(sender: int, receiver: int, prefix: int) -> UpdateMessage:
+def withdrawal(sender: int, receiver: int, prefix: PrefixToken) -> UpdateMessage:
     """Build an explicit withdrawal message."""
     return UpdateMessage(sender=sender, receiver=receiver, prefix=prefix, path=None)

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.bgp.config import BGPConfig, MRAIMode, SendDiscipline
 from repro.bgp.messages import UpdateMessage, announcement, withdrawal
 from repro.obs.telemetry import NULL_TELEMETRY
+from repro.prefix.prefix import PrefixToken
 
 #: A target state for a prefix at a neighbour: the AS path to advertise,
 #: or None meaning "withdrawn / no route".
@@ -66,12 +67,12 @@ class OutputChannel:
         #: What the neighbour currently believes, per prefix (None/absent =
         #: no route).  Only explicitly advertised-then-withdrawn prefixes
         #: keep a None entry; never-advertised prefixes are absent.
-        self._sent: Dict[int, TargetState] = {}
+        self._sent: Dict[PrefixToken, TargetState] = {}
         #: Updates waiting for the timer, newest target per prefix.
-        self._pending: Dict[int, TargetState] = {}
+        self._pending: Dict[PrefixToken, TargetState] = {}
         #: Gate(s): time at which the next rate-limited send is allowed.
         self._interface_gate = 0.0
-        self._prefix_gates: Dict[int, float] = {}
+        self._prefix_gates: Dict[PrefixToken, float] = {}
 
     # ------------------------------------------------------------------
     # Introspection (used by tests and the node)
@@ -81,11 +82,11 @@ class OutputChannel:
         """Number of prefixes with an update waiting in the out-queue."""
         return len(self._pending)
 
-    def advertised(self, prefix: int) -> TargetState:
+    def advertised(self, prefix: PrefixToken) -> TargetState:
         """The state last sent to the neighbour for ``prefix``."""
         return self._sent.get(prefix)
 
-    def has_advertised(self, prefix: int) -> bool:
+    def has_advertised(self, prefix: PrefixToken) -> bool:
         """Whether an announcement for ``prefix`` is currently outstanding."""
         return self._sent.get(prefix) is not None
 
@@ -121,7 +122,7 @@ class OutputChannel:
     # Main entry points
     # ------------------------------------------------------------------
     def set_target(
-        self, prefix: int, target: TargetState, now: float
+        self, prefix: PrefixToken, target: TargetState, now: float
     ) -> Tuple[List[UpdateMessage], Optional[float]]:
         """Declare the state the neighbour *should* have for ``prefix``.
 
@@ -190,18 +191,19 @@ class OutputChannel:
         expired = [p for p, gate in self._prefix_gates.items() if gate <= now]
         for prefix in expired:
             del self._prefix_gates[prefix]
+        self._obs.on_prefix_gates(len(self._prefix_gates))
         remaining = [self._prefix_gates[p] for p in self._pending]
         return messages, (min(remaining) if remaining else None)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _gate_for(self, prefix: int) -> float:
+    def _gate_for(self, prefix: PrefixToken) -> float:
         if self._config.mrai_mode is MRAIMode.PER_INTERFACE:
             return self._interface_gate
         return self._prefix_gates.get(prefix, 0.0)
 
-    def _arm(self, prefix: int, now: float) -> float:
+    def _arm(self, prefix: PrefixToken, now: float) -> float:
         interval = self._config.mrai * self._rng.uniform(
             self._config.jitter_low, self._config.jitter_high
         )
@@ -213,7 +215,7 @@ class OutputChannel:
         return gate
 
     def _send(
-        self, prefix: int, target: TargetState, now: float, *, arm_timer: bool
+        self, prefix: PrefixToken, target: TargetState, now: float, *, arm_timer: bool
     ) -> UpdateMessage:
         self._sent[prefix] = target
         if arm_timer and self._config.rate_limiting_enabled:

@@ -29,6 +29,7 @@ from repro.bgp.policy import exportable
 from repro.bgp.rib import AdjRIBIn, LocRIB
 from repro.bgp.route import Route, import_route, local_route
 from repro.errors import SimulationError
+from repro.prefix.rib import RadixAdjRIBIn, RadixLocRIB
 from repro.bgp.events import DampingReuseCheck, MRAIWakeup, ServiceCompletion
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.topology.types import NodeType, Relationship
@@ -65,8 +66,7 @@ class BGPNode:
         self._obs = telemetry
         self._in_queue: Deque[UpdateMessage] = collections.deque()
         self._busy = False
-        self.adj_rib_in = AdjRIBIn()
-        self.loc_rib = LocRIB()
+        self.adj_rib_in, self.loc_rib = self._new_ribs()
         self._local_routes: Dict[int, Route] = {}
         self._channels: Dict[int, OutputChannel] = {
             neighbor: OutputChannel(node_id, neighbor, config, rng, telemetry=telemetry)
@@ -99,6 +99,20 @@ class BGPNode:
         #: Number of times the best route changed, per prefix.  The diff
         #: between two snapshots measures path exploration depth.
         self.best_change_count: Dict[int, int] = {}
+        #: Decisions actually run (full or incremental).
+        self.decisions_run = 0
+        #: Decisions avoided by per-prefix dirty-set tracking: on every
+        #: decision trigger, the prefixes in the Loc-RIB that were *not*
+        #: re-decided.  A full-table implementation re-scans all of them,
+        #: so this counter is the saved work — deterministic (no timing
+        #: involved), which lets the perf budget gate pin it exactly.
+        self.decisions_skipped = 0
+
+    def _new_ribs(self):
+        """Fresh (Adj-RIB-In, Loc-RIB) pair for the configured backend."""
+        if self._config.rib_backend == "radix":
+            return RadixAdjRIBIn(), RadixLocRIB()
+        return AdjRIBIn(), LocRIB()
 
     # ------------------------------------------------------------------
     # Origin operations
@@ -189,6 +203,12 @@ class BGPNode:
         else:
             self.adj_rib_in.update(prefix, sender, route)
             self._run_decision_incremental(prefix, previous, route, now)
+        # Dirty-set economy: of everything installed, only this one
+        # prefix was re-decided; the rest is the work a full-table
+        # re-scan would have burned.
+        skipped = len(self.loc_rib) - 1
+        if skipped > 0:
+            self.decisions_skipped += skipped
 
     def _record_flap(
         self,
@@ -256,6 +276,8 @@ class BGPNode:
 
     def _run_decision(self, prefix: int, now: float) -> None:
         self._obs.on_decision()
+        self.decisions_run += 1
+        self.adj_rib_in.clear_dirty(prefix)
         best = select_best(self.node_id, self._candidates(prefix, now))
         self._install(prefix, best, now)
 
@@ -278,6 +300,8 @@ class BGPNode:
         is what the ``<=`` / ``<`` splits below encode.
         """
         self._obs.on_decision()
+        self.decisions_run += 1
+        self.adj_rib_in.clear_dirty(prefix)
         current = self.loc_rib.best(prefix)
         if route is not None:
             if current is None:
@@ -349,8 +373,18 @@ class BGPNode:
             self._wakeup_entries[neighbor] = None
         self._wakeup_at[neighbor] = None
         now = self._engine.now
+        # Flush everything first, then drain the dirty set: per-prefix
+        # decisions are independent (each reads only its own prefix's
+        # state) and take_dirty preserves flush order, so this is
+        # trajectory-identical to the historical interleaved loop while
+        # making the decision batch — and its skip accounting — explicit.
         for prefix in self.adj_rib_in.prefixes_from(neighbor):
             self.adj_rib_in.update(prefix, neighbor, None)
+        dirty = self.adj_rib_in.take_dirty()
+        skipped = len(self.loc_rib) - len(dirty)
+        if skipped > 0:
+            self.decisions_skipped += skipped
+        for prefix in dirty:
             self._run_decision(prefix, now)
 
     def set_link_up(self, neighbor: int) -> None:
@@ -441,6 +475,8 @@ class BGPNode:
             "service_delay": self._service_delay,
             "max_queue_length": self.max_queue_length,
             "best_change_count": dict(self.best_change_count),
+            "decisions_run": self.decisions_run,
+            "decisions_skipped": self.decisions_skipped,
         }
 
     def restore_state(self, state: dict) -> None:
@@ -453,10 +489,10 @@ class BGPNode:
         self._rng.setstate(state["rng_state"])
         self._in_queue = collections.deque(state["in_queue"])
         self._busy = state["busy"]
-        self.adj_rib_in = AdjRIBIn()
+        self.adj_rib_in, self.loc_rib = self._new_ribs()
         for prefix, neighbor, route in state["adj_rib_in"]:
             self.adj_rib_in.update(prefix, neighbor, route)
-        self.loc_rib = LocRIB()
+            self.adj_rib_in.clear_dirty(prefix)
         for prefix, route in state["loc_rib"]:
             self.loc_rib.install(prefix, route)
         self._local_routes = {
@@ -482,6 +518,9 @@ class BGPNode:
         self._service_delay = state["service_delay"]
         self.max_queue_length = state["max_queue_length"]
         self.best_change_count = dict(state["best_change_count"])
+        # Absent in pre-1.3 checkpoints: the counters restart at zero.
+        self.decisions_run = state.get("decisions_run", 0)
+        self.decisions_skipped = state.get("decisions_skipped", 0)
 
     def adopt_pending_event(self, entry: list) -> None:
         """Re-attach a restored heap entry as a live cancellation handle.

@@ -29,27 +29,54 @@ class AdjRIBIn:
     Within one prefix both orders coincide: a dict re-assignment keeps the
     slot position and a delete+reinsert appends, in the flat dict and the
     inner index alike, so candidate iteration order is unchanged.
+
+    A *dirty set* records prefixes whose entries actually changed since
+    the last :meth:`take_dirty`; the node's bulk re-decision paths (link
+    failure flushes) drain it instead of interleaving flush and decision,
+    and the decisions-skipped accounting quantifies how much work the
+    per-prefix incrementality saves over a full-table re-scan.
     """
 
     def __init__(self) -> None:
         self._routes: Dict[Tuple[int, int], Route] = {}
         self._by_prefix: Dict[int, Dict[int, Route]] = {}
+        self._dirty: Dict[int, None] = {}
 
     def update(self, prefix: int, neighbor: int, route: Optional[Route]) -> Optional[Route]:
         """Install ``route`` (or remove on ``None``); returns the previous route."""
         key = (prefix, neighbor)
         previous = self._routes.get(key)
         if route is None:
-            self._routes.pop(key, None)
+            if previous is None:
+                return None  # withdrawing an absent entry: no state change
+            del self._routes[key]
             per_prefix = self._by_prefix.get(prefix)
             if per_prefix is not None:
                 per_prefix.pop(neighbor, None)
                 if not per_prefix:
                     del self._by_prefix[prefix]
         else:
+            if previous is route:
+                return previous  # identical interned route: no state change
             self._routes[key] = route
             self._by_prefix.setdefault(prefix, {})[neighbor] = route
+        self._dirty[prefix] = None
         return previous
+
+    def take_dirty(self) -> List[int]:
+        """Prefixes whose entries changed since the last take (mark order)."""
+        dirty = list(self._dirty)
+        self._dirty.clear()
+        return dirty
+
+    def clear_dirty(self, prefix: int) -> None:
+        """Acknowledge that ``prefix`` has been re-decided."""
+        self._dirty.pop(prefix, None)
+
+    @property
+    def dirty_count(self) -> int:
+        """Number of prefixes currently awaiting a decision."""
+        return len(self._dirty)
 
     def route_from(self, prefix: int, neighbor: int) -> Optional[Route]:
         """The route ``neighbor`` currently advertises for ``prefix``."""

@@ -47,8 +47,12 @@ FORMAT_VERSION = 1
 #: 1.1.0 wrote the same state layout (the 1.2.0 kernel changed in-memory
 #: representations — slotted/interned routes, cancellable heap entries —
 #: but not the serialized schema); its heaps may carry stale superseded
-#: wakeups, which the node-level execution guards neutralize.
-COMPATIBLE_CODE_VERSIONS = frozenset({"1.1.0"})
+#: wakeups, which the node-level execution guards neutralize.  1.2.0
+#: documents are a strict subset of the 1.3.0 schema: prefixes are bare
+#: ints (1.3.0 additionally writes ``[addr, length]`` pairs for real
+#: prefixes) and the per-node decision counters are absent (they restore
+#: as zero).
+COMPATIBLE_CODE_VERSIONS = frozenset({"1.1.0", "1.2.0"})
 
 #: Recognised checkpoint kinds (the envelope's ``kind`` field).
 KIND_NETWORK = "network"

@@ -19,6 +19,7 @@ from typing import List, Optional, Tuple
 from repro.bgp.messages import UpdateMessage
 from repro.bgp.route import Route, intern_path, make_route
 from repro.errors import CheckpointError
+from repro.prefix.prefix import prefix_from_json, prefix_to_json
 from repro.topology.graph import ASGraph
 from repro.topology.types import Relationship
 
@@ -50,7 +51,7 @@ def message_to_json(message: UpdateMessage) -> list:
     return [
         message.sender,
         message.receiver,
-        message.prefix,
+        prefix_to_json(message.prefix),
         path_to_json(message.path),
     ]
 
@@ -60,13 +61,13 @@ def message_from_json(data: list) -> UpdateMessage:
     return UpdateMessage(
         sender=int(sender),
         receiver=int(receiver),
-        prefix=int(prefix),
+        prefix=prefix_from_json(prefix),
         path=path_from_json(path),
     )
 
 
 def route_to_json(route: Route) -> list:
-    return [route.prefix, list(route.path), route.local_pref]
+    return [prefix_to_json(route.prefix), list(route.path), route.local_pref]
 
 
 def route_from_json(data: list) -> Route:
@@ -75,7 +76,7 @@ def route_from_json(data: list) -> Route:
     # regains the sharing (and warmed preference-key caches) it had
     # before the snapshot.
     return make_route(
-        int(prefix), tuple(int(hop) for hop in path), int(local_pref)
+        prefix_from_json(prefix), tuple(int(hop) for hop in path), int(local_pref)
     )
 
 
@@ -89,28 +90,29 @@ def node_state_to_json(state: dict) -> dict:
         "busy": state["busy"],
         "in_queue": [message_to_json(m) for m in state["in_queue"]],
         "adj_rib_in": [
-            [prefix, neighbor, route_to_json(route)]
+            [prefix_to_json(prefix), neighbor, route_to_json(route)]
             for prefix, neighbor, route in state["adj_rib_in"]
         ],
         "loc_rib": [
-            [prefix, route_to_json(route)] for prefix, route in state["loc_rib"]
+            [prefix_to_json(prefix), route_to_json(route)]
+            for prefix, route in state["loc_rib"]
         ],
-        "local_prefixes": list(state["local_prefixes"]),
+        "local_prefixes": [prefix_to_json(p) for p in state["local_prefixes"]],
         "channels": [
             [
                 neighbor,
                 {
                     "sent": [
-                        [prefix, path_to_json(target)]
+                        [prefix_to_json(prefix), path_to_json(target)]
                         for prefix, target in channel["sent"].items()
                     ],
                     "pending": [
-                        [prefix, path_to_json(target)]
+                        [prefix_to_json(prefix), path_to_json(target)]
                         for prefix, target in channel["pending"].items()
                     ],
                     "interface_gate": channel["interface_gate"],
                     "prefix_gates": list(
-                        [prefix, gate]
+                        [prefix_to_json(prefix), gate]
                         for prefix, gate in channel["prefix_gates"].items()
                     ),
                 },
@@ -119,14 +121,20 @@ def node_state_to_json(state: dict) -> dict:
         ],
         "wakeup_at": [[n, at] for n, at in state["wakeup_at"].items()],
         "down_neighbors": list(state["down_neighbors"]),
-        "damper": [list(record) for record in state["damper"]],
+        "damper": [
+            [neighbor, prefix_to_json(prefix), penalty, last, suppressed]
+            for neighbor, prefix, penalty, last, suppressed in state["damper"]
+        ],
         "processed_count": state["processed_count"],
         "busy_time": state["busy_time"],
         "service_delay": state["service_delay"],
         "max_queue_length": state["max_queue_length"],
         "best_change_count": [
-            [prefix, count] for prefix, count in state["best_change_count"].items()
+            [prefix_to_json(prefix), count]
+            for prefix, count in state["best_change_count"].items()
         ],
+        "decisions_run": state["decisions_run"],
+        "decisions_skipped": state["decisions_skipped"],
     }
 
 
@@ -138,27 +146,27 @@ def node_state_from_json(data: dict) -> dict:
             "busy": bool(data["busy"]),
             "in_queue": [message_from_json(m) for m in data["in_queue"]],
             "adj_rib_in": [
-                (int(prefix), int(neighbor), route_from_json(route))
+                (prefix_from_json(prefix), int(neighbor), route_from_json(route))
                 for prefix, neighbor, route in data["adj_rib_in"]
             ],
             "loc_rib": [
-                (int(prefix), route_from_json(route))
+                (prefix_from_json(prefix), route_from_json(route))
                 for prefix, route in data["loc_rib"]
             ],
-            "local_prefixes": [int(p) for p in data["local_prefixes"]],
+            "local_prefixes": [prefix_from_json(p) for p in data["local_prefixes"]],
             "channels": {
                 int(neighbor): {
                     "sent": {
-                        int(prefix): path_from_json(target)
+                        prefix_from_json(prefix): path_from_json(target)
                         for prefix, target in channel["sent"]
                     },
                     "pending": {
-                        int(prefix): path_from_json(target)
+                        prefix_from_json(prefix): path_from_json(target)
                         for prefix, target in channel["pending"]
                     },
                     "interface_gate": float(channel["interface_gate"]),
                     "prefix_gates": {
-                        int(prefix): float(gate)
+                        prefix_from_json(prefix): float(gate)
                         for prefix, gate in channel["prefix_gates"]
                     },
                 }
@@ -170,7 +178,13 @@ def node_state_from_json(data: dict) -> dict:
             },
             "down_neighbors": [int(n) for n in data["down_neighbors"]],
             "damper": [
-                [int(neighbor), int(prefix), float(penalty), float(last), bool(sup)]
+                [
+                    int(neighbor),
+                    prefix_from_json(prefix),
+                    float(penalty),
+                    float(last),
+                    bool(sup),
+                ]
                 for neighbor, prefix, penalty, last, sup in data["damper"]
             ],
             "processed_count": int(data["processed_count"]),
@@ -178,9 +192,13 @@ def node_state_from_json(data: dict) -> dict:
             "service_delay": float(data["service_delay"]),
             "max_queue_length": int(data["max_queue_length"]),
             "best_change_count": {
-                int(prefix): int(count)
+                prefix_from_json(prefix): int(count)
                 for prefix, count in data["best_change_count"]
             },
+            # Schema 1.3.0 additions; older documents restart the saved-work
+            # counters at zero.
+            "decisions_run": int(data.get("decisions_run", 0)),
+            "decisions_skipped": int(data.get("decisions_skipped", 0)),
         }
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(f"malformed node state in checkpoint: {exc}") from exc

@@ -35,6 +35,7 @@ from repro.core.factors import (
 )
 from repro.errors import ExperimentError
 from repro.obs.telemetry import current_telemetry
+from repro.prefix.prefix import host_prefix
 from repro.sim.engine import DEFAULT_MAX_EVENTS
 from repro.sim.network import SimNetwork
 from repro.sim.rng import derive_rng
@@ -210,7 +211,10 @@ def run_c_event_batch(
 
     for index in range(cursor.next_index, len(origin_list)):
         origin = origin_list[index]
-        prefix = index  # one fresh prefix per origin keeps state disjoint
+        # One fresh prefix per origin keeps state disjoint; the /32 host
+        # prefixes sort exactly like the bare event indices they replaced,
+        # so fixed-seed trajectories are unchanged.
+        prefix = host_prefix(index)
         # Warm-up: announce the prefix, converge, let MRAI gates expire.
         with obs.phase("warmup", network.engine):
             network.stop_counting()

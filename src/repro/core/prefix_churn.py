@@ -1,0 +1,245 @@
+"""Multi-prefix churn driver: play a prefix workload against a network.
+
+:mod:`repro.core.workload` streams single-prefix C-events; this driver
+plays the multi-prefix streams of :mod:`repro.prefix.workload` — per-prefix
+flaps plus (de)aggregation — against a live :class:`SimNetwork` and
+measures what the paper's scaling question needs at the routing-table
+axis: monitor-side churn, table sizes, and how much decision-process work
+the per-prefix dirty-set tracking saved.
+
+The result carries a canonical Loc-RIB digest so two runs of the same
+workload — e.g. one per RIB backend (``rib_backend="dict"`` vs
+``"radix"``) — can be checked for exact routing-state equivalence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import List, Optional
+
+from repro.bgp.config import BGPConfig
+from repro.errors import ExperimentError
+from repro.prefix.prefix import Prefix, prefix_to_json
+from repro.prefix.workload import (
+    DEAGGREGATE,
+    FLAP,
+    REAGGREGATE,
+    PrefixAllocation,
+    PrefixChurnSpec,
+    PrefixEvent,
+    allocate_prefixes,
+    generate_prefix_churn,
+)
+from repro.sim.engine import DEFAULT_MAX_EVENTS
+from repro.sim.network import SimNetwork
+from repro.sim.rng import derive_rng
+from repro.topology.graph import ASGraph
+from repro.topology.types import NodeType
+
+
+@dataclasses.dataclass(frozen=True)
+class PrefixChurnResult:
+    """Outcome of one multi-prefix workload run."""
+
+    n: int
+    scenario: str
+    num_prefixes: int
+    spec: PrefixChurnSpec
+    #: events that mutated origin state when they fired
+    events_executed: int
+    #: events absorbed because the prefix was down/split when they fired
+    events_absorbed: int
+    #: total updates delivered network-wide during the measurement window
+    total_updates: int
+    #: simulated time spent in the measurement window
+    measured_duration: float
+    #: Loc-RIB entries per node after convergence (mean / max over nodes)
+    mean_table_size: float
+    max_table_size: int
+    #: network-wide decision-process work (sums over nodes)
+    decisions_run: int
+    decisions_skipped: int
+    #: canonical hash of every node's Loc-RIB (backend equivalence checks)
+    loc_rib_digest: str
+
+    @property
+    def churn_rate(self) -> float:
+        """Mean updates/second delivered during the measurement window."""
+        if self.measured_duration <= 0:
+            return 0.0
+        return self.total_updates / self.measured_duration
+
+
+def loc_rib_digest(network: SimNetwork) -> str:
+    """Canonical content hash of every node's Loc-RIB.
+
+    Entries are *sorted* by prefix before hashing, so the digest depends
+    only on the routing state, never on a backend's iteration order —
+    which makes it the right equality witness for dict-vs-radix runs.
+    """
+    canon = [
+        [
+            node_id,
+            [
+                [prefix_to_json(prefix), list(route.path)]
+                for prefix, route in sorted(
+                    network.nodes[node_id].loc_rib.entries(),
+                    key=lambda entry: (
+                        isinstance(entry[0], Prefix),
+                        prefix_to_json(entry[0]),
+                    ),
+                )
+            ],
+        ]
+        for node_id in sorted(network.nodes)
+    ]
+    blob = json.dumps(canon, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def default_prefix_origins(
+    graph: ASGraph, count: int, *, seed: int = 0
+) -> List[int]:
+    """A deterministic sample of stub origins for a prefix workload."""
+    pool = graph.nodes_of_type(NodeType.C) or graph.nodes_of_type(NodeType.CP)
+    if not pool:
+        raise ExperimentError("topology has no stub nodes to originate from")
+    if count >= len(pool):
+        return sorted(pool)
+    rng = derive_rng(seed, 0x9F1E53)
+    return sorted(rng.sample(sorted(pool), count))
+
+
+def run_prefix_churn(
+    graph: ASGraph,
+    allocation: PrefixAllocation,
+    spec: Optional[PrefixChurnSpec] = None,
+    config: Optional[BGPConfig] = None,
+    *,
+    seed: int = 0,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> PrefixChurnResult:
+    """Run one multi-prefix churn workload and measure the table axis.
+
+    Phases mirror :func:`repro.core.workload.run_workload`: every
+    allocated prefix is originated and the network converges uncounted,
+    the clock settles past the MRAI gates, then the churn stream plays
+    inside a counted measurement window.
+    """
+    spec = spec if spec is not None else PrefixChurnSpec()
+    config = config if config is not None else BGPConfig()
+    for origin in allocation.origins:
+        if origin not in graph:
+            raise ExperimentError(f"origin {origin} not in topology")
+
+    network = SimNetwork(graph, config, seed=seed)
+    events = generate_prefix_churn(allocation, spec, seed=seed)
+
+    # Warm-up: announce the whole table, converge, settle.
+    network.stop_counting()
+    for origin in allocation.origins:
+        node = network.node(origin)
+        for prefix in allocation.assignments[origin]:
+            node.originate(prefix)
+    network.run_to_convergence(max_events=max_events)
+    settle = 2.0 * config.mrai if config.mrai > 0 else 1.0
+    network.engine.run(until=network.engine.now + settle)
+
+    # Decision counters measure the churn phase only, not the warm-up
+    # table build (the interesting ratio is per *incremental* event).
+    for node in network.nodes.values():
+        node.decisions_run = 0
+        node.decisions_skipped = 0
+
+    network.start_counting()
+    start = network.engine.now
+    executed = 0
+    absorbed = 0
+
+    def fire(event: PrefixEvent) -> None:
+        nonlocal executed, absorbed
+        node = network.node(event.origin)
+        if event.kind == FLAP:
+            if not node.originates(event.prefix):
+                absorbed += 1  # still down from an earlier flap
+                return
+            executed += 1
+            node.withdraw_origin(event.prefix)
+            network.engine.schedule(
+                event.downtime, lambda: _restore(event.origin, event.prefix)
+            )
+        elif event.kind == DEAGGREGATE:
+            if not node.originates(event.prefix):
+                absorbed += 1
+                return
+            executed += 1
+            low, high = event.prefix.children()
+            node.withdraw_origin(event.prefix)
+            node.originate(low)
+            node.originate(high)
+        elif event.kind == REAGGREGATE:
+            low, high = event.prefix.children()
+            if not (node.originates(low) and node.originates(high)):
+                absorbed += 1  # the matching deaggregation never fired
+                return
+            executed += 1
+            node.withdraw_origin(low)
+            node.withdraw_origin(high)
+            node.originate(event.prefix)
+        else:  # pragma: no cover - generator emits only the three kinds
+            raise ExperimentError(f"unknown prefix event kind {event.kind!r}")
+
+    def _restore(origin: int, prefix: Prefix) -> None:
+        node = network.node(origin)
+        if not node.originates(prefix):
+            node.originate(prefix)
+
+    for event in events:
+        network.engine.schedule_at(start + event.time, lambda e=event: fire(e))
+    network.run_to_convergence(max_events=max_events)
+    measured_duration = network.engine.now - start
+    network.stop_counting()
+
+    table_sizes = [len(node.loc_rib) for node in network.nodes.values()]
+    return PrefixChurnResult(
+        n=len(graph),
+        scenario=graph.scenario,
+        num_prefixes=allocation.num_prefixes,
+        spec=spec,
+        events_executed=executed,
+        events_absorbed=absorbed,
+        total_updates=network.counter.total,
+        measured_duration=measured_duration,
+        mean_table_size=(
+            sum(table_sizes) / len(table_sizes) if table_sizes else 0.0
+        ),
+        max_table_size=max(table_sizes, default=0),
+        decisions_run=sum(n.decisions_run for n in network.nodes.values()),
+        decisions_skipped=sum(
+            n.decisions_skipped for n in network.nodes.values()
+        ),
+        loc_rib_digest=loc_rib_digest(network),
+    )
+
+
+def build_allocation(
+    graph: ASGraph,
+    num_prefixes: int,
+    *,
+    num_origins: int = 0,
+    seed: int = 0,
+    base_length: int = 16,
+) -> PrefixAllocation:
+    """Allocate a prefix table over a topology's stub population.
+
+    ``num_origins`` caps the participating stubs (0 = one origin per
+    prefix, capped by the stub population).
+    """
+    if num_origins <= 0:
+        num_origins = num_prefixes
+    origins = default_prefix_origins(graph, num_origins, seed=seed)
+    return allocate_prefixes(
+        origins, num_prefixes, seed=seed, base_length=base_length
+    )

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 
 from repro.bgp.config import BGPConfig
 from repro.errors import ExperimentError, ParameterError
+from repro.prefix.prefix import PrefixToken, host_prefix
 from repro.sim.engine import DEFAULT_MAX_EVENTS
 from repro.sim.network import SimNetwork
 from repro.sim.rng import derive_rng
@@ -34,7 +35,7 @@ class WorkloadEvent:
 
     time: float
     origin: int
-    prefix: int
+    prefix: PrefixToken
     downtime: float
 
 
@@ -99,7 +100,9 @@ def generate_poisson_workload(
     rng = derive_rng(seed, 0x3070AD)
     if spec.origin_pool and spec.origin_pool < len(pool):
         pool = sorted(rng.sample(pool, spec.origin_pool))
-    prefix_of = {origin: index for index, origin in enumerate(pool)}
+    # /32 host prefixes keyed by origin rank; they sort exactly like the
+    # bare indices they replaced, so fixed-seed trajectories are unchanged.
+    prefix_of = {origin: host_prefix(index) for index, origin in enumerate(pool)}
     events: List[WorkloadEvent] = []
 
     def add_event(at: float, origin: int, downtime: float) -> None:
@@ -233,7 +236,7 @@ def run_workload(
             event.downtime, lambda: _restore(event.origin, event.prefix)
         )
 
-    def _restore(origin: int, prefix: int) -> None:
+    def _restore(origin: int, prefix: PrefixToken) -> None:
         node = network.node(origin)
         if not node.originates(prefix):
             node.originate(prefix)

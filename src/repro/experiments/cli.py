@@ -381,6 +381,11 @@ def _add_bgp_options(parser: argparse.ArgumentParser) -> None:
         "--wrate", action="store_true",
         help="rate-limit explicit withdrawals (RFC 4271) instead of NO-WRATE",
     )
+    parser.add_argument(
+        "--rib-backend", choices=("dict", "radix"), default="dict",
+        help="RIB implementation: insertion-ordered dicts (reference) or "
+        "the radix-trie backend with per-prefix dirty tracking",
+    )
 
 
 def _load_topology(path: Path):
@@ -435,7 +440,9 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     graph = _load_topology(args.path)
-    config = BGPConfig(mrai=args.mrai, wrate=args.wrate)
+    config = BGPConfig(
+        mrai=args.mrai, wrate=args.wrate, rib_backend=args.rib_backend
+    )
     stats = run_c_event_experiment(
         graph, config, num_origins=args.origins, seed=args.seed
     )
@@ -530,7 +537,9 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
 
 def _cmd_workload(args: argparse.Namespace) -> int:
     graph = _load_topology(args.path)
-    config = BGPConfig(mrai=args.mrai, wrate=args.wrate)
+    config = BGPConfig(
+        mrai=args.mrai, wrate=args.wrate, rib_backend=args.rib_backend
+    )
     spec = WorkloadSpec(
         duration=args.duration, event_rate=args.rate, mean_downtime=args.downtime
     )

@@ -14,6 +14,7 @@ from repro.experiments import (
     ext_load,
     ext_monitor,
     ext_mrai,
+    ext_prefix_scaling,
     fig01,
     fig03,
     fig04,
@@ -81,6 +82,7 @@ for _module in (
     ext_load,
     ext_evolution,
     ext_damping,
+    ext_prefix_scaling,
 ):
     _register(_module, paper_artifact=False)
 

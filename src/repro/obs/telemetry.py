@@ -98,6 +98,9 @@ class NullTelemetry:
     def on_mrai_wakeup(self) -> None:
         """No-op."""
 
+    def on_prefix_gates(self, count: int) -> None:
+        """No-op."""
+
     def phase(self, name: str, engine: Optional[object] = None) -> _NullPhase:
         """No-op timer (a shared null context manager)."""
         return _NULL_PHASE
@@ -235,6 +238,17 @@ class Telemetry:
     def on_mrai_wakeup(self) -> None:
         """An MRAI timer expiry was serviced."""
         self.inc("mrai.wakeups")
+
+    def on_prefix_gates(self, count: int) -> None:
+        """A per-prefix channel reports its live gate count after pruning.
+
+        Kept as a high-water gauge: under PER_PREFIX MRAI the gate dict
+        is the per-session state whose growth the pruning in
+        :meth:`OutputChannel.wakeup` bounds, so the interesting number is
+        the worst case seen, not the last sample.
+        """
+        if count > self.gauges.get("mrai.prefix_gates", 0.0):
+            self.gauges["mrai.prefix_gates"] = float(count)
 
     # ------------------------------------------------------------------
     # Readout

@@ -1,0 +1,54 @@
+"""Multi-prefix subsystem: prefix values, radix tries, trie-backed RIBs,
+and workload generation.
+
+Import order matters: :mod:`repro.prefix.rib` must be loadable before
+:mod:`repro.prefix.workload` pulls in :mod:`repro.bgp` (whose node module
+imports the RIB backends from here).
+"""
+
+from repro.prefix.prefix import (
+    ADDRESS_BITS,
+    Prefix,
+    PrefixToken,
+    clear_prefix_intern_cache,
+    host_prefix,
+    iter_block,
+    make_prefix,
+    prefix_from_json,
+    prefix_to_json,
+)
+from repro.prefix.trie import PrefixTrie
+from repro.prefix.rib import RadixAdjRIBIn, RadixLocRIB
+from repro.prefix.workload import (
+    DEAGGREGATE,
+    FLAP,
+    REAGGREGATE,
+    PrefixAllocation,
+    PrefixChurnSpec,
+    PrefixEvent,
+    allocate_prefixes,
+    generate_prefix_churn,
+)
+
+__all__ = [
+    "ADDRESS_BITS",
+    "DEAGGREGATE",
+    "FLAP",
+    "Prefix",
+    "PrefixAllocation",
+    "PrefixChurnSpec",
+    "PrefixEvent",
+    "PrefixToken",
+    "PrefixTrie",
+    "RadixAdjRIBIn",
+    "RadixLocRIB",
+    "REAGGREGATE",
+    "allocate_prefixes",
+    "clear_prefix_intern_cache",
+    "generate_prefix_churn",
+    "host_prefix",
+    "iter_block",
+    "make_prefix",
+    "prefix_from_json",
+    "prefix_to_json",
+]

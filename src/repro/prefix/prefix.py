@@ -1,0 +1,262 @@
+"""The :class:`Prefix` value type — an IPv4 network address with a length.
+
+The BGP machinery treats prefixes as *opaque tokens*: dict keys in the
+RIBs, MRAI out-queues and damping tables, sort keys in the batched MRAI
+flush.  Historically those tokens were bare ints (one synthetic "prefix"
+per C-event origin); multi-prefix workloads need real (address, length)
+pairs so aggregation, longest-match and covering relations exist.
+
+:class:`Prefix` follows the :class:`~repro.bgp.route.Route` hot-path
+idiom: hand-slotted, frozen, with a process-global intern table
+(:func:`make_prefix`) so one churning prefix re-imported thousands of
+times is a single shared object and dict lookups hash a precomputed slot.
+
+Mixed-token ordering
+--------------------
+
+Old checkpoints (and scenarios that never migrated) still use bare-int
+tokens, and the MRAI flush sorts pending prefixes.  To keep every such
+sort total and deterministic, :class:`Prefix` defines ordering against
+ints as well: *all ints sort before all prefixes*, ints among themselves
+and prefixes among themselves keep their natural (value, then
+(addr, length)) order.  Equality across the two kinds is always False —
+an int token never aliases a Prefix token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import FrozenInstanceError
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.errors import ParameterError
+
+#: Number of address bits (IPv4).
+ADDRESS_BITS = 32
+
+_ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
+
+#: Cap on the intern table; on overflow it is cleared (pure cache).
+_INTERN_CAP = 1 << 17
+
+_PREFIX_INTERN: Dict[Tuple[int, int], "Prefix"] = {}
+
+#: A prefix token as the BGP machinery sees it: a legacy bare int or a
+#: real :class:`Prefix`.  Everything in ``repro.bgp`` accepts either.
+PrefixToken = Union[int, "Prefix"]
+
+
+def _netmask(length: int) -> int:
+    """The ``length``-bit network mask as an int."""
+    return _ADDRESS_MASK ^ ((1 << (ADDRESS_BITS - length)) - 1)
+
+
+class Prefix:
+    """An immutable IPv4 prefix: ``addr`` (canonical) / ``length``.
+
+    ``addr`` must be canonical — host bits below ``length`` must be
+    zero — so equal prefixes are equal ints and interning is exact.
+    """
+
+    __slots__ = ("addr", "length", "_hash")
+
+    def __init__(self, addr: int, length: int) -> None:
+        if not 0 <= length <= ADDRESS_BITS:
+            raise ParameterError(
+                f"prefix length must be in [0, {ADDRESS_BITS}], got {length}"
+            )
+        if not 0 <= addr <= _ADDRESS_MASK:
+            raise ParameterError(f"address out of range: {addr:#x}")
+        if addr & ~_netmask(length):
+            raise ParameterError(
+                f"non-canonical prefix: {addr:#010x}/{length} has host bits set"
+            )
+        _set = object.__setattr__
+        _set(self, "addr", addr)
+        _set(self, "length", length)
+        _set(self, "_hash", hash((addr, length)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise FrozenInstanceError(f"cannot assign to field {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise FrozenInstanceError(f"cannot delete field {name!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return self.addr == other.addr and self.length == other.length
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # Total order: (addr, length) among prefixes; every int sorts before
+    # every Prefix (see module docstring on mixed-token sorts).
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, Prefix):
+            return (self.addr, self.length) < (other.addr, other.length)
+        if isinstance(other, int):
+            return False
+        return NotImplemented
+
+    def __le__(self, other: object) -> bool:
+        if isinstance(other, Prefix):
+            return (self.addr, self.length) <= (other.addr, other.length)
+        if isinstance(other, int):
+            return False
+        return NotImplemented
+
+    def __gt__(self, other: object) -> bool:
+        if isinstance(other, Prefix):
+            return (self.addr, self.length) > (other.addr, other.length)
+        if isinstance(other, int):
+            return True
+        return NotImplemented
+
+    def __ge__(self, other: object) -> bool:
+        if isinstance(other, Prefix):
+            return (self.addr, self.length) >= (other.addr, other.length)
+        if isinstance(other, int):
+            return True
+        return NotImplemented
+
+    def __str__(self) -> str:
+        octets = (
+            (self.addr >> 24) & 0xFF,
+            (self.addr >> 16) & 0xFF,
+            (self.addr >> 8) & 0xFF,
+            self.addr & 0xFF,
+        )
+        return f"{octets[0]}.{octets[1]}.{octets[2]}.{octets[3]}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+    def __reduce__(self):
+        # Unpickle through the intern table so cross-process results
+        # regain sharing (the Route idiom).
+        return (make_prefix, (self.addr, self.length))
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def bit(self, index: int) -> int:
+        """Bit ``index`` of the address, 0 = most significant."""
+        return (self.addr >> (ADDRESS_BITS - 1 - index)) & 1
+
+    @property
+    def netmask(self) -> int:
+        """The network mask as an int."""
+        return _netmask(self.length)
+
+    def parent(self) -> Optional["Prefix"]:
+        """The covering prefix one bit shorter (None for the default /0)."""
+        if self.length == 0:
+            return None
+        length = self.length - 1
+        return make_prefix(self.addr & _netmask(length), length)
+
+    def children(self) -> Tuple["Prefix", "Prefix"]:
+        """The two one-bit-longer prefixes this one aggregates."""
+        if self.length >= ADDRESS_BITS:
+            raise ParameterError(f"cannot split a host prefix: {self}")
+        length = self.length + 1
+        low = make_prefix(self.addr, length)
+        high = make_prefix(self.addr | (1 << (ADDRESS_BITS - length)), length)
+        return low, high
+
+    def contains(self, other: "Prefix") -> bool:
+        """Whether ``other`` lies inside this prefix (covers-or-equal)."""
+        return (
+            self.length <= other.length
+            and (other.addr & self.netmask) == self.addr
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` dotted-quad notation (interned)."""
+        try:
+            dotted, _, length_text = text.partition("/")
+            octets = [int(part) for part in dotted.split(".")]
+            length = int(length_text)
+        except ValueError as exc:
+            raise ParameterError(f"malformed prefix {text!r}: {exc}") from exc
+        if len(octets) != 4 or any(not 0 <= octet <= 255 for octet in octets):
+            raise ParameterError(f"malformed prefix {text!r}")
+        addr = (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+        return make_prefix(addr, length)
+
+
+def make_prefix(addr: int, length: int) -> Prefix:
+    """Build (or reuse) the interned :class:`Prefix` for (addr, length)."""
+    key = (addr, length)
+    prefix = _PREFIX_INTERN.get(key)
+    if prefix is None:
+        if len(_PREFIX_INTERN) >= _INTERN_CAP:
+            _PREFIX_INTERN.clear()
+        prefix = Prefix(addr, length)
+        _PREFIX_INTERN[key] = prefix
+    return prefix
+
+
+def host_prefix(addr: int) -> Prefix:
+    """The /32 host prefix for ``addr``.
+
+    The single-prefix C-event machinery uses ``host_prefix(origin)`` as
+    its per-origin token (origins are small node ids, so the addresses
+    never collide and sort exactly like the ints they replace).
+    """
+    return make_prefix(addr & _ADDRESS_MASK, ADDRESS_BITS)
+
+
+def clear_prefix_intern_cache() -> None:
+    """Drop the prefix intern table (tests, memory pressure)."""
+    _PREFIX_INTERN.clear()
+
+
+def prefix_to_json(token: PrefixToken) -> Union[int, list]:
+    """JSON form of a prefix token: bare ints pass through (the legacy
+    convention), a :class:`Prefix` becomes ``[addr, length]``.
+
+    Part of the checkpoint format (schema 1.3.0): documents written by
+    older versions contain only ints, which deserialize unchanged — the
+    BGP machinery treats both token kinds opaquely, so a migrated run
+    continues byte-identically.
+    """
+    if isinstance(token, Prefix):
+        return [token.addr, token.length]
+    return token
+
+
+def prefix_from_json(data: object) -> PrefixToken:
+    """Inverse of :func:`prefix_to_json` (interned for Prefix tokens)."""
+    if isinstance(data, (list, tuple)):
+        addr, length = data
+        return make_prefix(int(addr), int(length))
+    return int(data)
+
+
+def iter_block(base: Prefix, length: int) -> Iterator[Prefix]:
+    """All ``length``-bit prefixes inside ``base``, in address order.
+
+    The workload allocator carves contiguous sibling runs out of a
+    covering block with this.
+    """
+    if length < base.length:
+        raise ParameterError(
+            f"cannot enumerate /{length} prefixes inside the smaller {base}"
+        )
+    step = 1 << (ADDRESS_BITS - length)
+    count = 1 << (length - base.length)
+    for index in range(count):
+        yield make_prefix(base.addr + index * step, length)

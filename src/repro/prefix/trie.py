@@ -1,0 +1,210 @@
+"""A pure-Python binary radix trie keyed by :class:`~repro.prefix.prefix.Prefix`.
+
+One trie node per address bit along each stored prefix (uncompressed:
+depth is bounded by the 32-bit address length, so path compression buys
+little here and would complicate delete/covered iteration).  The trie is
+the storage engine behind :class:`~repro.prefix.rib.RadixLocRIB` and the
+per-prefix index of :class:`~repro.prefix.rib.RadixAdjRIBIn`, and the
+structure longest-match forwarding and aggregation checks need.
+
+Iteration order
+---------------
+
+:meth:`items`, :meth:`covered` and ``__iter__`` walk the trie pre-order
+(a node's own prefix before its subtree, zero branch before one branch),
+which is exactly ascending ``(addr, length)`` order — the same order a
+sorted dict of prefixes would give.  This makes trie iteration
+deterministic and directly comparable with the dict RIB backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.prefix.prefix import ADDRESS_BITS, Prefix
+
+_MISSING = object()
+
+
+class _TrieNode:
+    """One branch point; carries a value only when ``has_value``."""
+
+    __slots__ = ("zero", "one", "prefix", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.zero: Optional["_TrieNode"] = None
+        self.one: Optional["_TrieNode"] = None
+        self.prefix: Optional[Prefix] = None
+        self.value: Any = None
+        self.has_value = False
+
+
+class PrefixTrie:
+    """Mutable mapping from :class:`Prefix` to arbitrary values."""
+
+    __slots__ = ("_root", "_size")
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # ------------------------------------------------------------------
+    # Point operations
+    # ------------------------------------------------------------------
+    def insert(self, prefix: Prefix, value: Any) -> bool:
+        """Store ``value`` under ``prefix``; True when the key is new."""
+        node = self._root
+        addr = prefix.addr
+        for index in range(prefix.length):
+            if (addr >> (ADDRESS_BITS - 1 - index)) & 1:
+                child = node.one
+                if child is None:
+                    child = node.one = _TrieNode()
+            else:
+                child = node.zero
+                if child is None:
+                    child = node.zero = _TrieNode()
+            node = child
+        fresh = not node.has_value
+        node.prefix = prefix
+        node.value = value
+        node.has_value = True
+        if fresh:
+            self._size += 1
+        return fresh
+
+    def get(self, prefix: Prefix, default: Any = None) -> Any:
+        """The value stored exactly at ``prefix`` (no covering lookup)."""
+        node = self._find(prefix)
+        if node is None or not node.has_value:
+            return default
+        return node.value
+
+    def delete(self, prefix: Prefix) -> Any:
+        """Remove and return the value at ``prefix``; KeyError if absent.
+
+        Branch nodes left empty (no value, no children) are pruned on the
+        way back up so the trie never accumulates dead paths.
+        """
+        path: List[_TrieNode] = [self._root]
+        node = self._root
+        addr = prefix.addr
+        for index in range(prefix.length):
+            node = (
+                node.one
+                if (addr >> (ADDRESS_BITS - 1 - index)) & 1
+                else node.zero
+            )
+            if node is None:
+                raise KeyError(prefix)
+            path.append(node)
+        if not node.has_value:
+            raise KeyError(prefix)
+        value = node.value
+        node.prefix = None
+        node.value = None
+        node.has_value = False
+        self._size -= 1
+        for depth in range(len(path) - 1, 0, -1):
+            leaf = path[depth]
+            if leaf.has_value or leaf.zero is not None or leaf.one is not None:
+                break
+            parent = path[depth - 1]
+            if parent.one is leaf:
+                parent.one = None
+            else:
+                parent.zero = None
+        return value
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        node = self._find(prefix)
+        return node is not None and node.has_value
+
+    def __getitem__(self, prefix: Prefix) -> Any:
+        value = self.get(prefix, _MISSING)
+        if value is _MISSING:
+            raise KeyError(prefix)
+        return value
+
+    def __setitem__(self, prefix: Prefix, value: Any) -> None:
+        self.insert(prefix, value)
+
+    def __delitem__(self, prefix: Prefix) -> None:
+        self.delete(prefix)
+
+    def _find(self, prefix: Prefix) -> Optional[_TrieNode]:
+        node = self._root
+        addr = prefix.addr
+        for index in range(prefix.length):
+            node = (
+                node.one
+                if (addr >> (ADDRESS_BITS - 1 - index)) & 1
+                else node.zero
+            )
+            if node is None:
+                return None
+        return node
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    def longest_match(self, prefix: Prefix) -> Optional[Tuple[Prefix, Any]]:
+        """The longest stored prefix covering ``prefix`` (itself included).
+
+        Returns ``(stored_prefix, value)`` or None — classic longest-match
+        forwarding when called with a /32 host prefix.
+        """
+        node = self._root
+        best: Optional[_TrieNode] = node if node.has_value else None
+        addr = prefix.addr
+        for index in range(prefix.length):
+            node = (
+                node.one
+                if (addr >> (ADDRESS_BITS - 1 - index)) & 1
+                else node.zero
+            )
+            if node is None:
+                break
+            if node.has_value:
+                best = node
+        if best is None:
+            return None
+        return best.prefix, best.value
+
+    def covered(self, prefix: Prefix) -> Iterator[Tuple[Prefix, Any]]:
+        """All stored ``(prefix, value)`` pairs inside ``prefix``.
+
+        Includes ``prefix`` itself when stored; yields in ascending
+        ``(addr, length)`` order (pre-order walk, see module docstring).
+        """
+        root = self._find(prefix)
+        if root is not None:
+            yield from self._walk(root)
+
+    def items(self) -> Iterator[Tuple[Prefix, Any]]:
+        """All stored pairs in ascending ``(addr, length)`` order."""
+        return self._walk(self._root)
+
+    def __iter__(self) -> Iterator[Prefix]:
+        for prefix, _value in self._walk(self._root):
+            yield prefix
+
+    @staticmethod
+    def _walk(start: _TrieNode) -> Iterator[Tuple[Prefix, Any]]:
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node.has_value:
+                yield node.prefix, node.value
+            # One branch pushed first so the zero branch pops first:
+            # pre-order, lower addresses before higher.
+            if node.one is not None:
+                stack.append(node.one)
+            if node.zero is not None:
+                stack.append(node.zero)

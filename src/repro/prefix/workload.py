@@ -1,0 +1,239 @@
+"""Multi-prefix workload generation: allocation, churn, (de)aggregation.
+
+Pure, deterministic generators — no simulator state.  The driver that
+plays these streams against a live network is
+:mod:`repro.core.prefix_churn`.
+
+Allocation model
+----------------
+
+Real routing tables are dominated by a few heavy originators: prefix
+counts per origin AS follow a power law (the dragon_simulator exemplar
+and the Kitsak/Elmokashfi measurement studies both build on this).
+:func:`allocate_prefixes` reproduces the shape: origin shares drawn from
+a Zipf-like ``rank^-alpha`` law over a seed-shuffled origin order, with
+largest-remainder apportionment so exactly ``num_prefixes`` prefixes are
+handed out and no participating origin gets zero.  Each origin receives
+a *contiguous run* of ``/base_length`` sibling prefixes, so adjacent
+pairs share a covering parent and aggregation events are well-defined.
+
+Churn model
+-----------
+
+:func:`generate_prefix_churn` draws a Poisson stream of per-prefix flap
+events (withdraw, re-announce after an exponential downtime) across the
+whole allocated table, plus optional *deaggregation* events: an origin
+withdraws one allocated prefix and announces its two children — the
+table grows by one — then re-aggregates after the downtime.  All draws
+come from one labelled RNG stream, so a (allocation, spec, seed) triple
+always yields the same event list.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Tuple
+
+from repro.bgp.route import stable_hash
+from repro.errors import ParameterError
+from repro.prefix.prefix import ADDRESS_BITS, Prefix, make_prefix
+
+#: RNG stream labels (never renumber: recorded results depend on them).
+_STREAM_ALLOCATION = 0x9F1E51
+_STREAM_CHURN = 0x9F1E52
+
+#: Flap of one allocated prefix: withdraw, re-announce after downtime.
+FLAP = "flap"
+#: Withdraw a covering prefix and announce its two children.
+DEAGGREGATE = "deaggregate"
+#: Withdraw the children and re-announce the covering prefix.
+REAGGREGATE = "reaggregate"
+
+
+@dataclasses.dataclass(frozen=True)
+class PrefixAllocation:
+    """The prefix-to-origin map of one workload."""
+
+    #: Prefix length of every allocated prefix.
+    base_length: int
+    #: Origins in allocation order (seed-shuffled, heavy hitters first).
+    origins: Tuple[int, ...]
+    #: origin id → its contiguous run of prefixes.
+    assignments: Dict[int, Tuple[Prefix, ...]]
+
+    @property
+    def num_prefixes(self) -> int:
+        return sum(len(run) for run in self.assignments.values())
+
+    def prefixes(self) -> List[Prefix]:
+        """All allocated prefixes in allocation (origin-run) order."""
+        return [
+            prefix
+            for origin in self.origins
+            for prefix in self.assignments[origin]
+        ]
+
+    def origin_of(self, prefix: Prefix) -> int:
+        """The origin a prefix was allocated to (ParameterError if none)."""
+        for origin, run in self.assignments.items():
+            if prefix in run:
+                return origin
+        raise ParameterError(f"prefix {prefix} is not allocated")
+
+
+def allocate_prefixes(
+    origins,
+    num_prefixes: int,
+    *,
+    seed: int = 0,
+    base_length: int = 16,
+    alpha: float = 1.1,
+) -> PrefixAllocation:
+    """Deal ``num_prefixes`` ``/base_length`` prefixes across ``origins``.
+
+    Shares follow ``rank^-alpha`` over a seed-shuffled origin order;
+    every origin that participates gets at least one prefix, and with
+    fewer prefixes than origins only the first ``num_prefixes`` shuffled
+    origins participate.
+    """
+    origin_list = sorted(origins)
+    if not origin_list:
+        raise ParameterError("no origins to allocate prefixes to")
+    if num_prefixes < 1:
+        raise ParameterError(f"num_prefixes must be >= 1, got {num_prefixes}")
+    if not 1 <= base_length < ADDRESS_BITS:
+        raise ParameterError(f"base_length must be in [1, 31], got {base_length}")
+    if num_prefixes > (1 << base_length):
+        raise ParameterError(
+            f"{num_prefixes} prefixes do not fit in a /{base_length} space"
+        )
+    rng = random.Random(stable_hash(seed, _STREAM_ALLOCATION))
+    rng.shuffle(origin_list)
+    participants = origin_list[: min(len(origin_list), num_prefixes)]
+
+    weights = [(rank + 1) ** -alpha for rank in range(len(participants))]
+    total = sum(weights)
+    # Largest-remainder apportionment with a floor of one prefix each.
+    shares = [num_prefixes * weight / total for weight in weights]
+    counts = [max(1, int(share)) for share in shares]
+    while sum(counts) > num_prefixes:
+        # Floors overshot (many 1-minimums): trim the largest counts.
+        counts[counts.index(max(counts))] -= 1
+    remainders = sorted(
+        range(len(participants)),
+        key=lambda i: (counts[i] - shares[i], i),
+    )
+    for index in remainders:
+        if sum(counts) >= num_prefixes:
+            break
+        counts[index] += 1
+
+    step = 1 << (ADDRESS_BITS - base_length)
+    assignments: Dict[int, Tuple[Prefix, ...]] = {}
+    cursor = 0
+    for origin, count in zip(participants, counts):
+        run = tuple(
+            make_prefix((cursor + offset) * step, base_length)
+            for offset in range(count)
+        )
+        assignments[origin] = run
+        cursor += count
+    return PrefixAllocation(
+        base_length=base_length,
+        origins=tuple(participants),
+        assignments=assignments,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class PrefixChurnSpec:
+    """Parameters of a multi-prefix churn stream."""
+
+    #: length of the injection window, in simulated seconds
+    duration: float = 3600.0
+    #: mean flap arrivals per simulated second across the whole table
+    event_rate: float = 0.05
+    #: mean prefix downtime (exponential)
+    mean_downtime: float = 60.0
+    #: probability an arrival deaggregates its prefix instead of flapping
+    deaggregation_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ParameterError(f"duration must be > 0, got {self.duration}")
+        if self.event_rate <= 0:
+            raise ParameterError(f"event_rate must be > 0, got {self.event_rate}")
+        if self.mean_downtime <= 0:
+            raise ParameterError(
+                f"mean_downtime must be > 0, got {self.mean_downtime}"
+            )
+        if not 0.0 <= self.deaggregation_probability <= 1.0:
+            raise ParameterError(
+                "deaggregation_probability must be in [0, 1], got "
+                f"{self.deaggregation_probability}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class PrefixEvent:
+    """One scheduled workload event (relative to the window start)."""
+
+    time: float
+    origin: int
+    prefix: Prefix
+    kind: str
+    #: flap: seconds until re-announce; deaggregate: until re-aggregation
+    downtime: float = 0.0
+
+
+def generate_prefix_churn(
+    allocation: PrefixAllocation,
+    spec: PrefixChurnSpec,
+    *,
+    seed: int = 0,
+) -> List[PrefixEvent]:
+    """Draw the churn stream for an allocation (deterministic per seed).
+
+    Deaggregation events are paired: each ``DEAGGREGATE`` is followed by
+    a ``REAGGREGATE`` of the same prefix ``downtime`` later, and a prefix
+    stays split (no further events) until it re-aggregates.  The returned
+    list is sorted by time.
+    """
+    rng = random.Random(stable_hash(seed, _STREAM_CHURN))
+    prefixes = allocation.prefixes()
+    origin_of = {
+        prefix: origin
+        for origin, run in allocation.assignments.items()
+        for prefix in run
+    }
+    events: List[PrefixEvent] = []
+    split_until: Dict[Prefix, float] = {}
+    clock = 0.0
+    while True:
+        clock += rng.expovariate(spec.event_rate)
+        if clock >= spec.duration:
+            break
+        prefix = prefixes[rng.randrange(len(prefixes))]
+        origin = origin_of[prefix]
+        if prefix in split_until:
+            if clock < split_until[prefix]:
+                continue  # still deaggregated: the arrival is absorbed
+            del split_until[prefix]
+        downtime = rng.expovariate(1.0 / spec.mean_downtime)
+        if (
+            spec.deaggregation_probability > 0.0
+            and prefix.length < ADDRESS_BITS
+            and rng.random() < spec.deaggregation_probability
+        ):
+            events.append(
+                PrefixEvent(clock, origin, prefix, DEAGGREGATE, downtime)
+            )
+            events.append(
+                PrefixEvent(clock + downtime, origin, prefix, REAGGREGATE)
+            )
+            split_until[prefix] = clock + downtime
+        else:
+            events.append(PrefixEvent(clock, origin, prefix, FLAP, downtime))
+    events.sort(key=lambda event: (event.time, event.prefix, event.kind))
+    return events

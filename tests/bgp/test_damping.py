@@ -82,6 +82,86 @@ class TestDisabled:
         assert not d.enabled
 
 
+class _Untouchable:
+    """Stands in for a PenaltyRecord that must never be inspected."""
+
+    def __getattr__(self, name):
+        raise AssertionError(
+            f"a record for an unrelated prefix was touched (attribute {name!r})"
+        )
+
+
+class TestPerPrefixIndex:
+    """The records table is indexed prefix-first so per-prefix scans never
+    visit other prefixes' records — the regression that made
+    ``earliest_reuse`` O(all records) under multi-prefix workloads."""
+
+    def test_earliest_reuse_ignores_other_prefixes_records(self):
+        d = damper()
+        for t in (0.0, 1.0, 2.0):
+            d.record_flap(1, 0, FlapKind.WITHDRAWAL, now=t)
+            d.record_flap(2, 0, FlapKind.WITHDRAWAL, now=t)
+        assert d.is_suppressed(1, 0, now=2.0)
+        # White-box: plant 10k records under *other* prefixes that blow up
+        # on any attribute access.  A flat-table scan would trip them.
+        for other in range(1, 10_001):
+            d._records[other] = {1: _Untouchable()}
+        wait = d.earliest_reuse(0, now=2.0)
+        assert wait is not None and wait > 0
+
+    def test_point_queries_ignore_other_prefixes_records(self):
+        d = damper()
+        d.record_flap(1, 0, FlapKind.WITHDRAWAL, now=0.0)
+        for other in range(1, 1001):
+            d._records[other] = {1: _Untouchable()}
+        assert d.penalty(1, 0, now=0.0) == pytest.approx(1.0)
+        assert not d.is_suppressed(1, 0, now=0.0)
+        assert d.time_until_reuse(1, 0, now=0.0) is None
+
+    def test_earliest_reuse_is_min_over_neighbors(self):
+        d = damper()
+        # Neighbour 1 accumulates more penalty than neighbour 2, so 2
+        # decays back below the reuse threshold first.
+        for t in (0.0, 1.0, 2.0, 3.0):
+            d.record_flap(1, 0, FlapKind.WITHDRAWAL, now=t)
+        for t in (0.0, 1.0, 2.0):
+            d.record_flap(2, 0, FlapKind.WITHDRAWAL, now=t)
+        assert d.is_suppressed(1, 0, now=4.0) and d.is_suppressed(2, 0, now=4.0)
+        wait = d.earliest_reuse(0, now=4.0)
+        assert wait == pytest.approx(d.time_until_reuse(2, 0, now=4.0))
+        assert wait < d.time_until_reuse(1, 0, now=4.0)
+
+    def test_earliest_reuse_none_without_suppressed_records(self):
+        d = damper()
+        assert d.earliest_reuse(0, now=0.0) is None
+        d.record_flap(1, 0, FlapKind.WITHDRAWAL, now=0.0)
+        assert d.earliest_reuse(0, now=0.0) is None
+
+    def test_earliest_reuse_unsuppresses_decayed_records(self):
+        d = damper(half_life=10.0)
+        for t in (0.0, 1.0, 2.0):
+            d.record_flap(1, 0, FlapKind.WITHDRAWAL, now=t)
+        assert d.is_suppressed(1, 0, now=2.0)
+        # Long after the penalty decayed away, the sweep both reports
+        # nothing suppressed and clears the stale flag in place.
+        assert d.earliest_reuse(0, now=500.0) is None
+        assert not d._records[0][1].suppressed
+
+    def test_dump_load_round_trip_preserves_rows(self):
+        d = damper()
+        d.record_flap(1, 0, FlapKind.WITHDRAWAL, now=0.0)
+        d.record_flap(2, 0, FlapKind.WITHDRAWAL, now=1.0)
+        d.record_flap(1, 7, FlapKind.READVERTISEMENT, now=2.0)
+        rows = d.dump_state()
+        assert all(len(row) == 5 for row in rows)  # flat checkpoint layout
+        restored = damper()
+        restored.load_state(rows)
+        assert restored.dump_state() == rows
+        assert restored.penalty(1, 0, now=2.0) == pytest.approx(
+            d.penalty(1, 0, now=2.0)
+        )
+
+
 class TestConfigValidation:
     def test_reuse_must_be_below_suppress(self):
         with pytest.raises(ParameterError):

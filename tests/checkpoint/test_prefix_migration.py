@@ -1,0 +1,155 @@
+"""Checkpoint coverage for prefix tokens (schema 1.3.0).
+
+Two directions:
+
+* a run using real :class:`Prefix` tokens must round-trip byte-identically
+  (tokens come back as the *same interned objects*);
+* a 1.2.0-style document — bare-int prefixes, no per-node decision
+  counters — must still restore, with the counters starting at zero.
+"""
+
+import json
+
+from repro.bgp.config import BGPConfig
+from repro.checkpoint import restore_network, snapshot_network
+from repro.checkpoint.state import node_state_from_json, node_state_to_json
+from repro.prefix.prefix import Prefix, make_prefix
+from repro.sim.network import SimNetwork
+from repro.topology.generator import generate_topology
+from repro.topology.scenarios import scenario_params
+
+FAST = dict(link_delay=0.001, processing_time_max=0.01)
+
+
+def _build(*, config=None, seed=11):
+    graph = generate_topology(scenario_params("baseline", 60), seed=seed)
+    network = SimNetwork(
+        graph, config or BGPConfig(mrai=2.0, **FAST), seed=seed + 1
+    )
+    return graph, network
+
+
+def _full_state(network):
+    return {
+        "now": network.engine.now,
+        "executed": network.engine.executed_events,
+        "nodes": {
+            nid: node.checkpoint_state() for nid, node in network.nodes.items()
+        },
+    }
+
+
+def _drive_prefix_run(network, prefixes):
+    stubs = [
+        nid
+        for nid in network.graph.node_ids
+        if not network.graph.customers_of(nid)
+    ]
+    network.start_counting()
+    for stub, prefix in zip(stubs, prefixes):
+        network.originate(stub, prefix)
+    for _ in range(250):
+        if not network.engine.step():
+            break
+    # Keep updates in flight so queued messages carry Prefix tokens too.
+    network.withdraw(stubs[0], prefixes[0])
+    for _ in range(10):
+        network.engine.step()
+    return stubs
+
+
+class TestPrefixTokenRoundTrip:
+    PREFIXES = [
+        Prefix.parse("10.0.0.0/16"),
+        Prefix.parse("10.1.0.0/16"),
+        Prefix.parse("192.168.0.0/24"),
+    ]
+
+    def test_snapshot_restore_is_byte_identical(self):
+        graph, reference = _build()
+        _drive_prefix_run(reference, self.PREFIXES)
+        payload = json.loads(json.dumps(snapshot_network(reference)))
+        restored = restore_network(graph, payload)
+        assert _full_state(restored) == _full_state(reference)
+        reference.run_to_convergence()
+        restored.run_to_convergence()
+        assert _full_state(restored) == _full_state(reference)
+
+    def test_restored_tokens_are_interned_prefixes(self):
+        graph, network = _build()
+        _drive_prefix_run(network, self.PREFIXES)
+        restored = restore_network(
+            graph, json.loads(json.dumps(snapshot_network(network)))
+        )
+        restored.run_to_convergence()
+        seen = {
+            prefix
+            for node in restored.nodes.values()
+            for prefix, _route in node.loc_rib.entries()
+        }
+        assert self.PREFIXES[1] in seen
+        for prefix in seen:
+            # identity, not mere equality: deserialization must intern
+            assert prefix is make_prefix(prefix.addr, prefix.length)
+
+    def test_radix_backend_round_trips_too(self):
+        config = BGPConfig(mrai=2.0, rib_backend="radix", **FAST)
+        graph, reference = _build(config=config)
+        _drive_prefix_run(reference, self.PREFIXES)
+        restored = restore_network(
+            graph, json.loads(json.dumps(snapshot_network(reference)))
+        )
+        reference.run_to_convergence()
+        restored.run_to_convergence()
+        assert _full_state(restored) == _full_state(reference)
+
+
+class TestIntPrefixMigration:
+    def _legacy_node_document(self):
+        """A node state as a 1.2.0 build would have written it."""
+        _, network = _build()
+        stubs = [
+            nid
+            for nid in network.graph.node_ids
+            if not network.graph.customers_of(nid)
+        ]
+        network.originate(stubs[0], 0)
+        network.originate(stubs[1], 1)
+        network.run_to_convergence()
+        node = network.nodes[stubs[2]]
+        document = node_state_to_json(node.checkpoint_state())
+        # 1.2.0 documents predate the decision counters.
+        del document["decisions_run"]
+        del document["decisions_skipped"]
+        return json.loads(json.dumps(document))
+
+    def test_counters_default_to_zero(self):
+        state = node_state_from_json(self._legacy_node_document())
+        assert state["decisions_run"] == 0
+        assert state["decisions_skipped"] == 0
+
+    def test_int_tokens_stay_ints(self):
+        state = node_state_from_json(self._legacy_node_document())
+        prefixes = [prefix for prefix, _n, _r in state["adj_rib_in"]]
+        prefixes += [prefix for prefix, _r in state["loc_rib"]]
+        assert prefixes, "the sampled node must have learned routes"
+        assert all(isinstance(prefix, int) for prefix in prefixes)
+
+    def test_network_restore_accepts_a_counterless_payload(self):
+        graph, network = _build()
+        stub = [
+            nid for nid in graph.node_ids if not graph.customers_of(nid)
+        ][0]
+        network.originate(stub, 0)
+        for _ in range(120):
+            network.engine.step()
+        payload = json.loads(json.dumps(snapshot_network(network)))
+        for _node_id, state in payload["nodes"]:
+            del state["decisions_run"]
+            del state["decisions_skipped"]
+        restored = restore_network(graph, payload)
+        assert all(
+            node.decisions_run == 0 and node.decisions_skipped == 0
+            for node in restored.nodes.values()
+        )
+        restored.run_to_convergence()  # and the run continues cleanly

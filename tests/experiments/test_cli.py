@@ -178,6 +178,24 @@ class TestSimulateCommand:
         ) == 0
         assert "WRATE" in capsys.readouterr().out
 
+    def test_simulate_rib_backend_flag(self, tmp_path, capsys):
+        out = tmp_path / "topo.json"
+        main(["topology", "generate", "-n", "100", "--seed", "4", "-o", str(out)])
+        capsys.readouterr()
+        base = ["simulate", str(out), "--origins", "2", "--mrai", "1", "--seed", "1"]
+        assert main(base) == 0
+        reference = capsys.readouterr().out
+        assert main(base + ["--rib-backend", "radix"]) == 0
+        # The trie backend is an indexing change: same measured numbers.
+        assert capsys.readouterr().out == reference
+
+    def test_rib_backend_rejects_unknown_value(self, tmp_path, capsys):
+        out = tmp_path / "topo.json"
+        main(["topology", "generate", "-n", "100", "--seed", "4", "-o", str(out)])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["simulate", str(out), "--rib-backend", "btree"])
+
 
 class TestWorkloadCommand:
     def test_workload_report(self, tmp_path, capsys):

@@ -7,6 +7,7 @@ from repro.experiments import cache
 from repro.experiments.ext_damping import run as run_damping
 from repro.experiments.ext_evolution import run as run_evolution
 from repro.experiments.ext_mrai import run as run_mrai
+from repro.experiments.ext_prefix_scaling import run as run_prefix_scaling
 from repro.experiments.scale import Scale
 
 TINY = Scale(name="tiny-ext", sizes=(120, 240), origins=3, metric_sources=10)
@@ -38,6 +39,22 @@ class TestExtMrai:
     def test_mrai_zero_converges_fast(self):
         result = run_mrai(TINY, seed=1, config=FAST)
         assert result.series["up conv no-wrate (s)"][0] < 1.0
+
+
+class TestExtPrefixScaling:
+    def test_shape_checks_hold_at_tiny_scale(self):
+        result = run_prefix_scaling(TINY, seed=1, config=FAST)
+        assert result.passed, result.to_text()
+        tables = result.series["mean table size"]
+        assert tables == sorted(tables)  # Loc-RIBs track the allocation
+        assert result.series["decisions skipped (frac)"][-1] > 0.9
+
+    def test_both_mrai_granularities_are_swept(self):
+        result = run_prefix_scaling(TINY, seed=1, config=FAST)
+        per_interface = result.series["churn per-interface (upd/s)"]
+        per_prefix = result.series["churn per-prefix (upd/s)"]
+        assert len(per_interface) == len(per_prefix) == len(result.x_values)
+        assert all(value >= 0 for value in per_interface + per_prefix)
 
 
 class TestExtEvolution:

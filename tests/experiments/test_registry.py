@@ -32,6 +32,7 @@ EXPECTED_EXTENSIONS = [
     "ext-load",
     "ext-evolution",
     "ext-damping",
+    "ext-prefix-scaling",
 ]
 
 

@@ -1,0 +1,1 @@
+"""Namespace package so test module basenames stay unique."""

@@ -1,0 +1,151 @@
+"""Backend equivalence: RadixAdjRIBIn/RadixLocRIB vs the dict reference.
+
+The radix backend must be observationally identical to the dict backend
+on every method the decision process uses — same return values, same
+candidate order, same insertion-order iteration, same dirty-set drain
+order — on randomized operation sequences mixing Prefix and legacy int
+tokens.  The structural extras (longest match, covered) are checked
+against brute force.
+"""
+
+import random
+
+from repro.bgp.rib import AdjRIBIn, LocRIB
+from repro.bgp.route import make_route
+from repro.prefix.prefix import make_prefix
+from repro.prefix.rib import RadixAdjRIBIn, RadixLocRIB
+
+NEIGHBORS = [2, 3, 5, 8]
+
+
+def token_pool():
+    """A mixed pool of Prefix and legacy-int tokens."""
+    tokens = [make_prefix(index << 16, 16) for index in range(12)]
+    low, high = tokens[0].children()
+    tokens += [low, high, tokens[0].parent()]
+    tokens += [0, 1, 7]  # legacy bare-int tokens
+    return tokens
+
+
+def random_route(rng, prefix):
+    path = tuple(rng.sample(range(100, 140), rng.randint(1, 4)))
+    return make_route(prefix, path, rng.choice((0, 100)))
+
+
+class TestAdjRIBInEquivalence:
+    def drive(self, seed, steps=400):
+        rng = random.Random(seed)
+        pool = token_pool()
+        reference, radix = AdjRIBIn(), RadixAdjRIBIn()
+        for _step in range(steps):
+            prefix = rng.choice(pool)
+            neighbor = rng.choice(NEIGHBORS)
+            route = None if rng.random() < 0.4 else random_route(rng, prefix)
+            assert reference.update(prefix, neighbor, route) == radix.update(
+                prefix, neighbor, route
+            )
+            assert reference.candidates(prefix) == radix.candidates(prefix)
+            assert reference.route_from(prefix, neighbor) == radix.route_from(
+                prefix, neighbor
+            )
+            if rng.random() < 0.1:
+                assert reference.take_dirty() == radix.take_dirty()
+                assert reference.dirty_count == radix.dirty_count == 0
+        return reference, radix
+
+    def test_random_sequences_stay_identical(self):
+        for seed in range(5):
+            reference, radix = self.drive(seed)
+            assert reference.entries() == radix.entries()
+            assert list(reference.prefixes()) == list(radix.prefixes())
+            for neighbor in NEIGHBORS:
+                assert reference.prefixes_from(neighbor) == radix.prefixes_from(
+                    neighbor
+                )
+            assert len(reference) == len(radix)
+            assert reference.take_dirty() == radix.take_dirty()
+
+    def test_covered_matches_brute_force(self):
+        _reference, radix = self.drive(11)
+        parent = make_prefix(0, 8)
+        expected = sorted(
+            {
+                prefix
+                for prefix, _n, _r in radix.entries()
+                if not isinstance(prefix, int) and parent.contains(prefix)
+            },
+            key=lambda p: (p.addr, p.length),
+        )
+        assert radix.covered(parent) == expected
+
+    def test_dirty_marks_follow_change_order(self):
+        reference, radix = AdjRIBIn(), RadixAdjRIBIn()
+        a, b = make_prefix(0x0A000000, 8), make_prefix(0x0B000000, 8)
+        for rib in (reference, radix):
+            rib.update(b, 2, make_route(b, (2,), 0))
+            rib.update(a, 2, make_route(a, (2,), 0))
+            rib.update(b, 3, make_route(b, (3,), 0))  # b already marked
+        assert reference.take_dirty() == radix.take_dirty() == [b, a]
+
+    def test_identical_interned_route_is_not_a_change(self):
+        radix = RadixAdjRIBIn()
+        prefix = make_prefix(0x0A000000, 8)
+        route = make_route(prefix, (2,), 0)
+        radix.update(prefix, 2, route)
+        radix.take_dirty()
+        assert radix.update(prefix, 2, route) is route
+        assert radix.dirty_count == 0
+
+    def test_withdrawing_absent_entry_is_a_noop(self):
+        radix = RadixAdjRIBIn()
+        assert radix.update(make_prefix(0, 8), 2, None) is None
+        assert radix.dirty_count == 0
+        assert len(radix) == 0
+
+
+class TestLocRIBEquivalence:
+    def test_random_sequences_stay_identical(self):
+        rng = random.Random(23)
+        pool = token_pool()
+        reference, radix = LocRIB(), RadixLocRIB()
+        for _step in range(400):
+            prefix = rng.choice(pool)
+            route = None if rng.random() < 0.4 else random_route(rng, prefix)
+            assert reference.install(prefix, route) == radix.install(prefix, route)
+            assert reference.best(prefix) == radix.best(prefix)
+        assert reference.entries() == radix.entries()
+        assert reference.prefixes() == radix.prefixes()
+        assert len(reference) == len(radix)
+
+    def test_longest_match_tracks_installs_and_removals(self):
+        radix = RadixLocRIB()
+        parent = make_prefix(0x0A000000, 8)
+        child = make_prefix(0x0A000000, 9)
+        host = make_prefix(0x0A000001, 32)
+        parent_route = make_route(parent, (2,), 0)
+        child_route = make_route(child, (3,), 0)
+        radix.install(parent, parent_route)
+        assert radix.longest_match(host) == (parent, parent_route)
+        radix.install(child, child_route)
+        assert radix.longest_match(host) == (child, child_route)
+        radix.install(child, None)
+        assert radix.longest_match(host) == (parent, parent_route)
+        radix.install(parent, None)
+        assert radix.longest_match(host) is None
+
+    def test_covered_reflects_installed_routes_only(self):
+        radix = RadixLocRIB()
+        parent = make_prefix(0x0A000000, 8)
+        child = make_prefix(0x0A800000, 9)
+        child_route = make_route(child, (2,), 0)
+        radix.install(child, child_route)
+        radix.install(7, make_route(7, (2,), 0))  # int tokens stay out of the trie
+        assert radix.covered(parent) == [(child, child_route)]
+
+    def test_reinstalling_equal_route_reports_no_change(self):
+        radix = RadixLocRIB()
+        prefix = make_prefix(0x0A000000, 8)
+        route = make_route(prefix, (2,), 0)
+        assert radix.install(prefix, route)
+        assert not radix.install(prefix, route)
+        assert not radix.install(7, None)  # removing an absent int token

@@ -1,0 +1,133 @@
+"""Property tests: :class:`PrefixTrie` against a brute-force dict model.
+
+The reference model is a plain ``dict`` plus O(n) scans for the
+structural queries — obviously correct, and the trie must agree with it
+on arbitrary operation sequences.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prefix.prefix import ADDRESS_BITS, make_prefix
+from repro.prefix.trie import PrefixTrie
+
+
+def prefixes(min_length=0, max_length=ADDRESS_BITS):
+    return st.integers(min_length, max_length).flatmap(
+        lambda length: st.integers(0, (1 << length) - 1 if length else 0).map(
+            lambda top: make_prefix(top << (ADDRESS_BITS - length), length)
+        )
+    )
+
+
+#: (op, prefix) sequences; "insert" carries the value implicitly (a
+#: counter applied at replay time so reinsertions are distinguishable).
+operations = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]), prefixes(max_length=12)),
+    max_size=60,
+)
+
+
+def replay(ops):
+    """Apply one op sequence to both the trie and the dict model."""
+    trie = PrefixTrie()
+    model = {}
+    for serial, (op, prefix) in enumerate(ops):
+        if op == "insert":
+            fresh = trie.insert(prefix, serial)
+            assert fresh == (prefix not in model)
+            model[prefix] = serial
+        else:
+            if prefix in model:
+                assert trie.delete(prefix) == model.pop(prefix)
+            else:
+                with pytest.raises(KeyError):
+                    trie.delete(prefix)
+    return trie, model
+
+
+def brute_longest_match(model, prefix):
+    best = None
+    for stored, value in model.items():
+        if stored.contains(prefix):
+            if best is None or stored.length > best[0].length:
+                best = (stored, value)
+    return best
+
+
+class TestAgainstDictModel:
+    @given(operations)
+    @settings(max_examples=200)
+    def test_point_lookups_agree(self, ops):
+        trie, model = replay(ops)
+        assert len(trie) == len(model)
+        for prefix, value in model.items():
+            assert prefix in trie
+            assert trie.get(prefix) == value
+            assert trie[prefix] == value
+
+    @given(operations)
+    def test_iteration_is_sorted_and_complete(self, ops):
+        trie, model = replay(ops)
+        items = list(trie.items())
+        assert dict(items) == model
+        keys = [prefix for prefix, _value in items]
+        assert keys == sorted(model, key=lambda p: (p.addr, p.length))
+        assert list(trie) == keys
+
+    @given(operations, prefixes())
+    def test_longest_match_agrees_with_brute_force(self, ops, probe):
+        trie, model = replay(ops)
+        assert trie.longest_match(probe) == brute_longest_match(model, probe)
+
+    @given(operations, prefixes(max_length=12))
+    def test_covered_agrees_with_brute_force(self, ops, probe):
+        trie, model = replay(ops)
+        expected = sorted(
+            ((stored, value) for stored, value in model.items() if probe.contains(stored)),
+            key=lambda item: (item[0].addr, item[0].length),
+        )
+        assert list(trie.covered(probe)) == expected
+
+    @given(operations)
+    def test_delete_all_leaves_an_empty_trie(self, ops):
+        trie, model = replay(ops)
+        for prefix in list(model):
+            trie.delete(prefix)
+        assert len(trie) == 0
+        assert not trie
+        assert list(trie.items()) == []
+        # The root must have been pruned back to a bare node: a fresh
+        # insert works and longest-match sees nothing stale.
+        assert trie.longest_match(make_prefix(0, 0)) is None
+
+
+class TestMappingProtocol:
+    def test_setitem_getitem_delitem(self):
+        trie = PrefixTrie()
+        p = make_prefix(0x0A000000, 8)
+        trie[p] = "v"
+        assert trie[p] == "v"
+        del trie[p]
+        with pytest.raises(KeyError):
+            trie[p]
+
+    def test_get_default(self):
+        assert PrefixTrie().get(make_prefix(0, 0), "d") == "d"
+
+    def test_value_overwrite_keeps_size(self):
+        trie = PrefixTrie()
+        p = make_prefix(0x0A000000, 8)
+        assert trie.insert(p, 1)
+        assert not trie.insert(p, 2)
+        assert len(trie) == 1 and trie[p] == 2
+
+    def test_root_value_default_route(self):
+        trie = PrefixTrie()
+        default = make_prefix(0, 0)
+        trie.insert(default, "default")
+        host = make_prefix(0x01020304, 32)
+        assert trie.longest_match(host) == (default, "default")
+        trie.insert(host, "host")
+        assert trie.longest_match(host) == (host, "host")

@@ -1,0 +1,163 @@
+"""Tests for multi-prefix allocation and churn generation."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.prefix.prefix import ADDRESS_BITS, make_prefix
+from repro.prefix.workload import (
+    DEAGGREGATE,
+    FLAP,
+    REAGGREGATE,
+    PrefixChurnSpec,
+    allocate_prefixes,
+    generate_prefix_churn,
+)
+
+ORIGINS = list(range(100, 120))
+
+
+class TestAllocation:
+    def test_exact_total_and_no_empty_participant(self):
+        allocation = allocate_prefixes(ORIGINS, 57, seed=3)
+        assert allocation.num_prefixes == 57
+        assert all(len(run) >= 1 for run in allocation.assignments.values())
+
+    def test_deterministic_per_seed(self):
+        a = allocate_prefixes(ORIGINS, 40, seed=5)
+        b = allocate_prefixes(ORIGINS, 40, seed=5)
+        assert a == b
+        assert a != allocate_prefixes(ORIGINS, 40, seed=6)
+
+    def test_power_law_shape_heavy_hitters_first(self):
+        allocation = allocate_prefixes(ORIGINS, 400, seed=1, alpha=1.1)
+        counts = [len(allocation.assignments[o]) for o in allocation.origins]
+        assert counts[0] == max(counts)
+        assert counts[0] > counts[-1]  # rank^-alpha: the head dominates
+
+    def test_runs_are_contiguous_siblings(self):
+        allocation = allocate_prefixes(ORIGINS, 30, seed=2, base_length=20)
+        step = 1 << (ADDRESS_BITS - 20)
+        for run in allocation.assignments.values():
+            assert all(p.length == 20 for p in run)
+            addrs = [p.addr for p in run]
+            assert addrs == list(range(addrs[0], addrs[0] + step * len(run), step))
+
+    def test_runs_are_disjoint_across_origins(self):
+        allocation = allocate_prefixes(ORIGINS, 80, seed=4)
+        prefixes = allocation.prefixes()
+        assert len(prefixes) == len(set(prefixes)) == 80
+
+    def test_fewer_prefixes_than_origins(self):
+        allocation = allocate_prefixes(ORIGINS, 5, seed=0)
+        assert len(allocation.origins) == 5
+        assert allocation.num_prefixes == 5
+
+    def test_origin_of_inverts_assignment(self):
+        allocation = allocate_prefixes(ORIGINS, 30, seed=2)
+        for origin in allocation.origins:
+            for prefix in allocation.assignments[origin]:
+                assert allocation.origin_of(prefix) == origin
+        with pytest.raises(ParameterError):
+            allocation.origin_of(make_prefix(0xFF000000, 16))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            allocate_prefixes([], 10)
+        with pytest.raises(ParameterError):
+            allocate_prefixes(ORIGINS, 0)
+        with pytest.raises(ParameterError):
+            allocate_prefixes(ORIGINS, 10, base_length=32)
+        with pytest.raises(ParameterError):
+            allocate_prefixes(ORIGINS, 5000, base_length=4)
+
+
+class TestSpecValidation:
+    def test_rejects_nonpositive_knobs(self):
+        with pytest.raises(ParameterError):
+            PrefixChurnSpec(duration=0.0)
+        with pytest.raises(ParameterError):
+            PrefixChurnSpec(event_rate=0.0)
+        with pytest.raises(ParameterError):
+            PrefixChurnSpec(mean_downtime=-1.0)
+        with pytest.raises(ParameterError):
+            PrefixChurnSpec(deaggregation_probability=1.5)
+
+
+class TestChurnGeneration:
+    SPEC = PrefixChurnSpec(
+        duration=2000.0,
+        event_rate=0.1,
+        mean_downtime=40.0,
+        deaggregation_probability=0.3,
+    )
+
+    def events(self, seed=7, spec=None):
+        allocation = allocate_prefixes(ORIGINS, 30, seed=seed)
+        return allocation, generate_prefix_churn(
+            allocation, spec or self.SPEC, seed=seed
+        )
+
+    def test_deterministic_per_seed(self):
+        _, a = self.events(seed=7)
+        _, b = self.events(seed=7)
+        assert a == b
+        _, c = self.events(seed=8)
+        assert a != c
+
+    def test_sorted_by_time_and_origins_match_allocation(self):
+        allocation, events = self.events()
+        assert events
+        assert all(a.time <= b.time for a, b in zip(events, events[1:]))
+        for event in events:
+            base = (
+                event.prefix
+                if event.prefix.length == allocation.base_length
+                else None
+            )
+            assert base is not None, "events target allocated prefixes only"
+            assert allocation.origin_of(event.prefix) == event.origin
+
+    def test_flap_arrivals_stay_inside_the_window(self):
+        _, events = self.events()
+        for event in events:
+            if event.kind != REAGGREGATE:
+                assert event.time < self.SPEC.duration
+                assert event.downtime > 0
+
+    def test_deaggregations_are_paired_with_reaggregations(self):
+        _, events = self.events()
+        deagg = [e for e in events if e.kind == DEAGGREGATE]
+        reagg = [e for e in events if e.kind == REAGGREGATE]
+        assert deagg, "spec with p=0.3 must draw some deaggregations"
+        assert len(deagg) == len(reagg)
+        unmatched = list(reagg)
+        for event in deagg:
+            match = next(
+                r
+                for r in unmatched
+                if r.prefix is event.prefix
+                and r.time == pytest.approx(event.time + event.downtime)
+            )
+            unmatched.remove(match)
+        assert not unmatched
+
+    def test_split_prefix_absorbs_events_until_reaggregation(self):
+        _, events = self.events()
+        split_until = {}
+        for event in events:
+            if event.kind == DEAGGREGATE:
+                assert split_until.get(event.prefix, -1.0) < event.time
+                split_until[event.prefix] = event.time + event.downtime
+            elif event.kind == FLAP:
+                assert not (
+                    event.prefix in split_until
+                    and event.time < split_until[event.prefix]
+                ), "a flap was scheduled while its prefix was deaggregated"
+
+    def test_zero_probability_yields_flaps_only(self):
+        spec = dataclasses.replace(self.SPEC, deaggregation_probability=0.0)
+        _, events = self.events(spec=spec)
+        assert events
+        assert all(event.kind == FLAP for event in events)
