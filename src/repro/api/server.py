@@ -1,0 +1,254 @@
+"""``repro-bgp api``: the asyncio HTTP front-end over the scheduler.
+
+One :class:`ApiServer` binds an ``asyncio.start_server`` listener and
+routes requests onto a :class:`~repro.api.scheduler.CampaignScheduler`.
+Campaign execution is CPU-bound and runs on the scheduler's own worker
+threads; the event loop only parses requests, serves JSON/artifacts, and
+long-polls the scheduler's event log (via ``asyncio.to_thread``) to feed
+NDJSON streams — so one slow client never stalls another, and a running
+campaign never blocks the loop.
+
+Endpoints
+---------
+``POST   /campaigns``                submit a spec (JSON body); 202 when an
+                                     execution was scheduled, 200 when an
+                                     existing identical campaign answers it
+``GET    /campaigns``                list known campaigns
+``GET    /campaigns/<id>``           one campaign's status document
+``GET    /campaigns/<id>/events``    live NDJSON event stream (``?since=N``
+                                     replays from event N; closes after the
+                                     terminal event)
+``GET    /campaigns/<id>/artifacts/<name>``  a completed campaign's
+                                     ``campaign.json`` / ``campaign.md`` /
+                                     ``summary.txt`` / ``telemetry.jsonl``
+``DELETE /campaigns/<id>``           cancel (queued: immediately; running:
+                                     cooperatively, flushing completed state)
+``GET    /healthz``                  liveness probe (no auth)
+
+Tenancy: the ``X-Api-Key`` header names the tenant for quota accounting.
+When the server is started with an explicit key set, unknown keys are
+rejected with 401; otherwise any key (or none — the ``anonymous``
+tenant) is accepted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Iterable, Optional, Set, Tuple
+
+from repro.api import wire
+from repro.api.scheduler import CampaignScheduler
+from repro.errors import ApiError
+
+_LOG = logging.getLogger(__name__)
+
+#: Default TCP port for ``repro-bgp api`` (one above the coordinator's).
+DEFAULT_API_PORT = 7788
+
+#: Idle bound for one request's header phase; a client that connects and
+#: sends nothing is dropped instead of holding a connection forever.
+_REQUEST_TIMEOUT_S = 30.0
+
+#: How long one events_since long-poll blocks a worker thread.
+_EVENT_POLL_S = 5.0
+
+
+class ApiServer:
+    """The campaign service: HTTP in front, a scheduler behind."""
+
+    def __init__(
+        self,
+        scheduler: CampaignScheduler,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_API_PORT,
+        *,
+        api_keys: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self._host = host
+        self._port = port
+        self._api_keys: Optional[Set[str]] = (
+            set(api_keys) if api_keys is not None else None
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ApiServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._port,
+            limit=wire.MAX_LINE_BYTES,
+        )
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); raises unless :meth:`start` ran."""
+        if self._server is None or not self._server.sockets:
+            raise ApiError(500, "api server is not listening")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    wire.read_request(reader), timeout=_REQUEST_TIMEOUT_S
+                )
+            except asyncio.TimeoutError:
+                return
+            if request is None:  # client connected and went away
+                return
+            try:
+                await self._dispatch(request, writer)
+            except ApiError as exc:
+                writer.write(wire.error_response(exc.status, str(exc)))
+        except ApiError as exc:  # malformed request (parse-time)
+            writer.write(wire.error_response(exc.status, str(exc)))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client hung up mid-exchange
+        except Exception:  # noqa: BLE001 — a handler bug must answer 500
+            _LOG.exception("unhandled error serving a request")
+            try:
+                writer.write(wire.error_response(500, "internal server error"))
+            except Exception:  # noqa: BLE001
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    def _tenant(self, request: wire.Request) -> str:
+        key = request.headers.get("x-api-key", "").strip()
+        if self._api_keys is not None:
+            if key not in self._api_keys:
+                raise ApiError(401, "unknown or missing API key")
+            return key
+        return key or "anonymous"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, request: wire.Request, writer: asyncio.StreamWriter
+    ) -> None:
+        parts = request.path_parts()
+        if parts == ("healthz",) and request.method in ("GET", "HEAD"):
+            writer.write(wire.json_response(200, {"ok": True}))
+            return
+        tenant = self._tenant(request)
+        if parts == ("campaigns",):
+            if request.method == "POST":
+                self._submit(request, writer, tenant)
+                return
+            if request.method == "GET":
+                writer.write(
+                    wire.json_response(
+                        200, {"campaigns": self.scheduler.list_jobs()}
+                    )
+                )
+                return
+            raise ApiError(405, f"{request.method} not allowed on /campaigns")
+        if len(parts) == 2 and parts[0] == "campaigns":
+            job_id = parts[1]
+            if request.method == "GET":
+                writer.write(
+                    wire.json_response(200, self.scheduler.get(job_id).describe())
+                )
+                return
+            if request.method == "DELETE":
+                job = self.scheduler.cancel(job_id)
+                writer.write(
+                    wire.json_response(
+                        200, {"id": job.job_id, "state": job.state}
+                    )
+                )
+                return
+            raise ApiError(405, f"{request.method} not allowed here")
+        if (
+            len(parts) == 3
+            and parts[0] == "campaigns"
+            and parts[2] == "events"
+            and request.method == "GET"
+        ):
+            await self._stream_events(request, writer, parts[1])
+            return
+        if (
+            len(parts) == 4
+            and parts[0] == "campaigns"
+            and parts[2] == "artifacts"
+            and request.method == "GET"
+        ):
+            path = self.scheduler.artifact_path(parts[1], parts[3])
+            writer.write(wire.file_response(path.read_bytes(), path.name))
+            return
+        raise ApiError(404, f"no route for {request.method} {request.path}")
+
+    def _submit(
+        self,
+        request: wire.Request,
+        writer: asyncio.StreamWriter,
+        tenant: str,
+    ) -> None:
+        spec = wire.parse_spec(request.body)
+        job, scheduled = self.scheduler.submit(spec, tenant)
+        writer.write(
+            wire.json_response(
+                202 if scheduled else 200,
+                {
+                    "id": job.job_id,
+                    "state": job.state,
+                    "scheduled": scheduled,
+                    "spec": job.spec.to_dict(),
+                },
+            )
+        )
+
+    async def _stream_events(
+        self, request: wire.Request, writer: asyncio.StreamWriter, job_id: str
+    ) -> None:
+        self.scheduler.get(job_id)  # 404 before any bytes go out
+        try:
+            cursor = int(request.query.get("since", "0"))
+        except ValueError as exc:
+            raise ApiError(400, "malformed ?since= (want an integer)") from exc
+        writer.write(
+            wire.response_head(200, content_type="application/x-ndjson")
+        )
+        await writer.drain()
+        while True:
+            events, terminal = await asyncio.to_thread(
+                self.scheduler.events_since, job_id, cursor, _EVENT_POLL_S
+            )
+            for event in events:
+                writer.write(wire.ndjson_line(event))
+            cursor += len(events)
+            try:
+                await writer.drain()
+            except ConnectionError:
+                return  # client went away; stop polling on its behalf
+            if terminal:
+                return

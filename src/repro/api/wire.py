@@ -1,0 +1,227 @@
+"""HTTP/1.1 over ``asyncio`` streams, strictly and from the stdlib.
+
+The API speaks just enough HTTP for its clients — curl, ``urllib``, a
+browser fetch — while inheriting the fuzz discipline of the distributed
+wire protocol (:mod:`repro.dist.protocol`): every read is bounded, every
+limit is checked before allocation, and a malformed request produces a
+clean :class:`~repro.errors.ApiError` (mapped to 4xx) rather than a hang
+or a server crash.  Bodies are capped at :data:`MAX_BODY_BYTES`;
+chunked transfer encoding is deliberately refused (a campaign spec is a
+small JSON object).
+
+Responses always carry ``Content-Length`` and ``Connection: close``
+except the NDJSON event stream, which has no predeclared length and is
+terminated by connection close — the one framing every HTTP client
+understands.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+from typing import Dict, Optional, Sequence, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import ApiError, ReproError
+from repro.experiments.campaign import CampaignSpec
+
+#: Hard ceiling on one request body; a Content-Length above this is
+#: rejected before any allocation.
+MAX_BODY_BYTES = 1 * 1024 * 1024
+
+#: Per-line bound for the request line and each header line; also the
+#: ``limit`` the server passes to ``asyncio.start_server`` so oversized
+#: lines fail inside ``readline`` instead of buffering forever.
+MAX_LINE_BYTES = 16 * 1024
+
+#: Maximum number of header lines per request.
+MAX_HEADER_COUNT = 64
+
+_ALLOWED_METHODS = frozenset({"GET", "POST", "DELETE", "HEAD"})
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Request:
+    """One parsed, validated HTTP request."""
+
+    method: str
+    #: URL-decoded path, query string stripped
+    path: str
+    query: Dict[str, str]
+    #: header names lower-cased; later duplicates win
+    headers: Dict[str, str]
+    body: bytes
+
+    def path_parts(self) -> Tuple[str, ...]:
+        """Non-empty path segments (``/campaigns/ab12/events`` → 3)."""
+        return tuple(part for part in self.path.split("/") if part)
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    """One CRLF/LF-terminated line, bounded; ApiError on abuse."""
+    try:
+        line = await reader.readline()
+    except (ValueError, asyncio.LimitOverrunError) as exc:
+        raise ApiError(431, f"header line exceeds {MAX_LINE_BYTES} bytes") from exc
+    if len(line) > MAX_LINE_BYTES:
+        raise ApiError(431, f"header line exceeds {MAX_LINE_BYTES} bytes")
+    return line
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request from the stream; None on immediate EOF.
+
+    Anything malformed — a garbled request line, an unknown method, too
+    many or oversized headers, a lying or oversized ``Content-Length``,
+    chunked encoding, a truncated body — raises :class:`ApiError` with
+    the right client-error status.  The read never blocks past what the
+    declared lengths promise.
+    """
+    request_line = await _read_line(reader)
+    if not request_line:
+        return None
+    try:
+        text = request_line.decode("ascii").strip()
+    except UnicodeDecodeError as exc:
+        raise ApiError(400, "request line is not ASCII") from exc
+    parts = text.split()
+    if len(parts) != 3:
+        raise ApiError(400, f"malformed request line {text[:80]!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise ApiError(400, f"unsupported protocol {version!r}")
+    if method.upper() not in _ALLOWED_METHODS:
+        raise ApiError(405, f"method {method!r} not allowed")
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    headers: Dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise ApiError(400, "connection closed inside headers")
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise ApiError(431, f"more than {MAX_HEADER_COUNT} headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep or not name.strip():
+            raise ApiError(400, f"malformed header line {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ApiError(501, "chunked transfer encoding is not supported")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise ApiError(400, f"malformed Content-Length {length_text!r}") from exc
+        if length < 0:
+            raise ApiError(400, "negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise ApiError(
+                413, f"body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ApiError(
+                400,
+                f"body truncated: Content-Length promised {length}, "
+                f"got {len(exc.partial)}",
+            ) from exc
+    return Request(
+        method=method.upper(), path=path, query=query, headers=headers, body=body
+    )
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+def response_head(
+    status: int,
+    *,
+    content_type: str = "application/json",
+    content_length: Optional[int] = None,
+    extra: Sequence[Tuple[str, str]] = (),
+) -> bytes:
+    """Status line + headers (+ blank line), ready to prepend to a body."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    if content_length is not None:
+        lines.append(f"Content-Length: {content_length}")
+    for name, value in extra:
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+def json_response(status: int, document: object) -> bytes:
+    """A complete JSON response (headers + body)."""
+    body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+    return response_head(status, content_length=len(body)) + body
+
+
+def error_response(status: int, message: str) -> bytes:
+    """A complete JSON error response."""
+    return json_response(status, {"error": message, "status": status})
+
+
+def file_response(payload: bytes, name: str) -> bytes:
+    """A complete response serving one artifact file."""
+    content_type = {
+        ".json": "application/json",
+        ".jsonl": "application/x-ndjson",
+        ".md": "text/markdown; charset=utf-8",
+        ".txt": "text/plain; charset=utf-8",
+    }.get("." + name.rsplit(".", 1)[-1], "application/octet-stream")
+    return (
+        response_head(200, content_type=content_type, content_length=len(payload))
+        + payload
+    )
+
+
+def ndjson_line(document: object) -> bytes:
+    """One NDJSON event-stream line."""
+    return (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Spec parsing
+# ----------------------------------------------------------------------
+def parse_spec(body: bytes) -> CampaignSpec:
+    """A validated :class:`CampaignSpec` from an untrusted JSON body."""
+    if not body:
+        raise ApiError(400, "empty request body (want a JSON campaign spec)")
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ApiError(400, f"request body is not valid JSON: {exc}") from exc
+    try:
+        return CampaignSpec.from_dict(data)
+    except ReproError as exc:  # ExperimentError, ParameterError (bad scale)
+        raise ApiError(400, str(exc)) from exc

@@ -20,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 import logging
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -297,6 +298,24 @@ def _run_units_parallel(
     results: List[Optional[CEventBatchResult]] = [None] * len(units)
     failed: List[int] = []
     timed_out: List[int] = []
+    # A timed-out unit can complete twice from the observer's point of
+    # view: the pool future still resolves if the worker finishes between
+    # the FutureTimeoutError and the pool kill (firing the done-callback),
+    # and the serial retry below completes the unit again.  Deduplicate
+    # notifications per unit index so on_unit_done fires exactly once —
+    # progress lines and API event streams rely on an exact count.
+    notified: set = set()
+    notify_lock = threading.Lock()
+
+    def notify_done(index: int) -> None:
+        if on_unit_done is None:
+            return
+        with notify_lock:
+            if index in notified:
+                return
+            notified.add(index)
+        on_unit_done(units[index])
+
     pool = ProcessPoolExecutor(max_workers=min(jobs, len(units)))
     try:
         futures = [
@@ -307,10 +326,10 @@ def _run_units_parallel(
             # Fire progress as units land (out of order), while results are
             # still *collected* in submission order below — live feedback
             # without touching the deterministic merge.
-            for unit, future in zip(units, futures):
+            for index, future in enumerate(futures):
                 future.add_done_callback(
-                    lambda fut, unit=unit: (
-                        on_unit_done(unit)
+                    lambda fut, index=index: (
+                        notify_done(index)
                         if not fut.cancelled() and fut.exception() is None
                         else None
                     )
@@ -344,8 +363,7 @@ def _run_units_parallel(
             " (resuming from checkpoint)" if checkpoint_dir is not None else "",
         )
         results[index] = _run_unit(unit, checkpoint_dir, checkpoint_every)
-        if on_unit_done is not None:
-            on_unit_done(unit)
+        notify_done(index)
     return results  # type: ignore[return-value]  # all slots filled above
 
 

@@ -164,6 +164,11 @@ class Coordinator:
         self._worker_counter = 0
         self._jobs: Dict[str, _UnitJob] = {}  # active run, by unit key
         self._queue: List[str] = []  # unleased job keys, FIFO
+        #: live leases by lease id → unit key.  Heartbeats arrive a few
+        #: times per lease window per worker; resolving them through this
+        #: index keeps each beat O(1) instead of a scan over every job of
+        #: a large grid.
+        self._leases: Dict[str, str] = {}
         self._results: List[Optional[CEventBatchResult]] = []
         self._filled = 0
         self._failure: Optional[str] = None
@@ -314,6 +319,7 @@ class Coordinator:
             finally:
                 self._jobs.clear()
                 self._queue.clear()
+                self._leases.clear()
                 self._results = []
                 self._on_unit_done = None
                 if self._progress is not None:
@@ -343,6 +349,8 @@ class Coordinator:
         worker = self._workers.get(job.worker_id or "")
         if worker is not None:
             worker.leases.discard(job.key)
+        if job.lease_id is not None:
+            self._leases.pop(job.lease_id, None)
         job.lease_id = None
         job.worker_id = None
         job.deadline = 0.0
@@ -361,6 +369,7 @@ class Coordinator:
             job.lease_id = uuid.uuid4().hex
             job.worker_id = worker.worker_id
             job.deadline = time.monotonic() + self.lease_timeout
+            self._leases[job.lease_id] = key
             worker.leases.add(key)
             return job
         return None
@@ -497,11 +506,15 @@ class Coordinator:
         lease_id = message.get("lease_id")
         known = False
         with self._cond:
-            for job in self._jobs.values():
-                if job.lease_id == lease_id and job.worker_id == worker.worker_id:
-                    job.deadline = time.monotonic() + self.lease_timeout
-                    known = True
-                    break
+            key = self._leases.get(lease_id) if isinstance(lease_id, str) else None
+            job = self._jobs.get(key) if key is not None else None
+            if (
+                job is not None
+                and job.lease_id == lease_id
+                and job.worker_id == worker.worker_id
+            ):
+                job.deadline = time.monotonic() + self.lease_timeout
+                known = True
         worker.send({"type": MSG_HEARTBEAT, "known": known})
 
     def _handle_result(self, worker: _WorkerState, message: dict) -> None:
@@ -528,6 +541,8 @@ class Coordinator:
                 worker.leases.discard(job.key)
                 done_unit, done_count = job.unit, len(job.indices)
                 job.indices = []  # job closed; late duplicates are discarded
+                if job.lease_id is not None:
+                    self._leases.pop(job.lease_id, None)
                 job.lease_id = None
                 accepted = True
                 on_unit_done = self._on_unit_done

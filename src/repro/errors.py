@@ -46,3 +46,16 @@ class ProtocolError(ReproError):
 
 class DistributedError(ReproError):
     """A distributed campaign failed at the coordinator/worker layer."""
+
+
+class ApiError(ReproError):
+    """A campaign-service request cannot be honoured.
+
+    Carries the HTTP status the API layer should answer with, so the
+    scheduling core can refuse work (bad spec, quota exhausted, unknown
+    campaign) without knowing anything about HTTP itself.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status

@@ -17,16 +17,20 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import hashlib
+import json
+import threading
 import time
 from pathlib import Path
-from typing import List, Optional, Set, Union
+from typing import Callable, List, Optional, Set, Union
 
+from repro._version import __version__
 from repro.checkpoint.format import (
     KIND_CAMPAIGN,
     read_checkpoint,
     write_checkpoint,
 )
-from repro.errors import CheckpointError, SerializationError
+from repro.errors import CheckpointError, ExperimentError, SerializationError
 from repro.experiments.cache import sweep_execution
 from repro.obs.progress import ProgressLine
 from repro.obs.runlog import TELEMETRY_FILENAME, write_telemetry_jsonl
@@ -39,6 +43,209 @@ from repro.experiments.results_io import (
     save_results,
 )
 from repro.experiments.scale import Scale, get_scale
+
+#: Signature of the structured progress hook: one JSON-serializable dict
+#: per event (``campaign_started``, ``unit_done``, ``experiment_done``,
+#: ``campaign_interrupted``).  Implementations must be thread-safe: unit
+#: events fire from pool completion threads under parallel execution.
+CampaignEventFn = Callable[[dict], None]
+
+
+class CampaignCancelled(KeyboardInterrupt):
+    """Cooperative cancellation of a running campaign.
+
+    Subclasses :class:`KeyboardInterrupt` so a cancelled campaign takes
+    exactly the Ctrl-C path through :func:`run_campaign`: completed
+    results are flushed to the checkpoint state file and the sweep cache
+    keeps every finished sweep, making a later resubmission a resume.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSpec:
+    """One campaign request, as submitted by a CLI or API client.
+
+    The *identity* fields — ``scale``, ``seed``, ``include_extensions``
+    — plus the code version determine every measured number of the
+    campaign; :meth:`key` hashes exactly those, so two specs with the
+    same key are answerable by one execution.  The remaining fields are
+    execution policy (parallelism, timeouts, queueing priority): they
+    never change an artifact byte and are deliberately excluded from the
+    key, mirroring the sweep cache's discipline.
+    """
+
+    scale: str = "default"
+    seed: int = 0
+    include_extensions: bool = False
+    #: sweep fan-out (None = serial, 0 = one worker per CPU)
+    jobs: Optional[int] = None
+    #: per-unit wall-clock bound under parallel execution
+    unit_timeout: Optional[float] = None
+    #: whether this campaign may read/write the shared sweep cache
+    use_cache: bool = True
+    #: queue priority (higher = sooner); FIFO within one priority
+    priority: int = 0
+
+    #: accepted JSON fields and their validators, for :meth:`from_dict`
+    _FIELDS = None  # populated below the class body
+
+    def identity(self) -> dict:
+        """The fields (plus code version) that determine the artifacts."""
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "include_extensions": self.include_extensions,
+            "code_version": __version__,
+        }
+
+    def key(self) -> str:
+        """Content hash of :meth:`identity` — the dedupe/storage key."""
+        blob = json.dumps(
+            self.identity(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def resolve_scale(self) -> Scale:
+        """The :class:`Scale` preset this spec names (validating)."""
+        return get_scale(self.scale)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the API echoes it back)."""
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "include_extensions": self.include_extensions,
+            "jobs": self.jobs,
+            "unit_timeout": self.unit_timeout,
+            "use_cache": self.use_cache,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_dict(cls, data: object) -> "CampaignSpec":
+        """Build a spec from untrusted JSON, strictly validated.
+
+        Unknown fields, wrong types, unknown scale presets and
+        out-of-range numbers all raise
+        :class:`~repro.errors.ExperimentError` — the API maps that to a
+        client error, never a server crash.
+        """
+        if not isinstance(data, dict):
+            raise ExperimentError(
+                f"campaign spec must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = set(data) - set(cls._FIELDS)
+        if unknown:
+            raise ExperimentError(
+                f"unknown campaign spec field(s): {', '.join(sorted(unknown))}"
+            )
+        kwargs = {}
+        for name, validate in cls._FIELDS.items():
+            if name in data:
+                kwargs[name] = validate(name, data[name])
+        spec = cls(**kwargs)
+        spec.resolve_scale()  # unknown presets fail here, at parse time
+        return spec
+
+    def run(
+        self,
+        *,
+        output_dir: Optional[Union[str, Path]] = None,
+        echo=None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+        telemetry: Optional[Telemetry] = None,
+        show_progress: Optional[bool] = None,
+        distributed: Optional[str] = None,
+        lease_timeout: float = 60.0,
+        on_event: Optional[CampaignEventFn] = None,
+        cancel: Optional[threading.Event] = None,
+    ) -> "CampaignSummary":
+        """Execute this spec through :func:`run_campaign`.
+
+        This is the single execution core behind the ``campaign`` and
+        ``serve`` CLI commands and the API scheduler: the spec carries
+        what to compute, the keyword arguments carry where to put it and
+        how to observe it (storage paths are caller policy — a network
+        client never chooses server filesystem locations).
+        """
+        return run_campaign(
+            self.resolve_scale(),
+            seed=self.seed,
+            include_extensions=self.include_extensions,
+            output_dir=output_dir,
+            echo=echo,
+            jobs=self.jobs,
+            cache_dir=cache_dir if self.use_cache else None,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+            telemetry=telemetry,
+            show_progress=show_progress,
+            unit_timeout=self.unit_timeout,
+            distributed=distributed,
+            lease_timeout=lease_timeout,
+            on_event=on_event,
+            cancel=cancel,
+        )
+
+
+def _check_type(name: str, value: object, types: tuple, label: str) -> object:
+    if isinstance(value, bool) and bool not in types:
+        raise ExperimentError(f"spec field {name!r} must be {label}")
+    if not isinstance(value, types):
+        raise ExperimentError(f"spec field {name!r} must be {label}")
+    return value
+
+
+def _spec_str(name: str, value: object) -> str:
+    return _check_type(name, value, (str,), "a string")  # type: ignore[return-value]
+
+
+def _spec_bool(name: str, value: object) -> bool:
+    return _check_type(name, value, (bool,), "a boolean")  # type: ignore[return-value]
+
+
+def _spec_int(lo: int, hi: int):
+    def validate(name: str, value: object) -> int:
+        _check_type(name, value, (int,), "an integer")
+        if not lo <= value <= hi:  # type: ignore[operator]
+            raise ExperimentError(
+                f"spec field {name!r} must be within {lo}..{hi}, got {value}"
+            )
+        return value  # type: ignore[return-value]
+
+    return validate
+
+
+def _spec_jobs(name: str, value: object) -> Optional[int]:
+    if value is None:
+        return None
+    return _spec_int(0, 1024)(name, value)
+
+
+def _spec_timeout(name: str, value: object) -> Optional[float]:
+    if value is None:
+        return None
+    _check_type(name, value, (int, float), "a number")
+    if not 0 < float(value) <= 86_400 or value != value:  # NaN-safe
+        raise ExperimentError(
+            f"spec field {name!r} must be within (0, 86400], got {value}"
+        )
+    return float(value)
+
+
+CampaignSpec._FIELDS = {
+    "scale": _spec_str,
+    "seed": _spec_int(-(2**53), 2**53),
+    "include_extensions": _spec_bool,
+    "jobs": _spec_jobs,
+    "unit_timeout": _spec_timeout,
+    "use_cache": _spec_bool,
+    "priority": _spec_int(-100, 100),
+}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -131,6 +338,17 @@ def _load_campaign_state(state_path: Path, identity: dict) -> List[ExperimentRes
         ) from exc
 
 
+def _echo_worker_stats(coordinator, echo) -> None:
+    """Per-worker summary lines, emitted before the coordinator closes."""
+    for stats in coordinator.worker_stats():
+        echo(
+            f"worker {stats['worker_id']} "
+            f"({stats['address']}): "
+            f"{stats['units_done']} unit(s), "
+            f"{stats['busy_seconds']:.1f}s busy"
+        )
+
+
 def run_campaign(
     scale: Optional[Scale] = None,
     *,
@@ -148,6 +366,8 @@ def run_campaign(
     unit_timeout: Optional[float] = None,
     distributed: Optional[str] = None,
     lease_timeout: float = 60.0,
+    on_event: Optional[CampaignEventFn] = None,
+    cancel: Optional[threading.Event] = None,
 ) -> CampaignSummary:
     """Run all registered experiments; optionally persist the artifacts.
 
@@ -183,7 +403,16 @@ def run_campaign(
     simulations and written to ``<output_dir>/telemetry.jsonl``.  A live
     progress line (experiments done/total, ETA, cache hits) is rendered
     on stderr when it is a TTY; ``show_progress`` forces it on or off.
+    ``on_event`` additionally receives one structured dict per progress
+    event (campaign started, sweep unit done, experiment done,
+    interrupted) — the feed behind the API's NDJSON event streams.
     Neither affects any measured number.
+
+    ``cancel`` — a :class:`threading.Event` — requests cooperative
+    cancellation: the campaign checks it between experiments and raises
+    :class:`CampaignCancelled`, flushing completed state exactly like a
+    ``KeyboardInterrupt`` (so a later run with ``resume=True`` continues
+    where cancellation struck).
     """
     scale = scale if scale is not None else get_scale()
     started = time.monotonic()
@@ -229,77 +458,122 @@ def run_campaign(
         enabled=show_progress,
         done=sum(1 for experiment_id in ids if experiment_id in done),
     )
+    emit: CampaignEventFn = on_event if on_event is not None else (lambda event: None)
+    emit(
+        {
+            "event": "campaign_started",
+            "scale": scale.name,
+            "seed": seed,
+            "total": len(ids),
+            "completed": progress.done,
+        }
+    )
 
-    coordinator = None
-    if distributed is not None:
-        from repro.dist import Coordinator, parse_address
+    def unit_done(unit) -> None:
+        emit(
+            {
+                "event": "unit_done",
+                "scenario": unit.scenario,
+                "n": unit.n,
+                "batch_index": unit.batch_index,
+                "num_batches": unit.num_batches,
+            }
+        )
 
-        host, port = parse_address(distributed)
-        coordinator = Coordinator(
-            host,
-            port,
-            lease_timeout=lease_timeout,
-            echo=echo,
-            show_progress=show_progress,
-        ).start()
-        if echo is not None:
-            bound_host, bound_port = coordinator.address
-            echo(
-                f"coordinator listening on {bound_host}:{bound_port}; "
-                "start workers with: repro-bgp worker "
-                f"{bound_host}:{bound_port}"
+    with contextlib.ExitStack() as stack:
+        coordinator = None
+        if distributed is not None:
+            from repro.dist import Coordinator, parse_address
+
+            host, port = parse_address(distributed)
+            # The coordinator is started *inside* the stack: a failure
+            # anywhere below — entering the telemetry session or sweep
+            # execution, or the campaign loop itself — always closes the
+            # listening socket and joins the accept thread instead of
+            # leaking them past the raise.
+            coordinator = stack.enter_context(
+                Coordinator(
+                    host,
+                    port,
+                    lease_timeout=lease_timeout,
+                    echo=echo,
+                    show_progress=show_progress,
+                )
             )
-            echo("")
-
-    with telemetry_session(telemetry) if telemetry is not None else contextlib.nullcontext():
-        with sweep_execution(
-            jobs=jobs,
-            cache_dir=cache_dir,
-            checkpoint_dir=checkpoint_dir,
-            checkpoint_every=checkpoint_every,
-            unit_timeout=unit_timeout,
-            coordinator=coordinator,
-        ) as execution:
-            try:
-                for experiment_id in ids:
-                    if experiment_id in done:
-                        continue
-                    result = run_experiment(experiment_id, scale, seed=seed)
-                    results.append(result)
-                    flush_state()
-                    progress.advance(
-                        extra=(
-                            f"{experiment_id}, "
-                            f"{execution.cache_hits} cache hit(s)"
-                        )
+            if echo is not None:
+                stack.callback(_echo_worker_stats, coordinator, echo)
+                bound_host, bound_port = coordinator.address
+                echo(
+                    f"coordinator listening on {bound_host}:{bound_port}; "
+                    "start workers with: repro-bgp worker "
+                    f"{bound_host}:{bound_port}"
+                )
+                echo("")
+        if telemetry is not None:
+            stack.enter_context(telemetry_session(telemetry))
+        execution = stack.enter_context(
+            sweep_execution(
+                jobs=jobs,
+                cache_dir=cache_dir,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                unit_timeout=unit_timeout,
+                coordinator=coordinator,
+                on_unit_done=unit_done if on_event is not None else None,
+            )
+        )
+        try:
+            for experiment_id in ids:
+                if experiment_id in done:
+                    continue
+                if cancel is not None and cancel.is_set():
+                    raise CampaignCancelled(
+                        f"campaign cancelled after {len(results)} experiment(s)"
                     )
-                    if echo is not None:
-                        echo(result.to_text())
-                        echo("")
-            except KeyboardInterrupt:
-                # Persist what completed (the sweep cache has already stored
-                # every finished sweep), then let the interrupt propagate: a
-                # warm rerun only redoes the interrupted work.
-                progress.finish()
+                result = run_experiment(experiment_id, scale, seed=seed)
+                results.append(result)
                 flush_state()
-                if echo is not None:
-                    echo(
-                        f"interrupted: {len(results)} experiment(s) completed "
-                        "and flushed; rerun with resume to continue"
+                progress.advance(
+                    extra=(
+                        f"{experiment_id}, "
+                        f"{execution.cache_hits} cache hit(s)"
                     )
-                raise
-            finally:
-                progress.finish()
-                if coordinator is not None:
-                    if echo is not None:
-                        for stats in coordinator.worker_stats():
-                            echo(
-                                f"worker {stats['worker_id']} "
-                                f"({stats['address']}): "
-                                f"{stats['units_done']} unit(s), "
-                                f"{stats['busy_seconds']:.1f}s busy"
-                            )
-                    coordinator.close()
+                )
+                emit(
+                    {
+                        "event": "experiment_done",
+                        "experiment_id": experiment_id,
+                        "passed": result.passed,
+                        "done": progress.done,
+                        "total": progress.total,
+                        "cache_hits": execution.cache_hits,
+                    }
+                )
+                if echo is not None:
+                    echo(result.to_text())
+                    echo("")
+        except KeyboardInterrupt:
+            # Persist what completed (the sweep cache has already stored
+            # every finished sweep), then let the interrupt propagate: a
+            # warm rerun only redoes the interrupted work.  The finally
+            # below terminates the progress line (idempotently — a second
+            # finish here used to write a stray blank line on TTYs).
+            flush_state()
+            emit(
+                {
+                    "event": "campaign_interrupted",
+                    "completed": len(results),
+                    "total": len(ids),
+                }
+            )
+            if echo is not None:
+                echo(
+                    f"interrupted: {len(results)} experiment(s) completed "
+                    "and flushed; rerun with resume to continue"
+                )
+            raise
+        finally:
+            progress.finish()
     if state_path is not None:
         state_path.unlink(missing_ok=True)
     summary = CampaignSummary(

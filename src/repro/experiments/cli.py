@@ -18,6 +18,10 @@ Subcommands:
 * ``serve`` / ``worker`` — distributed campaigns: ``serve`` runs a
   campaign as a lease-based coordinator, ``worker`` connects (from any
   host) and executes sweep units, with byte-identical artifacts;
+* ``api`` — campaign-as-a-service: an asyncio HTTP server accepting
+  campaign specs as JSON, deduplicating identical requests, queueing
+  them under per-tenant quotas and streaming live progress as NDJSON
+  (see :mod:`repro.api`);
 * ``cache gc`` — prune on-disk sweep-cache entries written by a stale
   key/code version and report the reclaimed bytes.
 
@@ -26,6 +30,7 @@ Examples::
     repro-bgp run fig04 --scale default
     repro-bgp serve --bind 127.0.0.1:7787 --scale default -o runs/dist
     repro-bgp worker 127.0.0.1:7787
+    repro-bgp api --bind 127.0.0.1:7788 --data-dir runs/service
     repro-bgp cache gc ~/.cache/repro-sweeps
     repro-bgp topology generate -n 1000 --scenario DENSE-CORE -o dense.json
     repro-bgp topology metrics dense.json
@@ -155,6 +160,72 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_execution_options(serve_parser)
+
+    api_parser = sub.add_parser(
+        "api",
+        help=(
+            "serve campaigns over HTTP: JSON specs in, deduplicated "
+            "executions, NDJSON progress streams and cached artifacts out"
+        ),
+    )
+    api_parser.add_argument(
+        "--bind",
+        default="127.0.0.1:7788",
+        metavar="HOST:PORT",
+        help="address to listen on (default: 127.0.0.1:7788; port 0 = ephemeral)",
+    )
+    api_parser.add_argument(
+        "--data-dir",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help=(
+            "service state root: per-campaign artifacts, checkpoints and "
+            "(unless --cache-dir overrides it) the shared sweep cache"
+        ),
+    )
+    api_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="shared sweep cache directory (default: <data-dir>/sweep-cache)",
+    )
+    api_parser.add_argument(
+        "--max-running",
+        type=int,
+        default=1,
+        metavar="N",
+        help="campaigns executing concurrently across all tenants (default: 1)",
+    )
+    api_parser.add_argument(
+        "--max-queued-per-tenant",
+        type=int,
+        default=8,
+        metavar="N",
+        help="queued campaigns one tenant may hold before 429 (default: 8)",
+    )
+    api_parser.add_argument(
+        "--max-running-per-tenant",
+        type=int,
+        default=1,
+        metavar="N",
+        help="campaigns one tenant may have executing at once (default: 1)",
+    )
+    api_parser.add_argument(
+        "--api-keys",
+        default=None,
+        metavar="KEY[,KEY...]",
+        help=(
+            "comma-separated accepted X-Api-Key values; when set, requests "
+            "without a listed key are rejected (default: open, keys only "
+            "name tenants for quota accounting)"
+        ),
+    )
+    api_parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="write a unit checkpoint every N measured C-events (default: 1)",
+    )
 
     worker_parser = sub.add_parser(
         "worker",
@@ -491,6 +562,45 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_api(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.api import ApiServer, CampaignScheduler
+    from repro.dist import parse_address
+
+    host, port = parse_address(args.bind)
+    api_keys = None
+    if args.api_keys is not None:
+        api_keys = [key.strip() for key in args.api_keys.split(",") if key.strip()]
+
+    async def _serve(scheduler: "CampaignScheduler") -> None:
+        server = ApiServer(scheduler, host, port, api_keys=api_keys)
+        await server.start()
+        bound_host, bound_port = server.address
+        print(
+            f"campaign service listening on http://{bound_host}:{bound_port} "
+            f"(data: {args.data_dir})"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    with CampaignScheduler(
+        args.data_dir,
+        max_running=args.max_running,
+        max_queued_per_tenant=args.max_queued_per_tenant,
+        max_running_per_tenant=args.max_running_per_tenant,
+        cache_dir=args.cache_dir,
+        checkpoint_every=args.checkpoint_every,
+    ) as scheduler:
+        try:
+            asyncio.run(_serve(scheduler))
+        except KeyboardInterrupt:
+            print("campaign service stopped")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.experiments.cache import gc_cache_dir
 
@@ -693,20 +803,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(experiment_id)
             return 0
         if args.command in ("campaign", "serve"):
-            from repro.experiments.campaign import run_campaign
+            from repro.experiments.campaign import CampaignSpec
 
-            summary = run_campaign(
-                get_scale(args.scale),
+            # Both commands are thin clients of the same execution core
+            # the API service schedules onto: the spec carries what to
+            # compute, the keyword arguments carry local policy (where
+            # artifacts go, how to checkpoint, whether to coordinate
+            # workers).
+            spec = CampaignSpec(
+                scale=get_scale(args.scale).name,
                 seed=args.seed,
                 include_extensions=args.extensions,
+                jobs=args.jobs,
+                unit_timeout=args.unit_timeout,
+            )
+            summary = spec.run(
                 output_dir=args.output,
                 echo=print,
-                jobs=args.jobs,
                 cache_dir=args.cache_dir,
                 checkpoint_dir=args.checkpoint_dir,
                 checkpoint_every=args.checkpoint_every,
                 resume=args.resume,
-                unit_timeout=args.unit_timeout,
                 distributed=(
                     args.bind if args.command == "serve" else args.distributed
                 ),
@@ -714,6 +831,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             print(summary.to_text())
             return 0 if summary.passed else 1
+        if args.command == "api":
+            return _cmd_api(args)
         if args.command == "worker":
             return _cmd_worker(args)
         if args.command == "cache":

@@ -59,6 +59,7 @@ class ProgressLine:
         #: work already done before tracking began (excluded from ETA rate)
         self._predone = self.done
         self._lock = threading.Lock()
+        self._finished = False
 
     @property
     def enabled(self) -> bool:
@@ -105,8 +106,16 @@ class ProgressLine:
         return line
 
     def finish(self) -> None:
-        """Terminate the in-place line (newline) if one was drawn."""
+        """Terminate the in-place line (newline) if one was drawn.
+
+        Idempotent: interrupt handlers and ``finally`` blocks may both
+        call it, but only the first call writes the newline — a second
+        would push a stray blank line onto the terminal.
+        """
         with self._lock:
+            if self._finished:
+                return
+            self._finished = True
             if self._enabled:
                 self._stream.write("\n")
                 self._stream.flush()

@@ -1,5 +1,10 @@
 """Fault-tolerant parallel sweeps: worker death must not lose the sweep."""
 
+import os
+import threading
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.bgp.config import BGPConfig
@@ -7,6 +12,7 @@ from repro.core.sweep import (
     FAULT_INJECT_ENV,
     FAULT_MODE_ENV,
     SweepUnit,
+    _run_unit,
     execute_sweep_unit,
     maybe_inject_fault,
     run_growth_sweep,
@@ -15,6 +21,31 @@ from repro.errors import ExperimentError
 
 FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
 SWEEP_KW = dict(sizes=[60, 80], config=FAST, num_origins=4, seed=9)
+
+#: directory for _slow_run_unit's once-per-unit sleep markers
+_SLOW_DIR_ENV = "REPRO_TEST_SLOW_DIR"
+
+_real_run_unit = _run_unit
+
+
+def _slow_run_unit(unit, checkpoint_dir, checkpoint_every):
+    """``_run_unit`` that sleeps once per unit before executing it.
+
+    Module-level so the process pool can pickle it by reference when a
+    test installs it as ``repro.core.sweep._run_unit`` (forked workers
+    inherit the patch).  The sleep is disarmed by a marker file, so the
+    in-process serial retry of a timed-out unit runs at full speed.  The
+    n=60 unit sleeps just past the test's ``unit_timeout`` (its worker
+    finishes while the collector still waits on n=80), the n=80 unit
+    sleeps far past it (its worker dies with the pool).
+    """
+    slow_dir = os.environ.get(_SLOW_DIR_ENV)
+    if slow_dir:
+        marker = Path(slow_dir) / f"slept-{unit.n}-{unit.batch_index}"
+        if not marker.exists():
+            marker.write_text("", encoding="utf-8")
+            time.sleep(1.5 if unit.n == 60 else 3.0)
+    return _real_run_unit(unit, checkpoint_dir, checkpoint_every)
 
 
 def _series(result):
@@ -132,6 +163,40 @@ class TestHungWorkerTimeout:
             "baseline", jobs=2, unit_timeout=600.0, **SWEEP_KW
         )
         assert _series(result) == _series(serial_sweep)
+
+    def test_timed_out_unit_notifies_exactly_once(
+        self, serial_sweep, tmp_path, monkeypatch
+    ):
+        # The double-notification race: the n=60 unit sleeps past
+        # unit_timeout, so the collector gives up on it — but its worker
+        # finishes shortly after (while the collector still waits on the
+        # slower n=80 future), resolving the future and firing the
+        # done-callback.  The serial retry then completes the unit a
+        # second time.  on_unit_done must still fire exactly once per
+        # unit: progress counts and API event streams rely on it.
+        import repro.core.sweep as sweep_mod
+
+        monkeypatch.setenv(_SLOW_DIR_ENV, str(tmp_path))
+        monkeypatch.setattr(sweep_mod, "_run_unit", _slow_run_unit)
+        seen = []
+        lock = threading.Lock()
+
+        def record(unit):
+            with lock:
+                seen.append((unit.n, unit.batch_index))
+
+        result = run_growth_sweep(
+            "baseline",
+            jobs=2,
+            unit_timeout=1.0,
+            on_unit_done=record,
+            **SWEEP_KW,
+        )
+        assert (tmp_path / "slept-60-0").exists(), "the slow unit never slept"
+        assert _series(result) == _series(serial_sweep)
+        assert sorted(seen) == [(60, 0), (80, 0)], (
+            f"each unit must be notified exactly once, got {seen}"
+        )
 
 
 class TestFaultMode:

@@ -191,6 +191,64 @@ class TestLeasing:
         sweep.join()
         worker.close()
 
+    def test_heartbeat_for_expired_lease_says_unknown(self, coordinator):
+        # Once a silent worker's lease expires and the unit is re-leased,
+        # the original lease id must answer ``known: false`` — the lease
+        # index drops entries at release, not only at completion.
+        unit = _unit()
+        sweep = _SweepThread(coordinator, [unit])
+        silent = _FakeWorker(coordinator)
+        stale = silent.lease()
+        assert stale["unit"] is not None
+
+        backup = _FakeWorker(coordinator)
+        reply = None
+        for _ in range(50):  # lease_timeout=1.0s; poll until re-offered
+            reply = backup.lease()
+            if reply["unit"] is not None:
+                break
+            threading.Event().wait(0.1)
+        assert reply["unit"] is not None, "unit was never re-leased"
+
+        ack = silent.request(
+            {"type": MSG_HEARTBEAT, "lease_id": stale["lease_id"]}
+        )
+        assert ack["known"] is False
+        backup.submit(reply)
+        sweep.join()
+        silent.close()
+        backup.close()
+
+    def test_heartbeat_with_foreign_lease_says_unknown(self, coordinator):
+        # A lease id is only valid from the worker that holds it: another
+        # worker replaying it must not renew the deadline.
+        unit = _unit()
+        sweep = _SweepThread(coordinator, [unit])
+        holder = _FakeWorker(coordinator)
+        reply = holder.lease()
+        assert reply["unit"] is not None
+
+        imposter = _FakeWorker(coordinator)
+        ack = imposter.request(
+            {"type": MSG_HEARTBEAT, "lease_id": reply["lease_id"]}
+        )
+        assert ack["known"] is False
+        # ... while the holder's own heartbeat still renews.
+        ack = holder.request(
+            {"type": MSG_HEARTBEAT, "lease_id": reply["lease_id"]}
+        )
+        assert ack["known"] is True
+        holder.submit(reply)
+        sweep.join()
+        holder.close()
+        imposter.close()
+
+    def test_heartbeat_with_non_string_lease_id_says_unknown(self, coordinator):
+        worker = _FakeWorker(coordinator)
+        ack = worker.request({"type": MSG_HEARTBEAT, "lease_id": 7})
+        assert ack["known"] is False
+        worker.close()
+
 
 class TestFailureRecovery:
     def test_silent_worker_lease_expires_and_unit_is_released(self, coordinator):

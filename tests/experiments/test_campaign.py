@@ -1,12 +1,20 @@
 """Tests for campaign orchestration."""
 
+import threading
+
 import pytest
 
+from repro.errors import ReproError
 from repro.experiments import cache
-from repro.experiments.campaign import run_campaign
+from repro.experiments import campaign as campaign_module
+from repro.experiments.campaign import (
+    CampaignCancelled,
+    CampaignSpec,
+    run_campaign,
+)
 from repro.experiments.registry import experiment_ids
 from repro.experiments.results_io import load_results
-from repro.experiments.scale import Scale
+from repro.experiments.scale import PRESETS, Scale
 
 TINY = Scale(name="tiny-campaign", sizes=(100, 200), origins=2, metric_sources=10)
 
@@ -148,3 +156,170 @@ class TestCampaignObservability:
 
 def load_and_pass(output):
     return all(result.passed for result in load_results(output / "campaign.json"))
+
+
+@pytest.fixture()
+def tiny_preset():
+    """TINY registered as a named preset, so string specs can name it."""
+    PRESETS[TINY.name] = TINY
+    try:
+        yield TINY.name
+    finally:
+        PRESETS.pop(TINY.name, None)
+
+
+class TestCampaignSpec:
+    def test_key_covers_identity_only(self, tiny_preset):
+        base = CampaignSpec(scale=tiny_preset, seed=5)
+        assert base.key() == CampaignSpec(
+            scale=tiny_preset, seed=5, jobs=2, unit_timeout=30.0, priority=9
+        ).key()
+        assert base.key() != CampaignSpec(scale=tiny_preset, seed=6).key()
+        assert base.key() != CampaignSpec(
+            scale=tiny_preset, seed=5, include_extensions=True
+        ).key()
+
+    def test_from_dict_round_trip(self, tiny_preset):
+        spec = CampaignSpec(scale=tiny_preset, seed=3, jobs=2, priority=-1)
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            ["not", "an", "object"],
+            {"scale": "tiny-campaign", "surprise": 1},
+            {"scale": 7},
+            {"seed": "zero"},
+            {"seed": 2**60},
+            {"include_extensions": 1},
+            {"jobs": -1},
+            {"jobs": True},
+            {"unit_timeout": 0},
+            {"unit_timeout": float("nan")},
+            {"unit_timeout": 1e9},
+            {"use_cache": "yes"},
+            {"priority": 1000},
+            {"scale": "no-such-preset"},
+        ],
+    )
+    def test_from_dict_rejects_malformed(self, tiny_preset, bad):
+        with pytest.raises(ReproError):
+            CampaignSpec.from_dict(bad)
+
+    def test_run_matches_run_campaign(self, campaign, tmp_path, tiny_preset):
+        _, serial_output = campaign
+        cache.clear_cache()
+        summary = CampaignSpec(scale=tiny_preset, seed=5).run(
+            output_dir=tmp_path / "spec-run", show_progress=False
+        )
+        cache.clear_cache()
+        assert summary.scale == TINY.name
+        assert (tmp_path / "spec-run" / "campaign.json").read_bytes() == (
+            serial_output / "campaign.json"
+        ).read_bytes()
+
+
+class TestCampaignEventsAndCancel:
+    def test_on_event_stream_shape(self, tmp_path):
+        cache.clear_cache()
+        events = []
+        run_campaign(
+            TINY, seed=5, show_progress=False, on_event=events.append
+        )
+        cache.clear_cache()
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "campaign_started"
+        total = len(experiment_ids(include_extensions=False))
+        assert kinds.count("experiment_done") == total
+        assert events[0]["total"] == total
+        done_events = [e for e in events if e["event"] == "experiment_done"]
+        assert [e["experiment_id"] for e in done_events] == experiment_ids(
+            include_extensions=False
+        )
+        assert done_events[-1]["done"] == total
+
+    def test_cancel_flushes_and_resume_completes(self, campaign, tmp_path):
+        # Cancel after the second experiment: completed results must be
+        # flushed through the checkpoint path, and a resumed run must
+        # produce artifacts byte-identical to an uninterrupted campaign.
+        _, serial_output = campaign
+        checkpoint_dir = tmp_path / "ck"
+        cancel = threading.Event()
+
+        def trip(event):
+            if event["event"] == "experiment_done" and event["done"] == 2:
+                cancel.set()
+
+        cache.clear_cache()
+        with pytest.raises(CampaignCancelled):
+            run_campaign(
+                TINY,
+                seed=5,
+                checkpoint_dir=checkpoint_dir,
+                show_progress=False,
+                on_event=trip,
+                cancel=cancel,
+            )
+        assert (checkpoint_dir / "campaign-state.json").exists()
+        summary = run_campaign(
+            TINY,
+            seed=5,
+            output_dir=tmp_path / "resumed",
+            checkpoint_dir=checkpoint_dir,
+            resume=True,
+            show_progress=False,
+        )
+        cache.clear_cache()
+        assert len(summary.results) == len(
+            experiment_ids(include_extensions=False)
+        )
+        assert (tmp_path / "resumed" / "campaign.json").read_bytes() == (
+            serial_output / "campaign.json"
+        ).read_bytes()
+
+    def test_cancel_before_start_runs_nothing(self, tmp_path):
+        cancel = threading.Event()
+        cancel.set()
+        with pytest.raises(CampaignCancelled):
+            run_campaign(
+                TINY,
+                seed=5,
+                checkpoint_dir=tmp_path / "ck",
+                show_progress=False,
+                cancel=cancel,
+            )
+
+
+class TestCoordinatorLifecycle:
+    def test_coordinator_closed_when_setup_fails(self, monkeypatch):
+        # Regression: the coordinator used to be started before the
+        # try/finally, so a failure entering the telemetry session or the
+        # sweep execution context leaked its listening socket and accept
+        # thread past the raise.
+        import repro.dist as dist
+
+        created = []
+        real_coordinator = dist.Coordinator
+
+        class Recording(real_coordinator):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        def boom(**kwargs):
+            raise RuntimeError("injected failure entering sweep execution")
+
+        monkeypatch.setattr(dist, "Coordinator", Recording)
+        monkeypatch.setattr(campaign_module, "sweep_execution", boom)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            run_campaign(
+                TINY, seed=5, distributed="127.0.0.1:0", show_progress=False
+            )
+        assert len(created) == 1
+        coordinator = created[0]
+        assert coordinator._closing.is_set(), "coordinator was never closed"
+        assert (
+            coordinator._accept_thread is not None
+            and not coordinator._accept_thread.is_alive()
+        ), "accept thread leaked past the failed campaign"
+        assert coordinator._listener.fileno() == -1, "listener socket leaked"

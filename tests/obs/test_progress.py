@@ -67,6 +67,25 @@ class TestProgressLine:
         assert "x: 1/2" in output
         assert output.endswith("\n")
 
+    def test_finish_is_idempotent(self):
+        # run_campaign's interrupt handler and its ``finally`` block can
+        # both reach finish(); only the first may write the newline, or
+        # every Ctrl-C leaves a stray blank line on the terminal.
+        stream = io.StringIO()
+        line = ProgressLine(2, stream=stream, enabled=True, label="x")
+        line.advance()
+        line.finish()
+        line.finish()
+        line.finish()
+        assert stream.getvalue().count("\n") == 1
+
+    def test_finish_before_any_render_is_silent_once(self):
+        stream = io.StringIO()
+        line = ProgressLine(2, stream=stream, enabled=True)
+        line.finish()
+        line.finish()
+        assert stream.getvalue() == "\n"
+
     def test_thread_safe_advance(self):
         line = ProgressLine(400, enabled=False)
 
