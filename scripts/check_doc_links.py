@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Fail the build on dead relative links in the repo's markdown docs.
+
+Scans README.md plus every ``*.md`` under docs/ (and any other tracked
+top-level markdown) for inline links and images.  External links
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``) are
+ignored; every other target must exist on disk, resolved relative to
+the file containing the link.  Stdlib only — runs anywhere CI does.
+
+Usage::
+
+    python scripts/check_doc_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown links/images: [text](target) / ![alt](target)
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: fenced code blocks — links inside them are examples, not references
+_FENCE = re.compile(r"^(```|~~~)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    files = sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    failures = []
+    in_fence = False
+    for line_number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            # strip an in-page anchor from a file target
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{path.relative_to(root)}:{line_number}: "
+                    f"dead link -> {target}"
+                )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    files = markdown_files(root)
+    if not files:
+        print(f"no markdown files found under {root}", file=sys.stderr)
+        return 2
+    failures = []
+    for path in files:
+        failures.extend(check_file(path, root))
+    for failure in failures:
+        print(failure)
+    checked = len(files)
+    if failures:
+        print(f"FAIL: {len(failures)} dead link(s) across {checked} file(s)")
+        return 1
+    print(f"OK: no dead relative links in {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

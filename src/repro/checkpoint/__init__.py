@@ -10,13 +10,17 @@ Three layers, bottom-up:
   one;
 * :mod:`repro.checkpoint.batch` — checkpointed execution of sweep work
   units, the hook the fault-tolerant sweep executor and resumable
-  campaigns build on.
+  campaigns build on;
+* :mod:`repro.checkpoint.partition` — snapshot/restore of a whole
+  graph-partitioned run (K member networks plus the lockstep runner's
+  clock and in-flight border events).
 """
 
 from repro.checkpoint.format import (
     FORMAT_VERSION,
     KIND_CAMPAIGN,
     KIND_NETWORK,
+    KIND_PARTITION,
     KIND_SWEEP_UNIT,
     CheckpointDocument,
     inspect_checkpoint,
@@ -30,11 +34,16 @@ from repro.checkpoint.batch import (
     unit_checkpoint_key,
     unit_checkpoint_path,
 )
+from repro.checkpoint.partition import (
+    restore_partitioned_run,
+    snapshot_partitioned_run,
+)
 
 __all__ = [
     "FORMAT_VERSION",
     "KIND_CAMPAIGN",
     "KIND_NETWORK",
+    "KIND_PARTITION",
     "KIND_SWEEP_UNIT",
     "CheckpointDocument",
     "inspect_checkpoint",
@@ -46,4 +55,6 @@ __all__ = [
     "execute_sweep_unit_checkpointed",
     "unit_checkpoint_key",
     "unit_checkpoint_path",
+    "restore_partitioned_run",
+    "snapshot_partitioned_run",
 ]

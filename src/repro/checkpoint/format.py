@@ -51,14 +51,20 @@ FORMAT_VERSION = 1
 #: documents are a strict subset of the 1.3.0 schema: prefixes are bare
 #: ints (1.3.0 additionally writes ``[addr, length]`` pairs for real
 #: prefixes) and the per-node decision counters are absent (they restore
-#: as zero).
-COMPATIBLE_CODE_VERSIONS = frozenset({"1.1.0", "1.2.0"})
+#: as zero).  1.3.0 documents read unchanged under 1.4.0 — the 1.4.0
+#: schema only *adds* the ``partition`` kind (per-member network
+#: snapshots plus in-flight border events); the pre-existing kinds'
+#: layouts are untouched.
+COMPATIBLE_CODE_VERSIONS = frozenset({"1.1.0", "1.2.0", "1.3.0"})
 
 #: Recognised checkpoint kinds (the envelope's ``kind`` field).
 KIND_NETWORK = "network"
 KIND_SWEEP_UNIT = "sweep-unit"
 KIND_CAMPAIGN = "campaign"
-KNOWN_KINDS = (KIND_NETWORK, KIND_SWEEP_UNIT, KIND_CAMPAIGN)
+#: Schema 1.4.0: one graph-partitioned run — K member network snapshots,
+#: the lockstep runner's clock/stats, and the border events in flight.
+KIND_PARTITION = "partition"
+KNOWN_KINDS = (KIND_NETWORK, KIND_SWEEP_UNIT, KIND_CAMPAIGN, KIND_PARTITION)
 
 
 def payload_digest(payload: dict) -> str:
@@ -198,6 +204,22 @@ def inspect_checkpoint(path: Union[str, Path]) -> dict:
             }
         )
         summary.update(_network_summary(payload.get("network", {})))
+    elif document.kind == KIND_PARTITION:
+        parts = payload.get("parts", [])
+        summary.update(
+            {
+                "num_parts": payload.get("num_parts"),
+                "sim_time": payload.get("now"),
+                "windows": payload.get("windows"),
+                "border_events_total": payload.get("border_events"),
+                "border_events_in_flight": len(payload.get("pending", [])),
+                "part_sizes": ", ".join(
+                    str(len(part.get("nodes", []))) for part in parts
+                ),
+            }
+        )
+        if parts:
+            summary.update(_network_summary(parts[0]))
     elif document.kind == KIND_CAMPAIGN:
         summary.update(
             {

@@ -1,0 +1,119 @@
+"""Snapshot and restore of a graph-partitioned run (kind ``partition``).
+
+Extends the byte-identity contract of :mod:`repro.checkpoint.network` to
+the lockstep mode: a partitioned run restored mid-sequence continues
+exactly as the uninterrupted run would — same windows, same border
+events, same churn counts — because the snapshot captures every member's
+complete network state *plus* the runner's global clock and the border
+events still in flight between barriers.
+
+Two deliberate restrictions:
+
+* snapshots are taken **at a barrier** (between lockstep commands),
+  which is the only moment the coordinator has control anyway — there is
+  no mid-window state to capture;
+* only in-process members (:class:`~repro.sim.partition.LocalPart`) can
+  be snapshot.  A socket-distributed run recovers by deterministic
+  re-run instead (fail-stop, see ``docs/PROTOCOL.md``); anything else
+  would require a distributed snapshot protocol for state that is
+  already reproducible from ``(graph, config, seed)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.checkpoint.network import restore_network, snapshot_network
+from repro.errors import CheckpointError
+from repro.sim.partition import BorderEvent, LocalPart, LockstepRunner
+from repro.topology.partition import GraphPartition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topology.graph import ASGraph
+
+
+def snapshot_partitioned_run(runner: LockstepRunner) -> dict:
+    """Capture a lockstep run: K member snapshots plus runner state.
+
+    The payload is written to disk under the envelope kind
+    :data:`~repro.checkpoint.format.KIND_PARTITION`.  Raises
+    :class:`~repro.errors.CheckpointError` if any member is not an
+    in-process :class:`LocalPart`.
+    """
+    for part in runner.parts:
+        if not isinstance(part, LocalPart):
+            raise CheckpointError(
+                "only in-process partition members can be snapshot; a "
+                "distributed partition run recovers by deterministic re-run"
+            )
+    partition = runner.partition
+    return {
+        "num_parts": partition.num_parts,
+        "assignment": [
+            [node_id, part_index]
+            for node_id, part_index in sorted(partition.assignment.items())
+        ],
+        "link_delay": runner.link_delay,
+        "now": runner.now,
+        "windows": runner.windows,
+        "border_events": runner.border_events,
+        "pending": [
+            event.to_jsonable() for event in runner.pending_border_events()
+        ],
+        "parts": [snapshot_network(part.network) for part in runner.parts],
+    }
+
+
+def restore_partitioned_run(graph: "ASGraph", payload: dict) -> LockstepRunner:
+    """Rebuild a live lockstep runner from :func:`snapshot_partitioned_run`.
+
+    ``graph`` must be the same topology the snapshot was taken from;
+    every member snapshot carries the content digest, so a mismatch is
+    caught by :func:`~repro.checkpoint.network.restore_network` before
+    any state is touched.
+    """
+    try:
+        num_parts = int(payload["num_parts"])
+        assignment = {
+            int(node_id): int(part_index)
+            for node_id, part_index in payload["assignment"]
+        }
+        link_delay = float(payload["link_delay"])
+        now = float(payload["now"])
+        windows = int(payload["windows"])
+        border_events = int(payload["border_events"])
+        pending = [
+            BorderEvent.from_jsonable(event) for event in payload["pending"]
+        ]
+        part_payloads = payload["parts"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed partition payload: {exc}") from exc
+    if len(part_payloads) != num_parts:
+        raise CheckpointError(
+            f"partition checkpoint declares {num_parts} parts but carries "
+            f"{len(part_payloads)} member snapshots"
+        )
+    if sorted(assignment) != graph.node_ids:
+        raise CheckpointError(
+            "partition assignment does not cover the supplied graph "
+            f"({len(assignment)} assigned vs {len(graph)} nodes)"
+        )
+    partition = GraphPartition(num_parts=num_parts, assignment=assignment)
+    parts = [
+        LocalPart.from_network(
+            restore_network(
+                graph, part_payload, local_nodes=partition.members(index)
+            ),
+            index,
+        )
+        for index, part_payload in enumerate(part_payloads)
+    ]
+    runner = LockstepRunner(partition, parts, link_delay=link_delay)
+    runner.restore_progress(
+        now=now,
+        windows=windows,
+        border_events=border_events,
+        pending=pending,
+        part_next=[part.network.engine.peek_next_time() for part in parts],
+    )
+    return runner

@@ -26,6 +26,13 @@ Scheduling is lease-based:
 
 Results are placed into submission-order slots before the merge, so a
 distributed sweep returns numbers bit-identical to a serial run.
+
+This coordinator schedules *sweeps*: many independent units, retry-safe,
+lease-based.  The other distributed mode — one single simulation split
+across K graph-partition workers, fail-stop, no leases — has its own
+driver in :mod:`repro.dist.partition`; workers built by
+:func:`~repro.dist.worker.run_worker` serve both (the reply to their
+lease request decides which mode they enter).
 Worker-side telemetry counters arriving in RESULT frames are aggregated
 into the ambient :func:`~repro.obs.telemetry.current_telemetry` hub
 under a ``worker.`` prefix; purely observational.

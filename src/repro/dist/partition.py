@@ -1,0 +1,466 @@
+"""Distributed graph-partitioned execution (protocol v2).
+
+One coordinator drives K workers, each simulating one partition of the
+topology, through the conservative lockstep windows of
+:class:`~repro.sim.partition.LockstepRunner`.  The pieces:
+
+* :class:`PartitionSession` — coordinator side.  Listens, enrols the
+  first K workers that ask for work (their LEASE request is answered
+  with a PARTITION assignment instead of a lease), and hands back one
+  :class:`RemotePart` per member.
+* :class:`RemotePart` — the wire-backed member handle.  Implements the
+  same ``cast``/``gather`` interface as
+  :class:`~repro.sim.partition.LocalPart`, so the lockstep runner and
+  the C-event driver are identical in-process and distributed; ``cast``
+  sends one PCMD frame, ``gather`` blocks on the PREPORT reply, and the
+  runner pipelines a barrier by casting to all members before gathering
+  any.
+* :func:`serve_partition` — worker side.  Entered by
+  :func:`~repro.dist.worker.run_worker` when a lease request comes back
+  as a PARTITION frame; builds the member's
+  :class:`~repro.sim.partition.LocalPart` from the assignment and
+  executes PCMD frames until ``done``.
+
+Failure model: **fail-stop**.  Partition members hold live simulation
+state that exists nowhere else, so — unlike sweep units — a lost member
+cannot be re-leased mid-run; there are no leases or heartbeats in
+partition mode.  Sockets carry a read timeout instead: a member silent
+past it (or a closed connection, or an error report) aborts the whole
+run with :class:`~repro.errors.DistributedError`.  Re-running the same
+topology/seed reproduces the run bit-for-bit, which is the recovery
+story (and per-partition checkpoints — ``repro.checkpoint.partition`` —
+cut the re-run cost).
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bgp.config import BGPConfig
+from repro.core.cevent import CEventStats, merge_c_event_batches, pick_origins
+from repro.dist.protocol import (
+    MSG_LEASE,
+    MSG_PCMD,
+    MSG_PREPORT,
+    MSG_REGISTER,
+    MSG_SHUTDOWN,
+    FrameStream,
+    counter_from_wire,
+    counter_to_wire,
+    part_report_from_wire,
+    part_report_to_wire,
+    partition_assignment_from_wire,
+    partition_assignment_to_wire,
+)
+from repro.errors import DistributedError, ProtocolError, ReproError
+from repro.prefix.prefix import prefix_from_json, prefix_to_json
+from repro.sim.partition import (
+    BorderEvent,
+    LocalPart,
+    LockstepRunner,
+    run_partitioned_c_event_batch,
+)
+from repro.topology.graph import ASGraph
+from repro.topology.partition import GraphPartition, partition_graph
+
+_LOG = logging.getLogger(__name__)
+
+#: Default read timeout on partition-member sockets: the fail-stop
+#: analogue of a lease deadline.  Generous — one window rarely takes
+#: more than milliseconds of simulation work — but finite, so a hung
+#: member aborts the run instead of wedging it.
+DEFAULT_MEMBER_TIMEOUT_S = 120.0
+
+#: PCMD operations a member executes (mirrors ``LocalPart._execute``,
+#: plus the session-ending ``done``).
+_MEMBER_OPS = frozenset(
+    ("window", "snap", "originate", "withdraw", "count", "collect", "done")
+)
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+class RemotePart:
+    """A partition member living in another process, as a part handle."""
+
+    def __init__(self, stream: FrameStream, part_index: int) -> None:
+        self.part_index = part_index
+        self._stream = stream
+        self._op: Optional[str] = None
+
+    def cast(self, op: str, **kwargs: object) -> None:
+        """Send one PCMD frame (the reply is collected by :meth:`gather`)."""
+        if self._op is not None:
+            raise DistributedError(
+                f"member {self.part_index} already has {self._op!r} in flight"
+            )
+        frame: Dict[str, object] = {"type": MSG_PCMD, "op": op}
+        if op == "window":
+            frame["until"] = kwargs["until"]
+            frame["inbox"] = [event.to_jsonable() for event in kwargs["inbox"]]
+        elif op == "snap":
+            frame["at"] = kwargs["at"]
+        elif op in ("originate", "withdraw"):
+            frame["node"] = kwargs["node"]
+            frame["prefix"] = prefix_to_json(kwargs["prefix"])
+        elif op == "count":
+            frame["enabled"] = bool(kwargs["enabled"])
+        elif op in ("collect", "done"):
+            pass
+        else:
+            raise DistributedError(f"unknown partition command {op!r}")
+        try:
+            self._stream.send(frame)
+        except (OSError, ProtocolError) as exc:
+            raise DistributedError(
+                f"partition member {self.part_index} unreachable: {exc}"
+            ) from exc
+        self._op = op
+
+    def gather(self) -> object:
+        """Block for the in-flight command's PREPORT and decode it."""
+        op, self._op = self._op, None
+        if op is None:
+            raise DistributedError(
+                f"member {self.part_index} has no command in flight"
+            )
+        try:
+            reply = self._stream.recv()
+        except (OSError, ProtocolError) as exc:
+            raise DistributedError(
+                f"partition member {self.part_index} lost mid-{op}: {exc}"
+            ) from exc
+        if reply is None:
+            raise DistributedError(
+                f"partition member {self.part_index} closed its connection "
+                f"during {op!r}"
+            )
+        if reply.get("type") != MSG_PREPORT:
+            raise DistributedError(
+                f"partition member {self.part_index} sent {reply.get('type')!r} "
+                f"instead of a report"
+            )
+        if "error" in reply:
+            raise DistributedError(
+                f"partition member {self.part_index} failed {op!r}: "
+                f"{reply['error']}"
+            )
+        if op == "collect":
+            return (
+                counter_from_wire(reply["counter"]),
+                int(reply["delivered"]),
+            )
+        if op == "done":
+            return None
+        return part_report_from_wire(reply["report"])
+
+    def call(self, op: str, **kwargs: object) -> object:
+        self.cast(op, **kwargs)
+        return self.gather()
+
+    def close(self) -> None:
+        self._stream.close()
+
+
+class PartitionSession:
+    """Coordinator endpoint for one distributed partitioned run.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`address` reports
+    the bound endpoint.  Context manager: exit closes the listener and
+    every enrolled member connection.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        member_timeout: float = DEFAULT_MEMBER_TIMEOUT_S,
+        echo: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if member_timeout <= 0:
+            raise DistributedError(
+                f"member_timeout must be > 0, got {member_timeout}"
+            )
+        self._host = host
+        self._port = port
+        self.member_timeout = member_timeout
+        self._echo = echo
+        self._listener: Optional[socket.socket] = None
+        self.parts: List[RemotePart] = []
+
+    @property
+    def address(self):
+        if self._listener is None:
+            raise DistributedError("partition session is not listening")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "PartitionSession":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((self._host, self._port))
+        except OSError as exc:
+            listener.close()
+            raise DistributedError(
+                f"cannot bind partition session to {self._host}:{self._port}: "
+                f"{exc}"
+            ) from exc
+        listener.listen(64)
+        listener.settimeout(self.member_timeout)
+        self._listener = listener
+        return self
+
+    def __enter__(self) -> "PartitionSession":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def enrol(
+        self,
+        graph: ASGraph,
+        partition: GraphPartition,
+        config: BGPConfig,
+        *,
+        seed: int,
+    ) -> List[RemotePart]:
+        """Block until one worker per partition has joined and been assigned.
+
+        Workers follow the normal handshake (REGISTER, then a LEASE
+        request); the lease request is answered with this run's
+        PARTITION frame, which flips the worker into partition-serve
+        mode.  Enrolment order is arrival order: the first worker
+        becomes member 0, and so on.
+        """
+        if self._listener is None:
+            raise DistributedError("partition session is not listening")
+        if self.parts:
+            raise DistributedError("partition members already enrolled")
+        for part_index in range(partition.num_parts):
+            try:
+                conn, addr = self._listener.accept()
+            except socket.timeout:
+                self.close()
+                raise DistributedError(
+                    f"only {part_index} of {partition.num_parts} partition "
+                    f"workers joined within {self.member_timeout:.0f}s"
+                ) from None
+            conn.settimeout(self.member_timeout)
+            stream = FrameStream(conn)
+            try:
+                self._handshake(stream, graph, partition, part_index, config, seed)
+            except (OSError, ProtocolError) as exc:
+                self.close()
+                raise DistributedError(
+                    f"partition worker handshake failed: {exc}"
+                ) from exc
+            if self._echo is not None:
+                self._echo(
+                    f"member {part_index} joined from {addr[0]}:{addr[1]} "
+                    f"({len(partition.members(part_index))} nodes)"
+                )
+            self.parts.append(RemotePart(stream, part_index))
+        return self.parts
+
+    def _handshake(
+        self,
+        stream: FrameStream,
+        graph: ASGraph,
+        partition: GraphPartition,
+        part_index: int,
+        config: BGPConfig,
+        seed: int,
+    ) -> None:
+        message = stream.recv()
+        if message is None or message.get("type") != MSG_REGISTER:
+            raise ProtocolError(f"expected register, got {message!r}")
+        stream.send(
+            {
+                "type": MSG_REGISTER,
+                "worker_id": f"p{part_index}",
+                # No heartbeats in partition mode (fail-stop); a long
+                # interval keeps a pre-v2-aware worker loop quiet.
+                "heartbeat_interval_s": self.member_timeout,
+            }
+        )
+        message = stream.recv()
+        if message is None or message.get("type") != MSG_LEASE:
+            raise ProtocolError(f"expected a lease request, got {message!r}")
+        stream.send(
+            partition_assignment_to_wire(graph, partition, part_index, config, seed)
+        )
+
+    def release(self) -> None:
+        """End the run politely: DONE to each member, SHUTDOWN on its next ask."""
+        for part in self.parts:
+            try:
+                part.call("done")
+                # The worker drops back to its lease loop and asks again;
+                # answer with the campaign-over frame so it exits cleanly.
+                reply = part._stream.recv()
+                if reply is not None and reply.get("type") == MSG_LEASE:
+                    part._stream.send({"type": MSG_SHUTDOWN})
+            except (OSError, ProtocolError, DistributedError):
+                pass  # member already gone; close() reaps the socket
+
+    def close(self) -> None:
+        for part in self.parts:
+            part.close()
+        self.parts = []
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+
+def run_distributed_partitioned_experiment(
+    graph: ASGraph,
+    config: Optional[BGPConfig] = None,
+    *,
+    num_parts: int = 2,
+    partition: Optional[GraphPartition] = None,
+    origins: Optional[Sequence[int]] = None,
+    num_origins: int = 10,
+    seed: int = 0,
+    settle_factor: float = 2.0,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    member_timeout: float = DEFAULT_MEMBER_TIMEOUT_S,
+    echo: Optional[Callable[[str], None]] = None,
+    on_listening: Optional[Callable[[object], None]] = None,
+) -> CEventStats:
+    """One C-event experiment executed across ``num_parts`` workers.
+
+    Blocks until ``num_parts`` workers join, runs the partitioned batch
+    over them, and returns churn statistics bit-identical to the serial
+    (and in-process partitioned) kernels.  ``on_listening`` receives the
+    bound ``(host, port)`` once the session accepts connections — tests
+    use it to launch workers against an ephemeral port.
+    """
+    config = config if config is not None else BGPConfig()
+    if partition is None:
+        partition = partition_graph(graph, num_parts)
+    if origins is None:
+        origin_list = pick_origins(graph, num_origins, seed)
+    else:
+        origin_list = list(origins)
+    if not origin_list:
+        raise DistributedError("no origins to run")
+    with PartitionSession(
+        host, port, member_timeout=member_timeout, echo=echo
+    ) as session:
+        if on_listening is not None:
+            on_listening(session.address)
+        parts = session.enrol(graph, partition, config, seed=seed)
+        runner = LockstepRunner(partition, parts, link_delay=config.link_delay)
+        batch = run_partitioned_c_event_batch(
+            graph,
+            partition,
+            config,
+            origins=origin_list,
+            seed=seed,
+            settle_factor=settle_factor,
+            parts=parts,
+            runner=runner,
+        )
+        session.release()
+    return merge_c_event_batches([batch], seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def serve_partition(
+    stream: FrameStream,
+    assignment_frame: Dict[str, object],
+    *,
+    echo: Optional[Callable[[str], None]] = None,
+) -> None:
+    """Serve one partition membership until the coordinator says ``done``.
+
+    Builds the member's :class:`~repro.sim.partition.LocalPart` from the
+    PARTITION frame, then executes PCMD frames one at a time — the
+    member is a pure command executor; all lockstep policy lives with
+    the coordinator.  A deterministic simulation error is reported in
+    the PREPORT (the coordinator fail-stops the run); a transport error
+    propagates to the caller's reconnect logic.
+    """
+    assignment = partition_assignment_from_wire(assignment_frame)
+    member = LocalPart(
+        assignment["graph"],
+        assignment["config"],
+        members=assignment["members"],
+        seed=assignment["seed"],
+        part_index=assignment["part"],
+    )
+    if echo is not None:
+        echo(
+            f"serving partition {assignment['part'] + 1}/"
+            f"{assignment['num_parts']} ({len(assignment['members'])} nodes)"
+        )
+    while True:
+        message = stream.recv()
+        if message is None:
+            raise ProtocolError("coordinator closed during partition serve")
+        if message.get("type") == MSG_SHUTDOWN:
+            return
+        if message.get("type") != MSG_PCMD:
+            raise ProtocolError(
+                f"expected a partition command, got {message.get('type')!r}"
+            )
+        op = message.get("op")
+        if op not in _MEMBER_OPS:
+            raise ProtocolError(f"unknown partition command {op!r}")
+        if op == "done":
+            stream.send({"type": MSG_PREPORT, "ok": True})
+            return
+        try:
+            reply = _execute_member_op(member, op, message)
+        except ReproError as exc:
+            # Deterministic failure: report and keep the connection up so
+            # the coordinator can abort the whole run cleanly.
+            stream.send(
+                {
+                    "type": MSG_PREPORT,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            continue
+        stream.send(reply)
+
+
+def _execute_member_op(
+    member: LocalPart, op: str, message: Dict[str, object]
+) -> Dict[str, object]:
+    """Run one decoded PCMD on the member and build its PREPORT."""
+    if op == "window":
+        report = member.call(
+            "window",
+            until=float(message["until"]),
+            inbox=[
+                BorderEvent.from_jsonable(event) for event in message["inbox"]
+            ],
+        )
+    elif op == "snap":
+        report = member.call("snap", at=float(message["at"]))
+    elif op in ("originate", "withdraw"):
+        report = member.call(
+            op,
+            node=int(message["node"]),
+            prefix=prefix_from_json(message["prefix"]),
+        )
+    elif op == "count":
+        report = member.call("count", enabled=bool(message["enabled"]))
+    elif op == "collect":
+        counter, delivered = member.call("collect")
+        return {
+            "type": MSG_PREPORT,
+            "counter": counter_to_wire(counter),
+            "delivered": delivered,
+        }
+    else:  # pragma: no cover - guarded by _MEMBER_OPS
+        raise ProtocolError(f"unknown partition command {op!r}")
+    return {"type": MSG_PREPORT, "report": part_report_to_wire(report)}

@@ -33,6 +33,7 @@ from repro.dist.protocol import (
     MSG_HEARTBEAT,
     MSG_LEASE,
     MSG_NACK,
+    MSG_PARTITION,
     MSG_REGISTER,
     MSG_RESULT,
     MSG_SHUTDOWN,
@@ -241,6 +242,18 @@ def run_worker(
                     if echo is not None:
                         echo("coordinator says shutdown; exiting")
                     return units_done
+                if reply["type"] == MSG_PARTITION:
+                    # A partitioned single simulation instead of a sweep
+                    # lease: serve it to completion on this connection
+                    # (no heartbeats — partition mode is fail-stop), then
+                    # drop back into the lease loop.
+                    from repro.dist.partition import serve_partition
+
+                    serve_partition(connection.stream, reply, echo=echo)
+                    units_done += 1
+                    if max_units is not None and units_done >= max_units:
+                        return units_done
+                    continue
                 if reply["type"] != MSG_LEASE:
                     raise ProtocolError(
                         f"expected a lease reply, got {reply['type']!r}"

@@ -7,7 +7,9 @@ Subcommands:
 * ``topology generate | metrics | validate`` — create, inspect and check
   AS-level topologies on disk (JSON or CAIDA as-rel format);
 * ``simulate`` — run a C-event experiment on a stored topology and print
-  the per-type churn and factor decomposition;
+  the per-type churn and factor decomposition; ``--partitions K`` runs
+  it graph-partitioned (identical statistics, K lockstep members) and
+  ``--churn-json`` writes a mode-comparable artifact;
 * ``workload`` — run a Poisson C-event stream and report what a monitor
   sees (rates, burstiness);
 * ``profile`` — run one experiment under telemetry + cProfile and report
@@ -15,9 +17,11 @@ Subcommands:
   functions (also writes the run's ``telemetry.jsonl``);
 * ``stats`` — render the telemetry log of a previous run (a run
   directory or a ``telemetry.jsonl`` path);
-* ``serve`` / ``worker`` — distributed campaigns: ``serve`` runs a
-  campaign as a lease-based coordinator, ``worker`` connects (from any
-  host) and executes sweep units, with byte-identical artifacts;
+* ``serve`` / ``worker`` — distributed execution: ``serve`` runs a
+  campaign as a lease-based coordinator (or, with ``--partitions K``,
+  splits ONE simulation over K workers in conservative lockstep),
+  ``worker`` connects (from any host) and serves either mode, with
+  byte-identical artifacts;
 * ``api`` — campaign-as-a-service: an asyncio HTTP server accepting
   campaign specs as JSON, deduplicating identical requests, queueing
   them under per-tenant quotas and streaming live progress as NDJSON
@@ -35,6 +39,8 @@ Examples::
     repro-bgp topology generate -n 1000 --scenario DENSE-CORE -o dense.json
     repro-bgp topology metrics dense.json
     repro-bgp simulate dense.json --origins 10 --wrate
+    repro-bgp simulate dense.json --partitions 4 --churn-json churn.json
+    repro-bgp serve --partitions 2 --topology dense.json -o runs/part
     repro-bgp workload dense.json --duration 600 --rate 0.05
     repro-bgp profile fig04 --scale smoke -o fig04-telemetry.jsonl
     repro-bgp stats runs/campaign-2026-08/
@@ -156,9 +162,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help=(
             "how long a silent worker keeps a unit leased before it is "
-            "given to another worker (default: 60)"
+            "given to another worker (campaign mode) or how long to wait "
+            "for a silent partition member before aborting (default: 60)"
         ),
     )
+    serve_parser.add_argument(
+        "--partitions",
+        type=int,
+        default=0,
+        metavar="K",
+        help=(
+            "partition mode: instead of a campaign, run ONE simulation "
+            "split over K connected workers in conservative lockstep "
+            "(requires --topology; churn statistics are identical to a "
+            "serial run)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--topology",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="(partition mode) topology file to simulate",
+    )
+    serve_parser.add_argument(
+        "--origins",
+        type=int,
+        default=10,
+        metavar="N",
+        help="(partition mode) number of C-events to measure (default: 10)",
+    )
+    _add_bgp_options(serve_parser)
     _add_execution_options(serve_parser)
 
     api_parser = sub.add_parser(
@@ -326,6 +360,26 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("path", type=Path)
     simulate.add_argument("--origins", type=int, default=10)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--partitions",
+        type=int,
+        default=0,
+        metavar="K",
+        help=(
+            "run graph-partitioned over K in-process members "
+            "(0 = serial; churn statistics are identical either way)"
+        ),
+    )
+    simulate.add_argument(
+        "--churn-json",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "also write the churn statistics as canonical JSON "
+            "(byte-comparable across execution modes)"
+        ),
+    )
     _add_bgp_options(simulate)
 
     workload = sub.add_parser("workload", help="Poisson churn workload + monitor report")
@@ -509,14 +563,86 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _churn_artifact(stats) -> dict:
+    """Mode-independent churn statistics as JSON-ready primitives.
+
+    Serial and partitioned runs of the same ``(topology, config, seed)``
+    produce byte-identical artifacts — ``scripts/partition_smoke.sh``
+    diffs them in CI.
+    """
+    return {
+        "scenario": stats.scenario,
+        "n": stats.n,
+        "seed": stats.seed,
+        "origins": list(stats.origins),
+        "mrai": stats.config.mrai,
+        "wrate": stats.config.wrate,
+        "measured_messages": stats.measured_messages,
+        "mean_down_convergence": stats.mean_down_convergence,
+        "mean_up_convergence": stats.mean_up_convergence,
+        "down_updates_per_type": {
+            node_type.value: stats.down_updates_per_type[node_type]
+            for node_type in NODE_TYPE_ORDER
+            if node_type in stats.down_updates_per_type
+        },
+        "up_updates_per_type": {
+            node_type.value: stats.up_updates_per_type[node_type]
+            for node_type in NODE_TYPE_ORDER
+            if node_type in stats.up_updates_per_type
+        },
+        "per_type": {
+            node_type.value: {
+                "U": factors.u_total,
+                **{
+                    rel.value: factors.u(rel) for rel in RELATIONSHIP_ORDER
+                },
+            }
+            for node_type in NODE_TYPE_ORDER
+            for factors in (stats.per_type.get(node_type),)
+            if factors is not None
+        },
+    }
+
+
+def _write_churn_json(stats, path: Path) -> None:
+    import json
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(_churn_artifact(stats), indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"churn statistics written to {path}")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     graph = _load_topology(args.path)
     config = BGPConfig(
         mrai=args.mrai, wrate=args.wrate, rib_backend=args.rib_backend
     )
-    stats = run_c_event_experiment(
-        graph, config, num_origins=args.origins, seed=args.seed
-    )
+    if args.partitions:
+        from repro.sim.partition import run_partitioned_c_event_experiment
+        from repro.topology.partition import cut_statistics, partition_graph
+
+        partition = partition_graph(graph, args.partitions)
+        cut = cut_statistics(graph, partition)
+        print(
+            f"partitioned over {cut['num_parts']} members "
+            f"(sizes {cut['part_sizes']}): {cut['cut_edges']} of "
+            f"{cut['total_edges']} links cut ({cut['cut_fraction']:.1%})"
+        )
+        stats = run_partitioned_c_event_experiment(
+            graph,
+            config,
+            num_parts=args.partitions,
+            partition=partition,
+            num_origins=args.origins,
+            seed=args.seed,
+        )
+    else:
+        stats = run_c_event_experiment(
+            graph, config, num_origins=args.origins, seed=args.seed
+        )
     variant = "WRATE" if args.wrate else "NO-WRATE"
     rows = []
     for node_type in NODE_TYPE_ORDER:
@@ -542,6 +668,51 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"{stats.mean_up_convergence:.1f}s up; "
         f"{stats.measured_messages} updates delivered"
     )
+    if args.churn_json is not None:
+        _write_churn_json(stats, args.churn_json)
+    return 0
+
+
+def _cmd_serve_partitioned(args: argparse.Namespace) -> int:
+    """``serve --partitions K``: one simulation split over K workers."""
+    from repro.dist import parse_address
+    from repro.dist.partition import run_distributed_partitioned_experiment
+
+    if args.topology is None:
+        print("error: serve --partitions requires --topology", file=sys.stderr)
+        return 2
+    graph = _load_topology(args.topology)
+    config = BGPConfig(
+        mrai=args.mrai, wrate=args.wrate, rib_backend=args.rib_backend
+    )
+    host, port = parse_address(args.bind)
+
+    def on_listening(address) -> None:
+        bound_host, bound_port = address
+        print(
+            f"partition coordinator listening on {bound_host}:{bound_port} — "
+            f"waiting for {args.partitions} 'repro-bgp worker' process(es)"
+        )
+
+    stats = run_distributed_partitioned_experiment(
+        graph,
+        config,
+        num_parts=args.partitions,
+        num_origins=args.origins,
+        seed=args.seed,
+        host=host,
+        port=port,
+        member_timeout=args.lease_timeout,
+        echo=print,
+        on_listening=on_listening,
+    )
+    print(
+        f"partitioned run complete: {len(stats.origins)} C-events, "
+        f"{stats.measured_messages} updates delivered, "
+        f"convergence {stats.mean_down_convergence:.1f}s down / "
+        f"{stats.mean_up_convergence:.1f}s up"
+    )
+    _write_churn_json(stats, args.output / "churn.json")
     return 0
 
 
@@ -802,6 +973,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             for experiment_id in experiment_ids():
                 print(experiment_id)
             return 0
+        if args.command == "serve" and args.partitions:
+            return _cmd_serve_partitioned(args)
         if args.command in ("campaign", "serve"):
             from repro.experiments.campaign import CampaignSpec
 

@@ -102,6 +102,43 @@ class Engine:
         """Number of live (non-cancelled) events still queued."""
         return len(self._queue) - self._cancelled
 
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the earliest live event, or None when the queue is idle.
+
+        Dead (cancelled) heap heads are discarded on the way — the same
+        lazy-deletion walk :meth:`step` performs — so the answer is the
+        time :meth:`step` would execute next.  This is the window-barrier
+        primitive of the partitioned execution mode: a lockstep runner
+        peeks every member engine to pick the next conservative window
+        start without executing anything.
+        """
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head[2] is None:
+                heapq.heappop(queue)
+                self._cancelled -= 1
+                continue
+            return head[0]
+        return None
+
+    def run_events_until(self, until: float) -> int:
+        """Execute every live event with time <= ``until``; returns the count.
+
+        Unlike :meth:`run`, the clock is **not** advanced to the horizon
+        when the queue drains early: ``now`` stays at the last executed
+        event, exactly as a serial run-to-convergence would leave it.
+        The partitioned kernel uses this as the in-window execution step,
+        so phase convergence times match the serial kernel bit-for-bit.
+        """
+        executed = 0
+        while True:
+            head_time = self.peek_next_time()
+            if head_time is None or head_time > until:
+                return executed
+            self.step()
+            executed += 1
+
     @property
     def next_sequence(self) -> int:
         """The FIFO tie-break value the next scheduled event will receive.

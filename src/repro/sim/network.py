@@ -14,7 +14,7 @@ depend on Python hash randomization or dict ordering.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.bgp.config import BGPConfig
 from repro.bgp.messages import UpdateMessage
@@ -40,6 +40,7 @@ class SimNetwork:
         *,
         seed: int = 0,
         telemetry=None,
+        local_nodes: Optional[Iterable[int]] = None,
     ) -> None:
         self.graph = graph
         self.config = config if config is not None else BGPConfig()
@@ -48,6 +49,17 @@ class SimNetwork:
         self.counter = UpdateCounter()
         self.trace: Optional[MonitorTrace] = None
         self.delivered_messages = 0
+        #: None for a whole-graph network; a frozen member set when this
+        #: network simulates one partition of the graph.  Only members
+        #: get a BGPNode; a transmit towards a non-member lands in
+        #: :attr:`border_outbox` instead of the local event heap (the
+        #: partitioned kernel ships it to the owning partition).
+        self.local_nodes: Optional[FrozenSet[int]] = (
+            frozenset(local_nodes) if local_nodes is not None else None
+        )
+        #: ``(sent_at, message)`` pairs bound for other partitions, in
+        #: transmit order; drained at every window barrier.
+        self.border_outbox: List[Tuple[float, UpdateMessage]] = []
         # The telemetry sink (ambient session unless passed explicitly)
         # is shared by the engine, every node and every output channel;
         # it observes the run without influencing any RNG or event order.
@@ -55,6 +67,12 @@ class SimNetwork:
         self.engine.telemetry = self.telemetry
         self.nodes: Dict[int, BGPNode] = {}
         for node in graph.nodes():
+            if self.local_nodes is not None and node.node_id not in self.local_nodes:
+                continue
+            # Per-node RNG streams are derived from (seed, node_id) alone,
+            # so a partition member draws exactly the same randomness it
+            # would in a whole-graph network — the basis of the
+            # serial-vs-partitioned equivalence guarantee.
             rng = random.Random(stable_hash(seed, node.node_id))
             self.nodes[node.node_id] = BGPNode(
                 node_id=node.node_id,
@@ -72,7 +90,33 @@ class SimNetwork:
     # ------------------------------------------------------------------
     def _transmit(self, message: UpdateMessage, now: float) -> None:
         """Carry a message across a link: constant delay, then deliver."""
+        if self.local_nodes is not None and message.receiver not in self.local_nodes:
+            self.border_outbox.append((now, message))
+            return
         self.engine.schedule(self.config.link_delay, Delivery(self, message))
+
+    def inject_border(self, message: UpdateMessage, deliver_at: float) -> None:
+        """Schedule a cross-partition message for local delivery.
+
+        Called by the partitioned kernel at a window barrier with
+        ``deliver_at = sent_at + link_delay`` — the same delivery time
+        the serial kernel would have used.  Injection order is the
+        caller's responsibility (the lockstep runner sorts border events
+        canonically so every run assigns identical FIFO sequence
+        numbers).
+        """
+        if message.receiver not in self.nodes:
+            raise SimulationError(
+                f"border message for {message.receiver}, which is not a "
+                "member of this partition"
+            )
+        self.engine.schedule_at(deliver_at, Delivery(self, message))
+
+    def drain_border_outbox(self) -> List[Tuple[float, UpdateMessage]]:
+        """Return and clear the accumulated outbound border messages."""
+        outbox = self.border_outbox
+        self.border_outbox = []
+        return outbox
 
     def _deliver(self, message: UpdateMessage) -> None:
         receiver = self.nodes.get(message.receiver)

@@ -158,10 +158,49 @@ class ASGraph:
             raise TopologyError(f"no link between {u} and {v}") from exc
 
     def neighbors(self, node_id: int) -> Dict[int, Relationship]:
-        """Mapping neighbour id → relationship as seen from ``node_id``."""
+        """Mapping neighbour id → relationship as seen from ``node_id``.
+
+        Iteration order is the link *insertion* order.  That order is
+        part of the simulation's determinism contract — BGP nodes export
+        to neighbours in this order, which fixes the engine's FIFO
+        tie-break sequence — so anything that rebuilds a graph and needs
+        simulation-identical behaviour must restore it (see
+        :meth:`apply_adjacency_order`).
+        """
         if node_id not in self._adjacency:
             raise TopologyError(f"unknown node id {node_id}")
         return dict(self._adjacency[node_id])
+
+    def adjacency_order(self, node_id: int) -> List[int]:
+        """Neighbour ids of ``node_id`` in link insertion order."""
+        if node_id not in self._adjacency:
+            raise TopologyError(f"unknown node id {node_id}")
+        return list(self._adjacency[node_id])
+
+    def apply_adjacency_order(self, order: Dict[int, List[int]]) -> None:
+        """Re-impose a recorded neighbour iteration order per node.
+
+        ``order`` maps node id → its neighbour ids in the desired order;
+        each list must be a permutation of the node's current neighbours.
+        Used by deserialization to make a rebuilt graph not merely
+        structurally equal but *simulation-identical* to the original
+        (same export order → same event FIFO sequence → same trajectory).
+        Nodes absent from ``order`` keep their current order.
+        """
+        for node_id, neighbor_ids in order.items():
+            current = self._adjacency.get(node_id)
+            if current is None:
+                raise TopologyError(f"unknown node id {node_id}")
+            if len(neighbor_ids) != len(current) or set(neighbor_ids) != set(
+                current
+            ):
+                raise TopologyError(
+                    f"adjacency order for node {node_id} is not a "
+                    f"permutation of its neighbours"
+                )
+            self._adjacency[node_id] = {
+                neighbor: current[neighbor] for neighbor in neighbor_ids
+            }
 
     def neighbors_by_relationship(self, node_id: int, relationship: Relationship) -> List[int]:
         """Neighbour ids with the given relationship, ascending."""

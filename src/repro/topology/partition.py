@@ -1,0 +1,241 @@
+"""K-way topology partitioning for graph-partitioned simulation.
+
+The partitioned execution mode (:mod:`repro.sim.partition`) runs one
+large AS graph as K subgraphs advancing in conservative lockstep
+windows; every link that crosses a partition boundary turns the BGP
+updates it carries into *border events* that must be serialized,
+shipped, and re-injected at a window barrier.  Cut quality therefore
+directly bounds synchronization traffic — the fewer (and quieter) the
+cut links, the closer the partitioned run gets to linear speedup.
+
+The heuristic here cuts along **customer-tree boundaries**, the AS-level
+analogue of a community structure: a stub's only links go to its
+providers (and a few peers), so keeping every node in the same part as
+its first provider keeps the overwhelmingly chatty customer-tree edges
+internal, and the cut is dominated by the sparse provider/peer mesh
+between trees (exactly the low-churn cut the COATI feasibility studies
+recommend).
+
+Three phases, all deterministic (sorted iteration, stable tie-breaks,
+no RNG):
+
+1. **cluster** — every node follows its lowest-id provider chain up to
+   a provider-free root; each root's followers form one cluster
+   (a customer tree restricted to first-provider edges, so clusters
+   partition the node set exactly);
+2. **pack** — clusters are assigned largest-first onto the part with
+   the fewest nodes (greedy balance);
+3. **refine** — boundary nodes migrate to the neighbouring part holding
+   the majority of their links, when the move strictly reduces the cut
+   and keeps parts within the balance tolerance.
+
+The result is a :class:`GraphPartition`; :func:`cut_statistics`
+summarizes the cut for telemetry and docs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.errors import TopologyError
+from repro.topology.graph import ASGraph
+from repro.topology.types import Relationship
+
+#: A refine move must keep every part at or below this multiple of the
+#: ideal (n / k) part size.
+_BALANCE_TOLERANCE = 1.25
+
+#: Refinement sweeps; each sweep is O(edges).  Two sweeps recover most
+#: of the attainable gain on the generator's topologies.
+_REFINE_SWEEPS = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphPartition:
+    """An assignment of every node to one of ``num_parts`` partitions."""
+
+    num_parts: int
+    #: node id → part index (0 .. num_parts-1); covers every node.
+    assignment: Dict[int, int]
+
+    def part_of(self, node_id: int) -> int:
+        """The partition holding ``node_id``."""
+        try:
+            return self.assignment[node_id]
+        except KeyError as exc:
+            raise TopologyError(f"node {node_id} is not in the partition") from exc
+
+    def members(self, part: int) -> FrozenSet[int]:
+        """All node ids assigned to ``part``."""
+        if not 0 <= part < self.num_parts:
+            raise TopologyError(
+                f"part {part} outside 0..{self.num_parts - 1}"
+            )
+        return frozenset(
+            node_id for node_id, p in self.assignment.items() if p == part
+        )
+
+    def sizes(self) -> List[int]:
+        """Node count per part."""
+        counts = [0] * self.num_parts
+        for part in self.assignment.values():
+            counts[part] += 1
+        return counts
+
+    def cut_edges(self, graph: ASGraph) -> List[Tuple[int, int, Relationship]]:
+        """Links whose endpoints live in different parts.
+
+        Same ``(u, v, relationship-from-u)`` convention as
+        :meth:`~repro.topology.graph.ASGraph.edges` (transit links
+        customer-first, peering links ``u < v``), in that deterministic
+        order.
+        """
+        return [
+            (u, v, rel)
+            for u, v, rel in graph.edges()
+            if self.assignment[u] != self.assignment[v]
+        ]
+
+
+def partition_graph(graph: ASGraph, num_parts: int) -> GraphPartition:
+    """Split ``graph`` into ``num_parts`` balanced, low-cut partitions.
+
+    Deterministic: the same graph and ``num_parts`` always produce the
+    same assignment, so a partitioned run is as reproducible as a serial
+    one.  ``num_parts=1`` returns the trivial single-part assignment.
+    """
+    if num_parts < 1:
+        raise TopologyError(f"num_parts must be >= 1, got {num_parts}")
+    if len(graph) == 0:
+        raise TopologyError("cannot partition an empty graph")
+    if num_parts > len(graph):
+        raise TopologyError(
+            f"cannot split {len(graph)} nodes into {num_parts} parts"
+        )
+    if num_parts == 1:
+        return GraphPartition(
+            num_parts=1, assignment={node_id: 0 for node_id in graph.node_ids}
+        )
+
+    clusters = _first_provider_clusters(graph)
+    assignment = _pack_clusters(graph, clusters, num_parts)
+    for _ in range(_REFINE_SWEEPS):
+        if not _refine(graph, assignment, num_parts):
+            break
+    return GraphPartition(num_parts=num_parts, assignment=assignment)
+
+
+def _first_provider_clusters(graph: ASGraph) -> List[List[int]]:
+    """Group nodes by the root of their lowest-id provider chain.
+
+    Every node has exactly one "first provider" (its lowest-id
+    provider), so following that edge repeatedly reaches a provider-free
+    root; the transit hierarchy is acyclic by construction, making the
+    walk finite.  The per-root follower sets partition the node set.
+    Clusters are returned largest-first (ties: by root id) for the
+    packing phase.
+    """
+    root_of: Dict[int, int] = {}
+
+    def resolve(node_id: int) -> int:
+        chain = []
+        current = node_id
+        while current not in root_of:
+            providers = graph.providers_of(current)
+            if not providers:
+                root_of[current] = current
+                break
+            chain.append(current)
+            current = providers[0]
+        root = root_of[current]
+        for member in chain:
+            root_of[member] = root
+        return root
+
+    clusters: Dict[int, List[int]] = {}
+    for node_id in graph.node_ids:
+        clusters.setdefault(resolve(node_id), []).append(node_id)
+    return sorted(clusters.values(), key=lambda c: (-len(c), c[0]))
+
+
+def _pack_clusters(
+    graph: ASGraph, clusters: List[List[int]], num_parts: int
+) -> Dict[int, int]:
+    """Greedy balance: each cluster goes to the currently lightest part.
+
+    One giant cluster (DENSE-CORE style topologies funnel most trees
+    under a handful of T nodes) can exceed the ideal part size; it is
+    split on the fly by spilling whole sub-trees — suffixes of the
+    node list, which is in ascending id order — once the target part
+    reaches the ideal size.
+    """
+    ideal = -(-len(graph) // num_parts)  # ceil
+    sizes = [0] * num_parts
+    assignment: Dict[int, int] = {}
+    for cluster in clusters:
+        index = 0
+        while index < len(cluster):
+            part = min(range(num_parts), key=lambda p: (sizes[p], p))
+            room = max(1, ideal - sizes[part])
+            for node_id in cluster[index : index + room]:
+                assignment[node_id] = part
+                sizes[part] += 1
+            index += room
+    return assignment
+
+
+def _refine(
+    graph: ASGraph, assignment: Dict[int, int], num_parts: int
+) -> bool:
+    """One boundary-migration sweep; returns whether anything moved.
+
+    A node moves to the neighbouring part that holds a strict majority
+    of its links when the move reduces its personal cut degree and the
+    receiving part stays within the balance tolerance.  Nodes are
+    visited in ascending id order; moves apply immediately (later nodes
+    see earlier moves), which keeps the sweep deterministic.
+    """
+    limit = int(_BALANCE_TOLERANCE * -(-len(graph) // num_parts))
+    sizes = [0] * num_parts
+    for part in assignment.values():
+        sizes[part] += 1
+    moved = False
+    for node_id in graph.node_ids:
+        here = assignment[node_id]
+        tally: Dict[int, int] = {}
+        for neighbor in graph.neighbors(node_id):
+            tally[assignment[neighbor]] = tally.get(assignment[neighbor], 0) + 1
+        best = max(
+            tally.items(), key=lambda item: (item[1], -item[0]), default=None
+        )
+        if best is None:
+            continue
+        target, links_there = best
+        if target == here or links_there <= tally.get(here, 0):
+            continue
+        if sizes[target] + 1 > limit or sizes[here] <= 1:
+            continue
+        assignment[node_id] = target
+        sizes[here] -= 1
+        sizes[target] += 1
+        moved = True
+    return moved
+
+
+def cut_statistics(graph: ASGraph, partition: GraphPartition) -> Dict[str, object]:
+    """Summary of the cut (telemetry / docs / CLI reporting)."""
+    cut = partition.cut_edges(graph)
+    by_kind = {"transit": 0, "peer": 0}
+    for _u, _v, rel in cut:
+        by_kind["peer" if rel is Relationship.PEER else "transit"] += 1
+    total_edges = graph.edge_count()
+    return {
+        "num_parts": partition.num_parts,
+        "part_sizes": partition.sizes(),
+        "cut_edges": len(cut),
+        "cut_transit": by_kind["transit"],
+        "cut_peer": by_kind["peer"],
+        "total_edges": total_edges,
+        "cut_fraction": (len(cut) / total_edges) if total_edges else 0.0,
+    }

@@ -1,0 +1,162 @@
+"""Checkpoint/restore of graph-partitioned runs (schema 1.4.0).
+
+The core claim: a partitioned run snapshot mid-flood — with border
+events still in flight between barriers — restores into a runner whose
+continuation is exactly the uninterrupted run (same clock, same windows,
+same churn counters).
+"""
+
+import pytest
+
+from repro.bgp.config import BGPConfig
+from repro.checkpoint.format import (
+    KIND_PARTITION,
+    inspect_checkpoint,
+    read_checkpoint,
+    verify_checkpoint,
+    write_checkpoint,
+)
+from repro.checkpoint.partition import (
+    restore_partitioned_run,
+    snapshot_partitioned_run,
+)
+from repro.errors import CheckpointError
+from repro.prefix.prefix import host_prefix
+from repro.sim.partition import LockstepRunner, build_local_parts
+from repro.topology.generator import generate_topology
+from repro.topology.partition import partition_graph
+from repro.topology.scenarios import scenario_params
+
+FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+
+
+def _graph(n=36, seed=5):
+    return generate_topology(scenario_params("BASELINE", n), seed=seed)
+
+
+def _runner(graph, partition, seed=3):
+    parts = build_local_parts(graph, partition, FAST, seed=seed)
+    return LockstepRunner(partition, parts, link_delay=FAST.link_delay)
+
+
+def _start_flood(runner, origin):
+    """Originate and advance until border events are in flight.
+
+    After ``advance(t)`` the pending set holds exactly the border
+    messages sent in ``(t - link_delay, t]``, so stepping by less than
+    the link delay is guaranteed to catch the flood mid-air.
+    """
+    runner.set_counting(True)
+    runner.apply("originate", origin, host_prefix(0))
+    target = runner.now
+    while not runner.pending_border_events():
+        target += FAST.link_delay / 2
+        runner.advance(target)
+        assert target < 5.0, "flood never produced in-flight border events"
+
+
+class TestRoundTrip:
+    def test_restored_continuation_matches_uninterrupted_run(self):
+        graph = _graph()
+        partition = partition_graph(graph, 2)
+        origin = graph.node_ids[-1]
+
+        original = _runner(graph, partition)
+        _start_flood(original, origin)
+        payload = snapshot_partitioned_run(original)
+        assert payload["pending"], "snapshot should carry in-flight events"
+
+        restored = restore_partitioned_run(graph, payload)
+        assert restored.now == original.now
+        assert restored.windows == original.windows
+        assert restored.pending_border_events() == original.pending_border_events()
+
+        for runner in (original, restored):
+            runner.converge()
+        assert restored.now == original.now
+        assert restored.windows == original.windows
+        assert restored.border_events == original.border_events
+        original_counter, original_delivered = original.collect_counters()
+        restored_counter, restored_delivered = restored.collect_counters()
+        assert restored_delivered == original_delivered
+        assert restored_counter.total == original_counter.total
+        assert dict(restored_counter.received) == dict(original_counter.received)
+        assert dict(restored_counter.received_by_pair) == dict(
+            original_counter.received_by_pair
+        )
+
+    def test_snapshot_survives_json_round_trip_on_disk(self, tmp_path):
+        graph = _graph(n=30)
+        partition = partition_graph(graph, 2)
+        runner = _runner(graph, partition)
+        _start_flood(runner, graph.node_ids[0])
+        payload = snapshot_partitioned_run(runner)
+
+        path = tmp_path / "run.ckpt"
+        write_checkpoint(path, KIND_PARTITION, payload)
+        document = read_checkpoint(path, expected_kind=KIND_PARTITION)
+        assert verify_checkpoint(path).digest_ok
+
+        restored = restore_partitioned_run(graph, document.payload)
+        runner.converge()
+        restored.converge()
+        assert restored.now == runner.now
+        assert dict(restored.collect_counters()[0].received) == dict(
+            runner.collect_counters()[0].received
+        )
+
+    def test_inspect_summarizes_partition_checkpoints(self, tmp_path):
+        graph = _graph(n=30)
+        partition = partition_graph(graph, 3)
+        runner = _runner(graph, partition)
+        _start_flood(runner, graph.node_ids[0])
+        path = tmp_path / "run.ckpt"
+        write_checkpoint(path, KIND_PARTITION, snapshot_partitioned_run(runner))
+        summary = inspect_checkpoint(path)
+        assert summary["kind"] == KIND_PARTITION
+        assert summary["num_parts"] == 3
+        assert summary["sim_time"] == runner.now
+        assert summary["windows"] == runner.windows
+        assert summary["border_events_in_flight"] > 0
+        sizes = [int(s) for s in summary["part_sizes"].split(", ")]
+        assert sorted(sizes) == sorted(partition.sizes())
+
+
+class TestValidation:
+    def test_snapshot_rejects_non_local_members(self):
+        graph = _graph(n=30)
+        partition = partition_graph(graph, 2)
+
+        class FakeRemote:
+            def cast(self, op, **kwargs):
+                pass
+
+            def gather(self):
+                return None
+
+        runner = _runner(graph, partition)
+        runner.parts[1] = FakeRemote()
+        with pytest.raises(CheckpointError, match="in-process"):
+            snapshot_partitioned_run(runner)
+
+    def test_restore_rejects_wrong_topology(self):
+        graph = _graph(n=30)
+        partition = partition_graph(graph, 2)
+        runner = _runner(graph, partition)
+        payload = snapshot_partitioned_run(runner)
+        other = _graph(n=30, seed=6)
+        with pytest.raises(CheckpointError):
+            restore_partitioned_run(other, payload)
+
+    def test_restore_rejects_missing_member_snapshot(self):
+        graph = _graph(n=30)
+        partition = partition_graph(graph, 2)
+        payload = snapshot_partitioned_run(_runner(graph, partition))
+        payload["parts"] = payload["parts"][:1]
+        with pytest.raises(CheckpointError, match="member snapshots"):
+            restore_partitioned_run(graph, payload)
+
+    def test_restore_rejects_malformed_payload(self):
+        graph = _graph(n=30)
+        with pytest.raises(CheckpointError, match="malformed"):
+            restore_partitioned_run(graph, {"num_parts": 2})

@@ -15,6 +15,7 @@ from repro.bgp.config import BGPConfig
 from repro.core.sweep import SweepUnit, execute_sweep_unit
 from repro.dist.coordinator import Coordinator, parse_address
 from repro.dist.protocol import (
+    PROTOCOL_VERSION,
     MSG_HEARTBEAT,
     MSG_LEASE,
     MSG_NACK,
@@ -184,7 +185,7 @@ class TestLeasing:
         ack = worker.request(
             {"type": MSG_HEARTBEAT, "lease_id": reply["lease_id"]}
         )
-        assert ack == {"type": MSG_HEARTBEAT, "known": True, "v": 1}
+        assert ack == {"type": MSG_HEARTBEAT, "known": True, "v": PROTOCOL_VERSION}
         ack = worker.request({"type": MSG_HEARTBEAT, "lease_id": "bogus"})
         assert ack["known"] is False
         worker.submit(reply)

@@ -1,0 +1,156 @@
+"""Distributed partition mode, end to end over real sockets.
+
+One coordinator + K worker threads (the real ``run_worker`` loop, so the
+lease-request-answered-with-PARTITION mode switch is exercised), churn
+statistics compared against the serial kernel — the distributed
+acceptance bar.
+"""
+
+import threading
+
+import pytest
+
+from repro.bgp.config import BGPConfig
+from repro.core.cevent import pick_origins, run_c_event_experiment
+from repro.dist.partition import (
+    PartitionSession,
+    run_distributed_partitioned_experiment,
+)
+from repro.dist.protocol import (
+    counter_from_wire,
+    counter_to_wire,
+    part_report_from_wire,
+    part_report_to_wire,
+    partition_assignment_from_wire,
+    partition_assignment_to_wire,
+)
+from repro.dist.worker import run_worker
+from repro.errors import DistributedError
+from repro.prefix.prefix import host_prefix
+from repro.sim.counters import UpdateCounter
+from repro.sim.partition import BorderEvent, PartReport
+from repro.topology.generator import generate_topology
+from repro.topology.partition import partition_graph
+from repro.topology.scenarios import scenario_params
+from repro.topology.types import NodeType, Relationship
+
+from tests.sim.test_partition_kernel import assert_stats_equal
+
+FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+
+
+def _graph(n=40, seed=13):
+    return generate_topology(scenario_params("BASELINE", n), seed=seed)
+
+
+def _launch_workers(count, address_box, ready):
+    """Start ``count`` real worker loops once the session is listening."""
+    threads = []
+
+    def boot():
+        assert ready.wait(timeout=15.0)
+        for _ in range(count):
+            thread = threading.Thread(
+                target=run_worker,
+                args=(address_box["address"],),
+                kwargs={"collect_telemetry": False, "max_connect_attempts": 10},
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+
+    threading.Thread(target=boot, daemon=True).start()
+    return threads
+
+
+class TestDistributedPartitionedRun:
+    def test_matches_serial_kernel_over_sockets(self):
+        graph = _graph()
+        origins = pick_origins(graph, 2, seed=3)
+        serial = run_c_event_experiment(graph, FAST, origins=origins, seed=3)
+
+        ready = threading.Event()
+        address_box = {}
+
+        def on_listening(address):
+            address_box["address"] = address
+            ready.set()
+
+        workers = _launch_workers(2, address_box, ready)
+        distributed = run_distributed_partitioned_experiment(
+            graph,
+            FAST,
+            num_parts=2,
+            origins=origins,
+            seed=3,
+            member_timeout=30.0,
+            on_listening=on_listening,
+        )
+        assert_stats_equal(serial, distributed)
+        for thread in workers:
+            thread.join(timeout=10.0)
+            assert not thread.is_alive(), "worker did not shut down"
+
+    def test_enrol_times_out_without_workers(self):
+        graph = _graph(n=30)
+        with pytest.raises(DistributedError, match="0 of 2"):
+            run_distributed_partitioned_experiment(
+                graph,
+                FAST,
+                num_parts=2,
+                origins=pick_origins(graph, 1, seed=0),
+                seed=0,
+                member_timeout=0.3,
+            )
+
+    def test_session_rejects_bad_timeout(self):
+        with pytest.raises(DistributedError):
+            PartitionSession(member_timeout=0.0)
+
+
+class TestPartitionCodecs:
+    def test_assignment_round_trip(self):
+        graph = _graph(n=30)
+        partition = partition_graph(graph, 2)
+        frame = partition_assignment_to_wire(graph, partition, 1, FAST, seed=7)
+        decoded = partition_assignment_from_wire(frame)
+        assert decoded["config"] == FAST
+        assert decoded["seed"] == 7
+        assert decoded["part"] == 1
+        assert decoded["num_parts"] == 2
+        assert decoded["members"] == sorted(partition.members(1))
+        restored = decoded["graph"]
+        assert restored.node_ids == graph.node_ids
+        assert list(restored.edges()) == list(graph.edges())
+        # Neighbour iteration order must survive the wire: it fixes the
+        # export order and therefore the member's event sequencing.
+        for node_id in graph.node_ids:
+            assert restored.adjacency_order(node_id) == graph.adjacency_order(
+                node_id
+            )
+
+    def test_part_report_round_trip(self):
+        report = PartReport(
+            now=1.25,
+            next_event_at=None,
+            outbox=[
+                BorderEvent(1.0, 1.001, 3, 9, host_prefix(2), (3, 1)),
+                BorderEvent(1.1, 1.101, 4, 9, 17, None),
+            ],
+        )
+        restored = part_report_from_wire(part_report_to_wire(report))
+        assert restored == report
+
+    def test_counter_round_trip_preserves_insertion_order(self):
+        counter = UpdateCounter()
+        for receiver, sender in [(9, 1), (2, 5), (7, 5)]:
+            counter.record(
+                receiver=receiver,
+                sender=sender,
+                sender_relationship=Relationship.CUSTOMER,
+                is_withdrawal=False,
+            )
+        restored = counter_from_wire(counter_to_wire(counter))
+        assert list(restored.received.items()) == list(counter.received.items())
+        assert restored.total == counter.total
+        assert dict(restored.received_by_pair) == dict(counter.received_by_pair)

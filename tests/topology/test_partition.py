@@ -1,0 +1,103 @@
+"""The K-way partitioner: coverage, balance, determinism, cut quality."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.generator import generate_topology
+from repro.topology.partition import (
+    GraphPartition,
+    cut_statistics,
+    partition_graph,
+)
+from repro.topology.scenarios import scenario_params
+from repro.topology.types import Relationship
+
+
+def _graph(n=120, scenario="BASELINE", seed=7):
+    return generate_topology(scenario_params(scenario, n), seed=seed)
+
+
+class TestPartitionGraph:
+    def test_covers_every_node_exactly_once(self):
+        graph = _graph()
+        partition = partition_graph(graph, 3)
+        assert sorted(partition.assignment) == graph.node_ids
+        assert set(partition.assignment.values()) == {0, 1, 2}
+
+    def test_parts_are_reasonably_balanced(self):
+        graph = _graph(n=200)
+        partition = partition_graph(graph, 4)
+        sizes = partition.sizes()
+        assert sum(sizes) == len(graph)
+        assert min(sizes) > 0
+        # The refine phase is bounded by the documented tolerance.
+        assert max(sizes) <= 1.25 * (len(graph) / 4) + 1
+
+    def test_deterministic(self):
+        first = partition_graph(_graph(), 3).assignment
+        second = partition_graph(_graph(), 3).assignment
+        assert first == second
+
+    def test_single_part_is_trivial(self):
+        graph = _graph(n=40)
+        partition = partition_graph(graph, 1)
+        assert set(partition.assignment.values()) == {0}
+        assert partition.cut_edges(graph) == []
+
+    def test_cut_is_far_below_random(self):
+        # A random assignment cuts ~half the edges for k=2; the
+        # customer-tree heuristic must do much better.
+        graph = _graph(n=200)
+        partition = partition_graph(graph, 2)
+        stats = cut_statistics(graph, partition)
+        assert stats["cut_fraction"] < 0.35
+
+    def test_cut_edges_match_assignment(self):
+        graph = _graph(n=80)
+        partition = partition_graph(graph, 2)
+        for u, v, rel in partition.cut_edges(graph):
+            assert partition.part_of(u) != partition.part_of(v)
+            assert rel in (
+                Relationship.PROVIDER,
+                Relationship.PEER,
+            )
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_non_positive_k(self, bad):
+        with pytest.raises(TopologyError):
+            partition_graph(_graph(n=30), bad)
+
+    def test_rejects_more_parts_than_nodes(self):
+        with pytest.raises(TopologyError):
+            partition_graph(_graph(n=30), 31)
+
+    def test_members_and_part_of_agree(self):
+        graph = _graph(n=60)
+        partition = partition_graph(graph, 3)
+        for part in range(3):
+            for node_id in partition.members(part):
+                assert partition.part_of(node_id) == part
+        with pytest.raises(TopologyError):
+            partition.members(3)
+        with pytest.raises(TopologyError):
+            partition.part_of(10**9)
+
+
+class TestCutStatistics:
+    def test_shape_and_consistency(self):
+        graph = _graph(n=100)
+        partition = partition_graph(graph, 2)
+        stats = cut_statistics(graph, partition)
+        assert stats["num_parts"] == 2
+        assert stats["cut_edges"] == stats["cut_transit"] + stats["cut_peer"]
+        assert stats["total_edges"] == graph.edge_count()
+        assert 0.0 <= stats["cut_fraction"] <= 1.0
+
+    def test_explicit_partition(self):
+        graph = _graph(n=50)
+        odd_even = GraphPartition(
+            num_parts=2,
+            assignment={n: n % 2 for n in graph.node_ids},
+        )
+        stats = cut_statistics(graph, odd_even)
+        assert stats["cut_edges"] == len(odd_even.cut_edges(graph))
