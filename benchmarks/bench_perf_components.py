@@ -516,3 +516,75 @@ def test_oracle_n1000(benchmark):
     origin = graph.nodes_of_type(NodeType.C)[0]
     routes = benchmark(lambda: steady_state_routes(graph, origin))
     assert len(routes) > 900
+
+
+def test_measured_analysis_budget(results_dir):
+    """Budget rows for the measured-import and long-memory analysis paths.
+
+    Same contract as ``test_sim_core_budget``: deterministic counters
+    (edges parsed/kept, components, DFA window counts on a fixed-seed
+    fGn series) must never drift, timing rows (µs per imported edge, µs
+    per analysed point) stay within the CI tolerance band.  Merged into
+    ``BENCH_sim_core.json`` for ``scripts/check_perf_budget.py``.
+    """
+    from pathlib import Path
+
+    from repro.analysis import dfa, fractional_gaussian_noise
+    from repro.measured import load_serial1
+
+    fixture = (
+        Path(__file__).parent.parent
+        / "tests" / "topology" / "data" / "fixture_serial1.txt"
+    )
+
+    # --- measured-topology import (timing + exact counters) -----------
+    graph, report = load_serial1(fixture)  # warm the import path once
+    rounds = 50
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        load_serial1(fixture)
+    import_us_per_edge = (
+        (time.perf_counter() - t0) / rounds / report.edges_parsed * 1e6
+    )
+    measured_import = {
+        "edges_parsed": report.edges_parsed,
+        "transit_edges": report.transit_edges,
+        "peer_edges": report.peer_edges,
+        "num_nodes": report.num_nodes,
+        "components": len(report.components),
+        "import_us_per_edge": import_us_per_edge,
+    }
+    assert report.edges_dropped == 0, "fixture must import without drops"
+
+    # --- DFA long-memory analysis (timing + exact window counters) ----
+    points = 8192
+    series = fractional_gaussian_noise(points, 0.75, seed=42)
+    dfa1 = dfa(series, order=1)
+    dfa2 = dfa(series, order=2)
+    dfa_us_per_point = (
+        _time_per_call_us(lambda: dfa(series, order=1), 20) / points
+    )
+    longmem_analysis = {
+        "points": points,
+        "dfa1_windows": dfa1.windows,
+        "dfa2_windows": dfa2.windows,
+        "dfa1_scales": len(dfa1.scales),
+        "dfa_per_point_us": dfa_us_per_point,
+    }
+    # The estimator must stay near-linear: well under 10 µs/point even
+    # on a slow runner, or campaign-scale series become the bottleneck.
+    assert dfa_us_per_point < 10.0
+
+    _merge_bench_json(
+        results_dir,
+        {
+            "measured_import": measured_import,
+            "longmem_analysis": longmem_analysis,
+        },
+    )
+    print(
+        f"\nmeasured/analysis budget: import {import_us_per_edge:.2f}us/edge "
+        f"({report.edges_parsed} edges, {report.num_nodes} nodes), "
+        f"dfa {dfa_us_per_point:.3f}us/point "
+        f"({dfa1.windows}+{dfa2.windows} windows)"
+    )

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fetch a real CAIDA AS-relationship snapshot and import it.
+
+Downloads one monthly serial-1 snapshot from CAIDA's public archive
+(https://publicdata.caida.org/datasets/as-relationships/serial-1/),
+decompresses the ``.bz2`` payload, imports it with
+:func:`repro.measured.load_serial1`, prints the import report and a
+fidelity comparison against a generated topology of the same size.
+
+This script needs network access and downloads a few MB — it is
+documentation, NOT part of the test suite or CI (which only ever use
+the small committed fixture in ``tests/topology/data/``).  CAIDA data
+is distributed under CAIDA's Acceptable Use Policy; cite
+"The CAIDA AS Relationships Dataset" when publishing results.
+
+Run:  python examples/fetch_caida_snapshot.py [YYYYMMDD] [output-dir]
+
+The date must be the first of a month (CAIDA publishes monthly);
+defaults to 20040101, matching the era the source paper studied.
+"""
+
+import bz2
+import sys
+import urllib.request
+from pathlib import Path
+
+from repro.measured import load_serial1
+from repro.topology.compare import topology_fidelity_report
+from repro.topology.generator import generate_topology
+from repro.topology.params import baseline_params
+
+ARCHIVE = "https://publicdata.caida.org/datasets/as-relationships/serial-1"
+
+
+def main() -> None:
+    date = sys.argv[1] if len(sys.argv) > 1 else "20040101"
+    out_dir = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("caida")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    url = f"{ARCHIVE}/{date}.as-rel.txt.bz2"
+    target = out_dir / f"{date}.as-rel.txt"
+    if target.exists():
+        print(f"Using cached {target}")
+    else:
+        print(f"Fetching {url} ...")
+        with urllib.request.urlopen(url) as response:
+            compressed = response.read()
+        target.write_bytes(bz2.decompress(compressed))
+        print(f"  wrote {target} ({target.stat().st_size:,} bytes)")
+
+    print("Importing (lenient mode: real snapshots contain conflicts) ...")
+    graph, report = load_serial1(target, strict=False)
+    print(f"  {graph}")
+    print(
+        f"  {report.edges_parsed:,} edges parsed, {report.edges_kept:,} kept "
+        f"({report.duplicate_edges} duplicates, "
+        f"{report.conflicting_edges} conflicts, "
+        f"{report.self_loops} self-loops, "
+        f"{len(report.invariant_drops)} invariant drops)"
+    )
+    if not report.connected:
+        print(
+            f"  disconnected: {len(report.components)} components, "
+            f"largest {report.components[0]:,}"
+        )
+
+    print(f"Generating a Baseline topology with n={len(graph):,} ASes ...")
+    generated = generate_topology(baseline_params(len(graph)), seed=1)
+
+    print("Fidelity of the generative model against the measured snapshot:")
+    fidelity = topology_fidelity_report(generated, graph, pivots=64, seed=0)
+    for name, distance in fidelity.distances().items():
+        print(f"  {name:20s} {distance:.4f}   (0 = identical)")
+    print(
+        f"  ({fidelity.pivots} betweenness pivots; run "
+        f"`repro-bgp topology stats --against` for the CLI equivalent)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,15 @@ EXACT_COUNTERS = [
     ("prefix_churn", "decisions_run"),
     ("prefix_churn", "decisions_skipped"),
     ("prefix_churn", "loc_rib_digest"),
+    ("measured_import", "edges_parsed"),
+    ("measured_import", "transit_edges"),
+    ("measured_import", "peer_edges"),
+    ("measured_import", "num_nodes"),
+    ("measured_import", "components"),
+    ("longmem_analysis", "points"),
+    ("longmem_analysis", "dfa1_windows"),
+    ("longmem_analysis", "dfa2_windows"),
+    ("longmem_analysis", "dfa1_scales"),
 ]
 
 #: (section, key) pairs where *larger* is worse (cost in µs or bytes).
@@ -58,6 +67,8 @@ COST_METRICS = [
     ("prefix_per_op", "trie_insert_us"),
     ("prefix_per_op", "trie_longest_match_us"),
     ("prefix_per_op", "redecide_1_of_10k_us"),
+    ("measured_import", "import_us_per_edge"),
+    ("longmem_analysis", "dfa_per_point_us"),
 ]
 
 #: (section, key) pairs where *smaller* is worse (throughput).

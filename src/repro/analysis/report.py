@@ -1,0 +1,142 @@
+"""One-call long-memory verdict on a churn series.
+
+Bundles all four estimators (DFA-1, DFA-2, aggregated variance, R/S)
+plus a block-bootstrap confidence interval on the DFA-1 estimate into a
+single :class:`LongMemoryReport`, the artifact the ``ext-longmem``
+experiment and the ``repro-bgp analyze churn`` CLI verb both emit.
+
+The headline question — "does this series show the long memory measured
+in real BGP churn?" — is answered against Kitsak et al.'s H ≈ 0.6–0.9
+band via :meth:`LongMemoryReport.in_measured_band`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.bootstrap import hurst_confidence_interval
+from repro.analysis.estimators import (
+    HurstEstimate,
+    aggregated_variance_hurst,
+    dfa,
+    rs_hurst,
+)
+from repro.obs.telemetry import current_telemetry
+from repro.stats.confidence import ConfidenceInterval
+
+#: the long-memory band measured in real churn (Kitsak et al.)
+MEASURED_H_LOW = 0.6
+MEASURED_H_HIGH = 0.9
+
+
+@dataclasses.dataclass(frozen=True)
+class LongMemoryReport:
+    """All long-memory estimates for one series, plus the verdict."""
+
+    #: series length the analysis ran on
+    points: int
+    #: per-method estimates keyed "dfa1"/"dfa2"/"aggvar"/"rs"
+    estimates: Dict[str, HurstEstimate]
+    #: block-bootstrap CI on the DFA-1 estimate (None when skipped)
+    dfa1_interval: Optional[ConfidenceInterval]
+    #: seed the bootstrap ran with
+    seed: int
+
+    @property
+    def hurst(self) -> float:
+        """The headline H: the DFA-1 estimate (the literature standard)."""
+        return self.estimates["dfa1"].hurst
+
+    @property
+    def consensus_hurst(self) -> float:
+        """Median of all method estimates — robust to one outlier method."""
+        return float(np.median([e.hurst for e in self.estimates.values()]))
+
+    @property
+    def total_windows(self) -> int:
+        """Deterministic work counter: windows over all estimators."""
+        return sum(e.windows for e in self.estimates.values())
+
+    def in_measured_band(
+        self, *, low: float = MEASURED_H_LOW, high: float = MEASURED_H_HIGH
+    ) -> bool:
+        """Whether the headline H falls in the measured churn band."""
+        return low <= self.hurst <= high
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload; floats rounded so output diffs cleanly."""
+        interval = None
+        if self.dfa1_interval is not None:
+            interval = {
+                "mean": round(self.dfa1_interval.mean, 10),
+                "low": round(self.dfa1_interval.low, 10),
+                "high": round(self.dfa1_interval.high, 10),
+                "confidence": self.dfa1_interval.confidence,
+            }
+        return {
+            "points": self.points,
+            "hurst": round(self.hurst, 10),
+            "consensus_hurst": round(self.consensus_hurst, 10),
+            "in_measured_band": self.in_measured_band(),
+            "estimates": {
+                name: estimate.to_dict()
+                for name, estimate in sorted(self.estimates.items())
+            },
+            "dfa1_interval": interval,
+            "total_windows": self.total_windows,
+            "seed": self.seed,
+        }
+
+
+def analyze_churn_series(
+    series: Union[Sequence[float], np.ndarray],
+    *,
+    seed: int = 0,
+    confidence: float = 0.95,
+    resamples: int = 100,
+    with_interval: bool = True,
+) -> LongMemoryReport:
+    """Run every estimator (and optionally the bootstrap) on ``series``.
+
+    Estimator failures are *not* swallowed — a series the estimators
+    reject (too short, constant, non-finite) raises
+    :class:`~repro.errors.AnalysisError` so callers never mistake a
+    degenerate series for a memoryless one.  Telemetry: the estimator
+    and bootstrap passes run under ``longmem-estimate`` /
+    ``longmem-bootstrap`` phases, and ``analysis.points`` /
+    ``analysis.dfa_windows`` counters are incremented.
+    """
+    telemetry = current_telemetry()
+    x = np.asarray(series, dtype=np.float64)
+    with telemetry.phase("longmem-estimate"):
+        estimates = {
+            "dfa1": dfa(x, order=1),
+            "dfa2": dfa(x, order=2),
+            "aggvar": aggregated_variance_hurst(x),
+            "rs": rs_hurst(x),
+        }
+    interval: Optional[ConfidenceInterval] = None
+    if with_interval:
+        with telemetry.phase("longmem-bootstrap"):
+            interval = hurst_confidence_interval(
+                x,
+                lambda s: dfa(s, order=1),
+                confidence=confidence,
+                resamples=resamples,
+                seed=seed,
+            )
+    telemetry.inc("analysis.points", int(x.size))
+    telemetry.inc(
+        "analysis.dfa_windows",
+        estimates["dfa1"].windows + estimates["dfa2"].windows,
+    )
+    telemetry.inc("analysis.series")
+    return LongMemoryReport(
+        points=int(x.size),
+        estimates=estimates,
+        dfa1_interval=interval,
+        seed=seed,
+    )

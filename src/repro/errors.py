@@ -36,6 +36,14 @@ class SerializationError(ReproError):
     """A topology or result file could not be read or written."""
 
 
+class MeasuredImportError(SerializationError):
+    """A measured-topology snapshot is malformed or fails validation."""
+
+
+class AnalysisError(ReproError):
+    """A statistical analysis was asked of data that cannot support it."""
+
+
 class CheckpointError(ReproError):
     """A simulation checkpoint could not be captured, read, or restored."""
 

@@ -65,9 +65,9 @@ class CampaignCancelled(KeyboardInterrupt):
 class CampaignSpec:
     """One campaign request, as submitted by a CLI or API client.
 
-    The *identity* fields — ``scale``, ``seed``, ``include_extensions``
-    — plus the code version determine every measured number of the
-    campaign; :meth:`key` hashes exactly those, so two specs with the
+    The *identity* fields — ``scale``, ``seed``, ``include_extensions``,
+    ``experiments`` — plus the code version determine every measured
+    number of the campaign; :meth:`key` hashes exactly those, so two specs with the
     same key are answerable by one execution.  The remaining fields are
     execution policy (parallelism, timeouts, queueing priority): they
     never change an artifact byte and are deliberately excluded from the
@@ -77,6 +77,10 @@ class CampaignSpec:
     scale: str = "default"
     seed: int = 0
     include_extensions: bool = False
+    #: restrict the campaign to these experiment ids (None = all; an
+    #: explicit subset may name extensions regardless of
+    #: ``include_extensions``)
+    experiments: Optional[tuple] = None
     #: sweep fan-out (None = serial, 0 = one worker per CPU)
     jobs: Optional[int] = None
     #: per-unit wall-clock bound under parallel execution
@@ -95,6 +99,9 @@ class CampaignSpec:
             "scale": self.scale,
             "seed": self.seed,
             "include_extensions": self.include_extensions,
+            "experiments": (
+                list(self.experiments) if self.experiments is not None else None
+            ),
             "code_version": __version__,
         }
 
@@ -115,6 +122,9 @@ class CampaignSpec:
             "scale": self.scale,
             "seed": self.seed,
             "include_extensions": self.include_extensions,
+            "experiments": (
+                list(self.experiments) if self.experiments is not None else None
+            ),
             "jobs": self.jobs,
             "unit_timeout": self.unit_timeout,
             "use_cache": self.use_cache,
@@ -175,6 +185,7 @@ class CampaignSpec:
             self.resolve_scale(),
             seed=self.seed,
             include_extensions=self.include_extensions,
+            experiments=self.experiments,
             output_dir=output_dir,
             echo=echo,
             jobs=self.jobs,
@@ -226,6 +237,22 @@ def _spec_jobs(name: str, value: object) -> Optional[int]:
     return _spec_int(0, 1024)(name, value)
 
 
+def _spec_experiments(name: str, value: object) -> Optional[tuple]:
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ExperimentError(
+            f"spec field {name!r} must be a non-empty list of experiment ids"
+        )
+    from repro.experiments.registry import get_experiment
+
+    ids = []
+    for item in value:
+        _check_type(name, item, (str,), "a list of strings")
+        ids.append(get_experiment(item).experiment_id)  # unknown ids raise
+    return tuple(ids)
+
+
 def _spec_timeout(name: str, value: object) -> Optional[float]:
     if value is None:
         return None
@@ -241,6 +268,7 @@ CampaignSpec._FIELDS = {
     "scale": _spec_str,
     "seed": _spec_int(-(2**53), 2**53),
     "include_extensions": _spec_bool,
+    "experiments": _spec_experiments,
     "jobs": _spec_jobs,
     "unit_timeout": _spec_timeout,
     "use_cache": _spec_bool,
@@ -311,11 +339,17 @@ class CampaignSummary:
 _STATE_FILE = "campaign-state.json"
 
 
-def _campaign_identity(scale: Scale, seed: int, include_extensions: bool) -> dict:
+def _campaign_identity(
+    scale: Scale,
+    seed: int,
+    include_extensions: bool,
+    experiments: Optional[List[str]],
+) -> dict:
     return {
         "scale": scale.name,
         "seed": seed,
         "include_extensions": include_extensions,
+        "experiments": experiments,
     }
 
 
@@ -354,6 +388,7 @@ def run_campaign(
     *,
     seed: int = 0,
     include_extensions: bool = False,
+    experiments: Optional[Union[List[str], tuple]] = None,
     output_dir: Optional[Union[str, Path]] = None,
     echo=None,
     jobs: Optional[int] = None,
@@ -375,6 +410,14 @@ def run_campaign(
     every result), ``campaign.json`` (raw series + checks, reloadable via
     :func:`repro.experiments.results_io.load_results`) and
     ``summary.txt``.
+
+    ``experiments`` restricts the run to an explicit subset of ids (in
+    registry order, regardless of request order); a subset may name
+    extension experiments whatever ``include_extensions`` says.  Unknown
+    ids raise :class:`~repro.errors.ExperimentError` before any work
+    starts, and the subset is part of the checkpoint identity, so a
+    resume with a different subset is rejected rather than silently
+    merged.
 
     ``jobs`` fans each sweep out over that many worker processes and
     ``cache_dir`` enables the persistent sweep cache; neither changes any
@@ -423,7 +466,23 @@ def run_campaign(
         checkpoint_dir = Path(checkpoint_dir)
         state_path = checkpoint_dir / _STATE_FILE
 
-    identity = _campaign_identity(scale, seed, include_extensions)
+    subset: Optional[List[str]] = None
+    if experiments is not None:
+        from repro.experiments.registry import get_experiment
+
+        if not experiments:
+            raise ExperimentError("experiments subset must not be empty")
+        # Canonicalise (and reject unknown ids) before anything persists.
+        requested = {get_experiment(item).experiment_id for item in experiments}
+        # Registry order, not request order: the artifact layout must not
+        # depend on how the caller happened to spell the subset.
+        subset = [
+            experiment_id
+            for experiment_id in experiment_ids(include_extensions=True)
+            if experiment_id in requested
+        ]
+
+    identity = _campaign_identity(scale, seed, include_extensions, subset)
     results: List[ExperimentResult] = []
     if resume and state_path is not None and state_path.exists():
         results = _load_campaign_state(state_path, identity)
@@ -447,7 +506,11 @@ def run_campaign(
             },
         )
 
-    ids = experiment_ids(include_extensions=include_extensions)
+    ids = (
+        subset
+        if subset is not None
+        else experiment_ids(include_extensions=include_extensions)
+    )
     if telemetry is None and output_dir is not None:
         telemetry = Telemetry(
             meta={"run_kind": "campaign", "scale": scale.name, "seed": seed}

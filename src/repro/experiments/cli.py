@@ -6,6 +6,12 @@ Subcommands:
   :mod:`repro.experiments.registry`);
 * ``topology generate | metrics | validate`` — create, inspect and check
   AS-level topologies on disk (JSON or CAIDA as-rel format);
+* ``topology import | stats`` — import measured CAIDA serial-1 snapshots
+  (strict validation, import report) and compute the richer structural
+  metrics; ``stats --against`` prints the generated-vs-measured fidelity
+  report (dK-2, clustering spectrum, betweenness distances);
+* ``analyze churn`` — Hurst/DFA long-memory report for a churn series
+  (from a file, a fresh workload on a topology, or synthetic fGn);
 * ``simulate`` — run a C-event experiment on a stored topology and print
   the per-type churn and factor decomposition; ``--partitions K`` runs
   it graph-partitioned (identical statistics, K lockstep members) and
@@ -38,6 +44,9 @@ Examples::
     repro-bgp cache gc ~/.cache/repro-sweeps
     repro-bgp topology generate -n 1000 --scenario DENSE-CORE -o dense.json
     repro-bgp topology metrics dense.json
+    repro-bgp topology import 20260801.as-rel.txt.gz -o measured.json
+    repro-bgp topology stats dense.json --against measured.json
+    repro-bgp analyze churn --synthetic 0.75 --json longmem.json
     repro-bgp simulate dense.json --origins 10 --wrate
     repro-bgp simulate dense.json --partitions 4 --churn-json churn.json
     repro-bgp serve --partitions 2 --topology dense.json -o runs/part
@@ -124,6 +133,16 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("-o", "--output", type=Path, required=True)
     campaign_parser.add_argument("--extensions", action="store_true")
     campaign_parser.add_argument(
+        "--experiment",
+        action="append",
+        default=None,
+        metavar="ID",
+        help=(
+            "restrict the campaign to this experiment id (repeatable; "
+            "may name extensions regardless of --extensions)"
+        ),
+    )
+    campaign_parser.add_argument(
         "--resume",
         action="store_true",
         help=(
@@ -148,6 +167,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--seed", type=int, default=0)
     serve_parser.add_argument("-o", "--output", type=Path, required=True)
     serve_parser.add_argument("--extensions", action="store_true")
+    serve_parser.add_argument(
+        "--experiment",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="restrict the campaign to this experiment id (repeatable)",
+    )
     serve_parser.add_argument("--resume", action="store_true")
     serve_parser.add_argument(
         "--bind",
@@ -344,6 +370,43 @@ def build_parser() -> argparse.ArgumentParser:
     metrics = topo_sub.add_parser("metrics", help="print topology metrics")
     metrics.add_argument("path", type=Path)
 
+    imp = topo_sub.add_parser(
+        "import",
+        help="import a measured CAIDA serial-1 snapshot (optionally .gz)",
+    )
+    imp.add_argument("path", type=Path, help="serial-1 file, plain or gzip'd")
+    imp.add_argument("-o", "--output", type=Path, required=True,
+                     help="topology JSON output path")
+    imp.add_argument(
+        "--lenient", action="store_true",
+        help="drop-and-count bad edges (self-loops, duplicates, conflicts, "
+        "invariant violations) instead of failing on the first one",
+    )
+    imp.add_argument(
+        "--report-json", type=Path, default=None, metavar="FILE",
+        help="also write the import report as canonical JSON",
+    )
+
+    tstats = topo_sub.add_parser(
+        "stats",
+        help="rich structural metrics; with --against, a fidelity report",
+    )
+    tstats.add_argument("path", type=Path)
+    tstats.add_argument(
+        "--against", type=Path, default=None, metavar="MEASURED",
+        help="second topology: report generated-vs-measured fidelity "
+        "distances (dK-2, clustering spectrum, betweenness)",
+    )
+    tstats.add_argument(
+        "--pivots", type=int, default=64,
+        help="betweenness pivot sample size (default: 64)",
+    )
+    tstats.add_argument("--seed", type=int, default=0)
+    tstats.add_argument(
+        "--json", type=Path, default=None, metavar="FILE",
+        help="also write the stats/fidelity payload as canonical JSON",
+    )
+
     dot = topo_sub.add_parser("dot", help="export Graphviz DOT (Fig.-3 style)")
     dot.add_argument("path", type=Path)
     dot.add_argument("-o", "--output", type=Path, required=True)
@@ -422,6 +485,52 @@ def build_parser() -> argparse.ArgumentParser:
         "path", type=Path,
         help="run directory (containing telemetry.jsonl) or a JSONL file",
     )
+
+    analyze = sub.add_parser(
+        "analyze", help="statistical analysis of churn series"
+    )
+    analyze_sub = analyze.add_subparsers(dest="analyze_command", required=True)
+    churn = analyze_sub.add_parser(
+        "churn",
+        help="Hurst/DFA long-memory report for a churn series",
+    )
+    source = churn.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--series", type=Path, metavar="FILE",
+        help="series file: JSON array or whitespace-separated numbers",
+    )
+    source.add_argument(
+        "--topology", type=Path, metavar="FILE",
+        help="run a Poisson workload on this topology and analyse the "
+        "monitor-side rate series",
+    )
+    source.add_argument(
+        "--synthetic", type=float, metavar="H",
+        help="analyse a synthetic fGn churn series of known Hurst "
+        "exponent H (estimator self-check)",
+    )
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument(
+        "--points", type=int, default=2048,
+        help="synthetic series length (default: 2048)",
+    )
+    churn.add_argument(
+        "--duration", type=float, default=7680.0,
+        help="(--topology) injection window, seconds (default: 7680)",
+    )
+    churn.add_argument(
+        "--rate", type=float, default=0.1,
+        help="(--topology) C-events/second (default: 0.1)",
+    )
+    churn.add_argument(
+        "--resamples", type=int, default=100,
+        help="block-bootstrap resamples for the CI (default: 100)",
+    )
+    churn.add_argument(
+        "--json", type=Path, default=None, metavar="FILE",
+        help="also write the long-memory report as canonical JSON",
+    )
+    _add_bgp_options(churn)
     return parser
 
 
@@ -514,9 +623,25 @@ def _add_bgp_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _load_topology(path: Path):
+    if path.suffix == ".gz":
+        from repro.measured import load_serial1
+
+        graph, _ = load_serial1(path)
+        return graph
     if path.suffix in (".as-rel", ".asrel", ".txt"):
         return load_as_rel(path)
     return load_json(path)
+
+
+def _write_canonical_json(payload: dict, path: Path, label: str) -> None:
+    import json
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"{label} written to {path}")
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
@@ -540,6 +665,40 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         ]
         print(format_table(["metric", "value"], rows, title=str(graph)))
         return 0
+    if args.topology_command == "import":
+        from repro.measured import load_serial1
+
+        graph, report = load_serial1(args.path, strict=not args.lenient)
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        save_json(graph, args.output)
+        print(f"imported {graph} from {args.path}")
+        print(
+            f"  {report.edges_parsed} edge(s) parsed, "
+            f"{report.edges_kept} kept "
+            f"({report.transit_edges} transit, {report.peer_edges} peer), "
+            f"{report.edges_dropped} dropped"
+        )
+        if report.edges_dropped:
+            print(
+                f"  dropped: {report.self_loops} self-loop(s), "
+                f"{report.duplicate_edges} duplicate(s), "
+                f"{report.conflicting_edges} conflict(s), "
+                f"{len(report.invariant_drops)} invariant violation(s)"
+            )
+        if not report.connected:
+            print(
+                f"  WARNING: graph is disconnected "
+                f"({len(report.components)} components, "
+                f"sizes {list(report.components[:5])}...)"
+            )
+        print(f"wrote {args.output}")
+        if args.report_json is not None:
+            _write_canonical_json(
+                report.to_dict(), args.report_json, "import report"
+            )
+        return 0
+    if args.topology_command == "stats":
+        return _cmd_topology_stats(args)
     if args.topology_command == "dot":
         graph = _load_topology(args.path)
         args.output.parent.mkdir(parents=True, exist_ok=True)
@@ -560,6 +719,143 @@ def _cmd_topology(args: argparse.Namespace) -> int:
             print(f"  - {violation}")
         return 1
     print(f"OK: {graph} satisfies all structural invariants")
+    return 0
+
+
+def _cmd_topology_stats(args: argparse.Namespace) -> int:
+    from repro.topology.compare import topology_fidelity_report
+    from repro.topology.metrics import (
+        approximate_betweenness,
+        clustering_spectrum,
+        joint_degree_distribution,
+    )
+
+    graph = _load_topology(args.path)
+    if args.against is not None:
+        measured = _load_topology(args.against)
+        report = topology_fidelity_report(
+            graph, measured, pivots=args.pivots, seed=args.seed
+        )
+        rows = [
+            [name, f"{distance:.4f}"]
+            for name, distance in report.distances().items()
+        ]
+        print(
+            format_table(
+                ["metric", "distance"],
+                rows,
+                title=(
+                    f"fidelity: {args.path.name} (n={report.n_generated}) "
+                    f"vs {args.against.name} (n={report.n_measured})"
+                ),
+            )
+        )
+        print(
+            f"(0 = identical; {report.pivots} betweenness pivots, "
+            f"seed {report.seed})"
+        )
+        if args.json is not None:
+            _write_canonical_json(
+                report.to_dict(), args.json, "fidelity report"
+            )
+        return 0
+    jdd = joint_degree_distribution(graph)
+    spectrum = clustering_spectrum(graph)
+    betweenness = approximate_betweenness(
+        graph, pivots=min(args.pivots, len(graph)), seed=args.seed
+    )
+    top = sorted(betweenness.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+    rows = [
+        [key, f"{value:.4g}"] for key, value in summarize(graph).items()
+    ]
+    rows.append(["jdd pairs", f"{len(jdd)}"])
+    rows.append(["clustering spectrum degrees", f"{len(spectrum)}"])
+    rows.append(
+        ["top betweenness", ", ".join(f"{v}:{b:.3f}" for v, b in top)]
+    )
+    print(format_table(["metric", "value"], rows, title=str(graph)))
+    if args.json is not None:
+        payload = {
+            "summary": {k: v for k, v in summarize(graph).items()},
+            "joint_degree_distribution": {
+                f"{a},{b}": count for (a, b), count in sorted(jdd.items())
+            },
+            "clustering_spectrum": {
+                str(k): round(v, 10) for k, v in sorted(spectrum.items())
+            },
+            "betweenness": {
+                str(v): round(b, 10) for v, b in sorted(betweenness.items())
+            },
+            "pivots": min(args.pivots, len(graph)),
+            "seed": args.seed,
+        }
+        _write_canonical_json(payload, args.json, "topology stats")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_churn_series, fractional_gaussian_noise
+
+    if args.series is not None:
+        text = args.series.read_text(encoding="utf-8").strip()
+        if text.startswith("["):
+            import json
+
+            series = [float(v) for v in json.loads(text)]
+        else:
+            series = [float(v) for v in text.split()]
+        label = f"series file {args.series}"
+    elif args.topology is not None:
+        from repro.core.workload import WorkloadSpec, run_workload
+
+        graph = _load_topology(args.topology)
+        config = BGPConfig(
+            mrai=args.mrai, wrate=args.wrate, rib_backend=args.rib_backend
+        )
+        spec = WorkloadSpec(
+            duration=args.duration,
+            event_rate=args.rate,
+            mean_downtime=2.0,
+            storm_probability=0.0,
+        )
+        result = run_workload(graph, spec, config, seed=args.seed)
+        bin_width = max(args.duration / 128.0, 4.0 * config.mrai)
+        series = [rate for _, rate in result.trace.rate_series(bin_width)]
+        label = (
+            f"workload on {args.topology} "
+            f"({result.events_executed} events, {bin_width:.0f}s bins)"
+        )
+    else:
+        series = list(
+            fractional_gaussian_noise(
+                args.points, args.synthetic, seed=args.seed
+            )
+        )
+        label = f"synthetic fGn, H={args.synthetic}, {args.points} points"
+
+    report = analyze_churn_series(
+        series, seed=args.seed, resamples=args.resamples
+    )
+    print(f"long-memory analysis of {label}")
+    rows = [
+        [name, f"{estimate.hurst:.4f}", f"{estimate.windows}"]
+        for name, estimate in sorted(report.estimates.items())
+    ]
+    print(format_table(["estimator", "hurst", "windows"], rows))
+    interval = report.dfa1_interval
+    print(
+        f"dfa1 H = {report.hurst:.4f} "
+        f"[{interval.low:.4f}, {interval.high:.4f}] "
+        f"({interval.confidence:.0%} block bootstrap, "
+        f"{args.resamples} resamples)"
+    )
+    print(f"consensus H = {report.consensus_hurst:.4f}")
+    verdict = "inside" if report.in_measured_band() else "outside"
+    print(f"{verdict} the measured churn band H in [0.6, 0.9] (Kitsak et al.)")
+    if args.json is not None:
+        _write_canonical_json(
+            report.to_dict(), args.json, "long-memory report"
+        )
     return 0
 
 
@@ -987,6 +1283,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 scale=get_scale(args.scale).name,
                 seed=args.seed,
                 include_extensions=args.extensions,
+                experiments=(
+                    tuple(args.experiment) if args.experiment else None
+                ),
                 jobs=args.jobs,
                 unit_timeout=args.unit_timeout,
             )
@@ -1022,6 +1321,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_profile(args)
         if args.command == "stats":
             return _cmd_stats(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
         # run
         from repro.experiments.cache import sweep_execution
 

@@ -12,6 +12,7 @@ from repro.experiments import (
     ext_exploration,
     ext_heterogeneity,
     ext_load,
+    ext_longmem,
     ext_monitor,
     ext_mrai,
     ext_prefix_scaling,
@@ -83,6 +84,7 @@ for _module in (
     ext_evolution,
     ext_damping,
     ext_prefix_scaling,
+    ext_longmem,
 ):
     _register(_module, paper_artifact=False)
 

@@ -17,9 +17,13 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import List
+from typing import Callable, List, Optional
 
 from repro.errors import ParameterError
+
+#: signature of a pluggable day-to-day noise source:
+#: ``(day, rng) -> multiplicative noise factor`` (may use or ignore the rng)
+NoiseSource = Callable[[int, random.Random], float]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -60,11 +64,19 @@ class ChurnSeriesSpec:
 
 
 def synthesize_churn_series(
-    spec: ChurnSeriesSpec | None = None, *, seed: int = 0
+    spec: ChurnSeriesSpec | None = None,
+    *,
+    seed: int = 0,
+    noise_source: Optional[NoiseSource] = None,
 ) -> List[float]:
     """Generate the daily update counts.
 
-    Deterministic for a given (spec, seed).
+    Deterministic for a given (spec, seed).  ``noise_source`` replaces
+    the default independent lognormal day-to-day noise — e.g. with
+    :func:`repro.analysis.fgn.longmem_noise_source` for long-range-
+    correlated noise of known Hurst exponent.  The default path draws
+    from ``rng`` in exactly the historical order, so ``noise_source=None``
+    reproduces previous outputs byte-for-byte.
     """
     spec = spec if spec is not None else ChurnSeriesSpec()
     rng = random.Random(seed)
@@ -73,7 +85,10 @@ def synthesize_churn_series(
         progress = day / (spec.days - 1)
         level = spec.base_level * (1.0 + spec.total_growth * progress)
         weekly = 1.0 + spec.weekly_amplitude * _weekday_factor(day)
-        noise = rng.lognormvariate(0.0, spec.noise_sigma)
+        if noise_source is None:
+            noise = rng.lognormvariate(0.0, spec.noise_sigma)
+        else:
+            noise = noise_source(day, rng)
         value = level * weekly * noise
         if rng.random() < spec.burst_probability:
             burst = min(

@@ -5,20 +5,31 @@ e.g. whether an *evolved* instance is statistically indistinguishable
 from a *regenerated* one at the same parameter point, or how far a
 scenario deviation moves the structure from the Baseline.
 
-The comparison combines: node-mix divergence, multihoming-degree gaps per
-type, a two-sample Kolmogorov–Smirnov test on the degree distributions
-(scipy), and the hierarchy-depth difference.
+Two levels of comparison live here:
+
+* :func:`compare_topologies` — the coarse check (node mix, multihoming
+  degrees, a degree-distribution KS test, hierarchy depth) used by the
+  evolution-vs-regeneration experiments;
+* :func:`topology_fidelity_report` — the fine-grained generated-vs-
+  *measured* check motivated by "Beyond Node Degree" (PAPERS.md): joint
+  degree distribution (dK-2), degree-dependent clustering spectrum, and
+  pivot-sampled betweenness, each reduced to a per-metric distance.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from scipy import stats as _scipy_stats
 
 from repro.topology.graph import ASGraph
-from repro.topology.metrics import mean_multihoming_degree
+from repro.topology.metrics import (
+    approximate_betweenness,
+    clustering_spectrum,
+    joint_degree_distribution,
+    mean_multihoming_degree,
+)
 from repro.topology.tiers import hierarchy_depth, mean_chain_length
 from repro.topology.types import NodeType
 
@@ -89,4 +100,130 @@ def compare_topologies(a: ASGraph, b: ASGraph) -> TopologyComparison:
         degree_ks_pvalue=float(ks.pvalue),
         depth_difference=hierarchy_depth(b) - hierarchy_depth(a),
         chain_length_difference=mean_chain_length(b) - mean_chain_length(a),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class FidelityReport:
+    """Per-metric distances between a generated and a measured topology.
+
+    All distances are in ``[0, 1]`` with 0 meaning identical.  The report
+    is deterministic: the same pair of graphs and the same ``seed``
+    always produce the same numbers (the betweenness pivot sample is the
+    only randomised ingredient, and it is seeded).
+    """
+
+    n_generated: int
+    n_measured: int
+    #: total-variation distance between normalised dK-2 histograms
+    jdd_distance: float
+    #: mean |c_gen(k) - c_meas(k)| over degrees present in both spectra
+    clustering_spectrum_distance: float
+    #: degrees where one spectrum has mass and the other has none
+    clustering_spectrum_disjoint: int
+    #: two-sample KS statistic on pivot-sampled betweenness values
+    betweenness_ks_statistic: float
+    #: two-sample KS statistic on plain degree sequences (context)
+    degree_ks_statistic: float
+    #: pivots and seed actually used (part of the reproducibility contract)
+    pivots: int
+    seed: int
+
+    def distances(self) -> Dict[str, float]:
+        """The headline distances keyed by metric name."""
+        return {
+            "jdd": self.jdd_distance,
+            "clustering_spectrum": self.clustering_spectrum_distance,
+            "betweenness_ks": self.betweenness_ks_statistic,
+            "degree_ks": self.degree_ks_statistic,
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (sorted keys left to the serialiser)."""
+        return {
+            "n_generated": self.n_generated,
+            "n_measured": self.n_measured,
+            "jdd_distance": self.jdd_distance,
+            "clustering_spectrum_distance": self.clustering_spectrum_distance,
+            "clustering_spectrum_disjoint": self.clustering_spectrum_disjoint,
+            "betweenness_ks_statistic": self.betweenness_ks_statistic,
+            "degree_ks_statistic": self.degree_ks_statistic,
+            "pivots": self.pivots,
+            "seed": self.seed,
+        }
+
+
+def _total_variation(
+    a: Dict[Tuple[int, int], int], b: Dict[Tuple[int, int], int]
+) -> float:
+    """Total-variation distance between two (unnormalised) histograms."""
+    total_a = sum(a.values())
+    total_b = sum(b.values())
+    if total_a == 0 or total_b == 0:
+        return 1.0
+    distance = 0.0
+    for key in sorted(set(a) | set(b)):
+        distance += abs(a.get(key, 0) / total_a - b.get(key, 0) / total_b)
+    return distance / 2.0
+
+
+def topology_fidelity_report(
+    generated: ASGraph,
+    measured: ASGraph,
+    *,
+    pivots: int = 64,
+    seed: int = 0,
+) -> FidelityReport:
+    """How structurally faithful is ``generated`` to ``measured``?
+
+    Computes the three "beyond node degree" metrics on both graphs and
+    reduces each to a scalar distance:
+
+    * **dK-2** — total-variation distance between the normalised joint
+      degree distributions;
+    * **clustering spectrum** — mean absolute c(k) gap over degrees both
+      graphs populate (degrees only one graph populates are counted in
+      ``clustering_spectrum_disjoint`` rather than silently ignored);
+    * **betweenness** — two-sample KS statistic between the pivot-sampled
+      betweenness value distributions (``pivots`` sources, seeded).
+
+    A plain degree-sequence KS statistic is included for context: if it
+    is already large, the richer metrics mostly restate the degree
+    mismatch; the interesting regime is degree-KS small but dK-2 or
+    clustering distance large.
+    """
+    jdd = _total_variation(
+        joint_degree_distribution(generated),
+        joint_degree_distribution(measured),
+    )
+    spectrum_gen = clustering_spectrum(generated)
+    spectrum_meas = clustering_spectrum(measured)
+    shared = sorted(set(spectrum_gen) & set(spectrum_meas))
+    disjoint = len(set(spectrum_gen) ^ set(spectrum_meas))
+    if shared:
+        spectrum_distance = sum(
+            abs(spectrum_gen[k] - spectrum_meas[k]) for k in shared
+        ) / len(shared)
+    else:
+        spectrum_distance = 1.0
+    pivots_used = min(pivots, len(generated), len(measured))
+    bc_gen = approximate_betweenness(generated, pivots=pivots_used, seed=seed)
+    bc_meas = approximate_betweenness(measured, pivots=pivots_used, seed=seed)
+    values_gen: List[float] = sorted(bc_gen.values())
+    values_meas: List[float] = sorted(bc_meas.values())
+    betweenness_ks = _scipy_stats.ks_2samp(values_gen, values_meas)
+    degree_ks = _scipy_stats.ks_2samp(
+        [generated.degree(v) for v in generated.node_ids],
+        [measured.degree(v) for v in measured.node_ids],
+    )
+    return FidelityReport(
+        n_generated=len(generated),
+        n_measured=len(measured),
+        jdd_distance=jdd,
+        clustering_spectrum_distance=spectrum_distance,
+        clustering_spectrum_disjoint=disjoint,
+        betweenness_ks_statistic=float(betweenness_ks.statistic),
+        degree_ks_statistic=float(degree_ks.statistic),
+        pivots=pivots_used,
+        seed=seed,
     )

@@ -1,0 +1,56 @@
+"""Tests for the seeded circular block bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import dfa, fractional_gaussian_noise, hurst_confidence_interval
+from repro.errors import AnalysisError, ParameterError
+
+
+def _dfa1(series):
+    return dfa(series, order=1)
+
+
+class TestHurstConfidenceInterval:
+    def test_interval_brackets_point_estimate(self):
+        series = fractional_gaussian_noise(2048, 0.7, seed=1)
+        interval = hurst_confidence_interval(
+            series, _dfa1, resamples=50, seed=0
+        )
+        assert interval.mean == _dfa1(series).hurst
+        assert interval.low <= interval.high
+        assert interval.confidence == 0.95
+        # The resampled spread should contain the true H at this length.
+        assert interval.low < 0.7 < interval.high + 0.15
+
+    def test_deterministic_given_seed(self):
+        series = fractional_gaussian_noise(1024, 0.6, seed=2)
+        a = hurst_confidence_interval(series, _dfa1, resamples=25, seed=7)
+        b = hurst_confidence_interval(series, _dfa1, resamples=25, seed=7)
+        assert (a.low, a.mean, a.high) == (b.low, b.mean, b.high)
+
+    def test_seed_changes_interval(self):
+        series = fractional_gaussian_noise(1024, 0.6, seed=2)
+        a = hurst_confidence_interval(series, _dfa1, resamples=25, seed=7)
+        b = hurst_confidence_interval(series, _dfa1, resamples=25, seed=8)
+        assert (a.low, a.high) != (b.low, b.high)
+
+    def test_explicit_block_length(self):
+        series = fractional_gaussian_noise(1024, 0.6, seed=2)
+        interval = hurst_confidence_interval(
+            series, _dfa1, resamples=25, block_length=64, seed=0
+        )
+        assert interval.low <= interval.mean <= interval.high + 0.2
+
+    def test_short_series_raises(self):
+        with pytest.raises(AnalysisError, match="too short"):
+            hurst_confidence_interval(np.ones(32), _dfa1)
+
+    def test_parameter_validation(self):
+        series = fractional_gaussian_noise(256, 0.6, seed=0)
+        with pytest.raises(ParameterError, match="confidence"):
+            hurst_confidence_interval(series, _dfa1, confidence=1.5)
+        with pytest.raises(ParameterError, match="resamples"):
+            hurst_confidence_interval(series, _dfa1, resamples=3)
+        with pytest.raises(ParameterError, match="block_length"):
+            hurst_confidence_interval(series, _dfa1, block_length=0)

@@ -1,0 +1,84 @@
+"""Property tests for the Hurst estimators on series with known H."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    aggregated_variance_hurst,
+    dfa,
+    fractional_gaussian_noise,
+    rs_hurst,
+)
+from repro.errors import AnalysisError, ParameterError
+
+#: long synthetic series give every estimator room for a clean fit
+N = 8192
+
+#: documented recovery tolerance on synthetic fGn of length N
+TOLERANCE = 0.1
+
+ESTIMATORS = [
+    pytest.param(lambda s: dfa(s, order=1), id="dfa1"),
+    pytest.param(lambda s: dfa(s, order=2), id="dfa2"),
+    pytest.param(aggregated_variance_hurst, id="aggvar"),
+    pytest.param(rs_hurst, id="rs"),
+]
+
+
+class TestKnownHurstRecovery:
+    @pytest.mark.parametrize("estimator", ESTIMATORS)
+    def test_white_noise_is_memoryless(self, estimator):
+        rng = np.random.Generator(np.random.PCG64(17))
+        estimate = estimator(rng.standard_normal(N))
+        assert abs(estimate.hurst - 0.5) < TOLERANCE
+
+    @pytest.mark.parametrize("estimator", ESTIMATORS)
+    @pytest.mark.parametrize("hurst", [0.7, 0.9])
+    def test_fgn_recovery(self, estimator, hurst):
+        series = fractional_gaussian_noise(N, hurst, seed=42)
+        estimate = estimator(series)
+        assert abs(estimate.hurst - hurst) < TOLERANCE
+
+    @pytest.mark.parametrize("estimator", ESTIMATORS)
+    def test_deterministic(self, estimator):
+        series = fractional_gaussian_noise(1024, 0.6, seed=5)
+        assert estimator(series) == estimator(series)
+
+    def test_estimate_shape(self):
+        estimate = dfa(fractional_gaussian_noise(1024, 0.6, seed=5))
+        assert estimate.method == "dfa1"
+        assert len(estimate.scales) == len(estimate.statistics) >= 4
+        assert estimate.windows > 0
+        assert isinstance(estimate.windows, int)
+        payload = estimate.to_dict()
+        assert payload["method"] == "dfa1"
+        assert payload["windows"] == estimate.windows
+
+
+class TestDegenerateInput:
+    @pytest.mark.parametrize("estimator", ESTIMATORS)
+    def test_short_series_raises(self, estimator):
+        with pytest.raises(AnalysisError, match="too short"):
+            estimator(np.arange(32, dtype=float))
+
+    @pytest.mark.parametrize("estimator", ESTIMATORS)
+    def test_constant_series_raises(self, estimator):
+        with pytest.raises(AnalysisError, match="constant"):
+            estimator(np.full(256, 3.0))
+
+    @pytest.mark.parametrize("estimator", ESTIMATORS)
+    def test_nan_raises(self, estimator):
+        series = np.ones(256)
+        series[0] = 2.0
+        series[10] = np.nan
+        with pytest.raises(AnalysisError, match="non-finite"):
+            estimator(series)
+
+    @pytest.mark.parametrize("estimator", ESTIMATORS)
+    def test_two_dimensional_raises(self, estimator):
+        with pytest.raises(AnalysisError, match="1-D"):
+            estimator(np.ones((16, 16)))
+
+    def test_bad_dfa_order(self):
+        with pytest.raises(ParameterError, match="order"):
+            dfa(np.ones(256), order=3)

@@ -1,0 +1,63 @@
+"""Tests for the fractional Gaussian noise generator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fractional_gaussian_noise, longmem_noise_source
+from repro.errors import ParameterError
+
+
+class TestFractionalGaussianNoise:
+    def test_deterministic_given_seed(self):
+        a = fractional_gaussian_noise(512, 0.8, seed=3)
+        b = fractional_gaussian_noise(512, 0.8, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = fractional_gaussian_noise(512, 0.8, seed=3)
+        b = fractional_gaussian_noise(512, 0.8, seed=4)
+        assert not np.array_equal(a, b)
+
+    def test_unit_variance(self):
+        x = fractional_gaussian_noise(65536, 0.7, seed=0)
+        assert abs(float(x.var()) - 1.0) < 0.1
+
+    def test_white_noise_is_uncorrelated(self):
+        x = fractional_gaussian_noise(65536, 0.5, seed=1)
+        lag1 = float(np.corrcoef(x[:-1], x[1:])[0, 1])
+        assert abs(lag1) < 0.02
+
+    def test_persistent_noise_matches_theory(self):
+        # Theoretical lag-1 autocorrelation of fGn: 2^(2H-1) - 1.
+        hurst = 0.8
+        x = fractional_gaussian_noise(65536, hurst, seed=2)
+        lag1 = float(np.corrcoef(x[:-1], x[1:])[0, 1])
+        assert abs(lag1 - (2 ** (2 * hurst - 1) - 1)) < 0.05
+
+    @pytest.mark.parametrize("hurst", [0.0, 1.0, -0.2, 1.5])
+    def test_hurst_out_of_range(self, hurst):
+        with pytest.raises(ParameterError, match="hurst"):
+            fractional_gaussian_noise(128, hurst)
+
+    def test_n_out_of_range(self):
+        with pytest.raises(ParameterError, match="n >= 1"):
+            fractional_gaussian_noise(0, 0.5)
+
+
+class TestLongmemNoiseSource:
+    def test_multipliers_are_lognormal_and_seeded(self):
+        source = longmem_noise_source(hurst=0.75, days=64, sigma=0.3, seed=9)
+        again = longmem_noise_source(hurst=0.75, days=64, sigma=0.3, seed=9)
+        values = [source(day, None) for day in range(64)]
+        assert values == [again(day, None) for day in range(64)]
+        assert all(v > 0.0 for v in values)
+
+    def test_wraps_past_days(self):
+        source = longmem_noise_source(hurst=0.75, days=16, sigma=0.3, seed=0)
+        assert source(17, None) == source(1, None)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError, match="days"):
+            longmem_noise_source(hurst=0.75, days=0, sigma=0.3)
+        with pytest.raises(ParameterError, match="sigma"):
+            longmem_noise_source(hurst=0.75, days=8, sigma=-0.1)

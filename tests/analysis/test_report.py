@@ -1,0 +1,57 @@
+"""Tests for the bundled long-memory report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_churn_series, fractional_gaussian_noise
+from repro.analysis.report import MEASURED_H_HIGH, MEASURED_H_LOW
+from repro.errors import AnalysisError
+from repro.obs.telemetry import telemetry_session
+
+
+class TestAnalyzeChurnSeries:
+    def test_persistent_series_lands_in_measured_band(self):
+        series = fractional_gaussian_noise(4096, 0.75, seed=3)
+        report = analyze_churn_series(series, seed=1, resamples=25)
+        assert report.points == 4096
+        assert set(report.estimates) == {"dfa1", "dfa2", "aggvar", "rs"}
+        assert report.hurst == report.estimates["dfa1"].hurst
+        assert MEASURED_H_LOW <= report.hurst <= MEASURED_H_HIGH
+        assert report.in_measured_band()
+        assert abs(report.consensus_hurst - 0.75) < 0.1
+        assert report.dfa1_interval is not None
+        assert report.total_windows > 0
+
+    def test_white_noise_outside_band(self):
+        rng = np.random.Generator(np.random.PCG64(6))
+        report = analyze_churn_series(
+            rng.standard_normal(4096), seed=1, resamples=25
+        )
+        assert not report.in_measured_band()
+
+    def test_deterministic_to_dict(self):
+        series = fractional_gaussian_noise(1024, 0.7, seed=4)
+        a = analyze_churn_series(series, seed=2, resamples=25)
+        b = analyze_churn_series(series, seed=2, resamples=25)
+        assert a.to_dict() == b.to_dict()
+
+    def test_interval_skippable(self):
+        series = fractional_gaussian_noise(1024, 0.7, seed=4)
+        report = analyze_churn_series(series, with_interval=False)
+        assert report.dfa1_interval is None
+        assert report.to_dict()["dfa1_interval"] is None
+
+    def test_degenerate_series_propagates(self):
+        with pytest.raises(AnalysisError, match="constant"):
+            analyze_churn_series(np.full(256, 1.0))
+
+    def test_telemetry_counters(self):
+        series = fractional_gaussian_noise(1024, 0.7, seed=4)
+        with telemetry_session() as telemetry:
+            report = analyze_churn_series(series, resamples=25)
+        counters = telemetry.snapshot()["counters"]
+        assert counters["analysis.points"] == 1024
+        assert counters["analysis.series"] == 1
+        assert counters["analysis.dfa_windows"] == (
+            report.estimates["dfa1"].windows + report.estimates["dfa2"].windows
+        )

@@ -323,3 +323,58 @@ class TestCoordinatorLifecycle:
             and not coordinator._accept_thread.is_alive()
         ), "accept thread leaked past the failed campaign"
         assert coordinator._listener.fileno() == -1, "listener socket leaked"
+
+
+class TestCampaignSubset:
+    def test_spec_round_trips_experiments(self, tiny_preset):
+        spec = CampaignSpec(
+            scale=tiny_preset, seed=1, experiments=("fig01", "fig04")
+        )
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+        assert spec.to_dict()["experiments"] == ["fig01", "fig04"]
+
+    def test_subset_is_part_of_identity(self, tiny_preset):
+        base = CampaignSpec(scale=tiny_preset, seed=1)
+        subset = CampaignSpec(scale=tiny_preset, seed=1, experiments=("fig01",))
+        assert base.key() != subset.key()
+        assert subset.key() == CampaignSpec(
+            scale=tiny_preset, seed=1, experiments=("fig01",), jobs=4
+        ).key()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"experiments": []},
+            {"experiments": ["no-such-experiment"]},
+            {"experiments": "fig01"},
+            {"experiments": [1]},
+        ],
+    )
+    def test_spec_rejects_bad_subsets(self, tiny_preset, bad):
+        with pytest.raises(ReproError):
+            CampaignSpec.from_dict({"scale": tiny_preset, **bad})
+
+    def test_run_campaign_respects_subset(self, tmp_path):
+        cache.clear_cache()
+        try:
+            summary = run_campaign(
+                TINY,
+                seed=5,
+                output_dir=tmp_path,
+                experiments=["fig04", "fig01"],
+                show_progress=False,
+            )
+        finally:
+            cache.clear_cache()
+        # Canonicalised to registry order regardless of request order.
+        assert [r.experiment_id for r in summary.results] == ["fig01", "fig04"]
+        loaded = load_results(tmp_path / "campaign.json")
+        assert [r.experiment_id for r in loaded] == ["fig01", "fig04"]
+
+    def test_run_campaign_rejects_bad_subset(self):
+        with pytest.raises(ReproError):
+            run_campaign(TINY, seed=5, experiments=[], show_progress=False)
+        with pytest.raises(ReproError):
+            run_campaign(
+                TINY, seed=5, experiments=["nope"], show_progress=False
+            )

@@ -437,3 +437,151 @@ class TestCacheGcCommand:
         assert "pruned sweep-feedface.json" in out
         assert "cache gc: scanned 1" in out
         assert not stale.exists()
+
+
+class TestTopologyImportAndStats:
+    FIXTURE = "tests/topology/data/fixture_serial1.txt"
+
+    def test_import_writes_json_and_report(self, tmp_path, capsys):
+        out = tmp_path / "measured.json"
+        report = tmp_path / "report.json"
+        assert main(
+            [
+                "topology", "import", self.FIXTURE,
+                "-o", str(out), "--report-json", str(report),
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "205 edge(s) parsed" in output
+        assert out.exists()
+        payload = report.read_text(encoding="utf-8")
+        assert '"edges_parsed": 205' in payload
+
+    def test_import_gzip(self, tmp_path, capsys):
+        out = tmp_path / "measured.json"
+        assert main(
+            ["topology", "import", self.FIXTURE + ".gz", "-o", str(out)]
+        ) == 0
+        assert out.exists()
+        capsys.readouterr()
+
+    def test_import_malformed_exits_2(self, tmp_path, capsys):
+        bad = "tests/topology/data/fixture_serial1_malformed.txt"
+        assert main(
+            ["topology", "import", bad, "-o", str(tmp_path / "x.json")]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stats_single_graph(self, capsys):
+        assert main(["topology", "stats", self.FIXTURE]) == 0
+        output = capsys.readouterr().out
+        assert "jdd pairs" in output
+        assert "top betweenness" in output
+
+    def test_stats_fidelity_report(self, tmp_path, capsys):
+        generated = tmp_path / "gen.json"
+        assert main(
+            ["topology", "generate", "-n", "150", "--seed", "1",
+             "-o", str(generated)]
+        ) == 0
+        capsys.readouterr()
+        payload = tmp_path / "fidelity.json"
+        assert main(
+            [
+                "topology", "stats", str(generated),
+                "--against", self.FIXTURE,
+                "--pivots", "32", "--json", str(payload),
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "jdd" in output and "clustering_spectrum" in output
+        assert '"jdd_distance"' in payload.read_text(encoding="utf-8")
+
+    def test_fidelity_json_deterministic(self, tmp_path, capsys):
+        payloads = []
+        for name in ("a.json", "b.json"):
+            out = tmp_path / name
+            assert main(
+                [
+                    "topology", "stats", self.FIXTURE,
+                    "--against", self.FIXTURE,
+                    "--pivots", "16", "--json", str(out),
+                ]
+            ) == 0
+            payloads.append(out.read_bytes())
+        capsys.readouterr()
+        assert payloads[0] == payloads[1]
+
+
+class TestAnalyzeCommand:
+    def test_parser_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "churn"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "churn", "--series", "x", "--synthetic", "0.7"]
+            )
+
+    def test_synthetic_self_check(self, tmp_path, capsys):
+        payload = tmp_path / "report.json"
+        assert main(
+            [
+                "analyze", "churn", "--synthetic", "0.75",
+                "--points", "1024", "--resamples", "25",
+                "--json", str(payload),
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "synthetic fGn, H=0.75" in output
+        assert "dfa1" in output and "consensus H" in output
+        assert "measured churn band" in output
+        assert '"hurst"' in payload.read_text(encoding="utf-8")
+
+    def test_series_file_whitespace(self, tmp_path, capsys):
+        from repro.analysis import fractional_gaussian_noise
+
+        series = fractional_gaussian_noise(256, 0.6, seed=1)
+        path = tmp_path / "series.txt"
+        path.write_text(" ".join(f"{v:.6f}" for v in series))
+        assert main(
+            ["analyze", "churn", "--series", str(path), "--resamples", "25"]
+        ) == 0
+        assert "series file" in capsys.readouterr().out
+
+    def test_series_file_json(self, tmp_path, capsys):
+        import json
+
+        from repro.analysis import fractional_gaussian_noise
+
+        series = fractional_gaussian_noise(256, 0.6, seed=1)
+        path = tmp_path / "series.json"
+        path.write_text(json.dumps([round(v, 6) for v in series]))
+        assert main(
+            ["analyze", "churn", "--series", str(path), "--resamples", "25"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_degenerate_series_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "flat.txt"
+        path.write_text(" ".join(["5.0"] * 256))
+        assert main(["analyze", "churn", "--series", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCampaignSubsetFlag:
+    def test_experiment_flag_accumulates(self):
+        args = build_parser().parse_args(
+            ["campaign", "-o", "out", "--experiment", "fig01",
+             "--experiment", "ext-longmem"]
+        )
+        assert args.experiment == ["fig01", "ext-longmem"]
+
+    def test_serve_accepts_experiment_flag(self):
+        args = build_parser().parse_args(
+            ["serve", "-o", "out", "--experiment", "fig01"]
+        )
+        assert args.experiment == ["fig01"]
+
+    def test_default_is_none(self):
+        args = build_parser().parse_args(["campaign", "-o", "out"])
+        assert args.experiment is None

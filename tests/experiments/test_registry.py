@@ -33,6 +33,7 @@ EXPECTED_EXTENSIONS = [
     "ext-evolution",
     "ext-damping",
     "ext-prefix-scaling",
+    "ext-longmem",
 ]
 
 

@@ -1,0 +1,77 @@
+"""Tests for measured snapshot sequences and the measured sweep."""
+
+import gzip
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.bgp.config import BGPConfig
+from repro.errors import MeasuredImportError
+from repro.measured import load_snapshot_sequence, run_measured_sweep
+
+DATA = Path(__file__).parent.parent / "topology" / "data"
+FIXTURE = DATA / "fixture_serial1.txt"
+
+FAST = BGPConfig(mrai=2.0, link_delay=0.001, processing_time_max=0.01)
+
+
+@pytest.fixture
+def snapshot_dir(tmp_path):
+    """A directory of three dated snapshots (one gzip'd), out of order."""
+    shutil.copy(FIXTURE, tmp_path / "20040105.as-rel.txt")
+    shutil.copy(FIXTURE, tmp_path / "20040301.as-rel.txt")
+    (tmp_path / "20040202.as-rel.txt.gz").write_bytes(
+        gzip.compress(FIXTURE.read_bytes())
+    )
+    (tmp_path / "README.md").write_text("not a snapshot\n")
+    return tmp_path
+
+
+class TestLoadSequence:
+    def test_directory_sorted_by_label(self, snapshot_dir):
+        snapshots = load_snapshot_sequence(snapshot_dir)
+        assert [s.label for s in snapshots] == [
+            "20040105",
+            "20040202",
+            "20040301",
+        ]
+        assert all(s.n == 145 for s in snapshots)
+        assert all(s.report.connected for s in snapshots)
+
+    def test_explicit_list_keeps_order(self, snapshot_dir):
+        paths = [
+            snapshot_dir / "20040301.as-rel.txt",
+            snapshot_dir / "20040105.as-rel.txt",
+        ]
+        snapshots = load_snapshot_sequence(paths)
+        assert [s.label for s in snapshots] == ["20040301", "20040105"]
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(MeasuredImportError, match="no snapshots"):
+            load_snapshot_sequence(tmp_path)
+
+    def test_file_instead_of_directory_raises(self):
+        with pytest.raises(MeasuredImportError, match="not a directory"):
+            load_snapshot_sequence(FIXTURE)
+
+
+class TestMeasuredSweep:
+    def test_sweep_is_deterministic(self, snapshot_dir):
+        snapshots = load_snapshot_sequence(snapshot_dir)[:2]
+        first = run_measured_sweep(
+            snapshots, FAST, num_origins=3, seed=11
+        )
+        second = run_measured_sweep(
+            snapshots, FAST, num_origins=3, seed=11
+        )
+        assert len(first) == 2
+        assert [s.origins for s in first] == [s.origins for s in second]
+        assert [s.measured_messages for s in first] == [
+            s.measured_messages for s in second
+        ]
+        assert first[0].measured_messages > 0
+
+    def test_empty_sequence_raises(self):
+        with pytest.raises(MeasuredImportError, match="empty"):
+            run_measured_sweep([], FAST)

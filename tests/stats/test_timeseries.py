@@ -82,3 +82,45 @@ class TestCumulative:
     def test_cumulative_monotone(self):
         series = [1.0, 2.0, 3.0]
         assert daily_to_cumulative(series) == [1.0, 3.0, 6.0]
+
+
+class TestNoiseSourceSeam:
+    """The pluggable noise source must not perturb the default path."""
+
+    def test_default_path_golden(self):
+        # Regression pin: these exact values predate the noise_source
+        # seam; any drift means the default path is no longer identical.
+        series = synthesize_churn_series(ChurnSeriesSpec(days=30), seed=7)
+        assert series[0] == pytest.approx(132431.74846214475, abs=1e-6)
+        assert series[-1] == pytest.approx(361993.53576978354, abs=1e-6)
+        assert sum(series) == pytest.approx(8123811.134668559, rel=1e-12)
+
+    def test_none_noise_source_is_default(self):
+        spec = ChurnSeriesSpec(days=60)
+        assert synthesize_churn_series(spec, seed=3) == synthesize_churn_series(
+            spec, seed=3, noise_source=None
+        )
+
+    def test_custom_source_receives_day_and_rng(self):
+        calls = []
+
+        def source(day, rng):
+            calls.append(day)
+            return 1.0
+
+        spec = ChurnSeriesSpec(days=45)
+        series = synthesize_churn_series(spec, seed=3, noise_source=source)
+        assert calls == list(range(45))
+        assert len(series) == 45
+
+    def test_unit_noise_removes_day_scatter(self):
+        spec = ChurnSeriesSpec(days=45, burst_probability=0.0)
+        noisy = synthesize_churn_series(spec, seed=3)
+        flat = synthesize_churn_series(
+            spec, seed=3, noise_source=lambda day, rng: 1.0
+        )
+        assert flat != noisy
+        # With unit multipliers the series is the deterministic envelope.
+        assert flat == synthesize_churn_series(
+            spec, seed=99, noise_source=lambda day, rng: 1.0
+        )

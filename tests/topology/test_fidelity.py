@@ -1,0 +1,131 @@
+"""Tests for the dK-2 / clustering / betweenness fidelity metrics."""
+
+from pathlib import Path
+
+import networkx as nx
+import pytest
+
+from tests.conftest import build_chain, build_diamond
+from repro.errors import ParameterError
+from repro.measured import load_serial1
+from repro.topology.compare import topology_fidelity_report
+from repro.topology.generator import generate_topology
+from repro.topology.metrics import (
+    approximate_betweenness,
+    clustering_spectrum,
+    joint_degree_distribution,
+    to_networkx,
+)
+from repro.topology.params import baseline_params
+
+FIXTURE = Path(__file__).parent / "data" / "fixture_serial1.txt"
+
+
+@pytest.fixture(scope="module")
+def generated():
+    return generate_topology(baseline_params(150), seed=1)
+
+
+@pytest.fixture(scope="module")
+def measured():
+    graph, _ = load_serial1(FIXTURE)
+    return graph
+
+
+class TestJointDegreeDistribution:
+    def test_counts_every_edge_once(self, generated):
+        histogram = joint_degree_distribution(generated)
+        assert sum(histogram.values()) == generated.edge_count()
+
+    def test_pairs_are_unordered(self, generated):
+        assert all(lo <= hi for lo, hi in joint_degree_distribution(generated))
+
+    def test_diamond(self):
+        graph = build_diamond()
+        histogram = joint_degree_distribution(graph)
+        assert sum(histogram.values()) == graph.edge_count()
+
+
+class TestClusteringSpectrum:
+    def test_matches_networkx_per_degree(self, generated):
+        spectrum = clustering_spectrum(generated)
+        nx_graph = to_networkx(generated)
+        nx_clustering = nx.clustering(nx_graph)
+        for degree, value in spectrum.items():
+            nodes = [
+                v for v in generated.node_ids if generated.degree(v) == degree
+            ]
+            expected = sum(nx_clustering[v] for v in nodes) / len(nodes)
+            assert value == pytest.approx(expected)
+
+    def test_min_degree_excludes_leaves(self):
+        spectrum = clustering_spectrum(build_chain(4))
+        assert 1 not in spectrum
+
+
+class TestApproximateBetweenness:
+    def test_full_pivots_match_networkx(self, measured):
+        ours = approximate_betweenness(measured)
+        theirs = nx.betweenness_centrality(to_networkx(measured))
+        for node_id in measured.node_ids:
+            assert ours[node_id] == pytest.approx(theirs[node_id], abs=1e-12)
+
+    def test_pivot_sample_is_seeded(self, measured):
+        a = approximate_betweenness(measured, pivots=24, seed=5)
+        b = approximate_betweenness(measured, pivots=24, seed=5)
+        c = approximate_betweenness(measured, pivots=24, seed=6)
+        assert a == b
+        assert a != c
+
+    def test_pivot_estimate_tracks_exact(self, measured):
+        exact = approximate_betweenness(measured)
+        estimate = approximate_betweenness(measured, pivots=64, seed=0)
+        top_exact = sorted(exact, key=exact.get, reverse=True)[:5]
+        top_estimate = sorted(estimate, key=estimate.get, reverse=True)[:10]
+        assert set(top_exact) <= set(top_estimate)
+
+    def test_tiny_graph_all_zero(self):
+        assert set(approximate_betweenness(build_chain(2)).values()) == {0.0}
+
+    def test_bad_pivot_count(self, measured):
+        with pytest.raises(ParameterError, match="pivots"):
+            approximate_betweenness(measured, pivots=0)
+
+
+class TestFidelityReport:
+    def test_deterministic_across_runs(self, generated, measured):
+        a = topology_fidelity_report(generated, measured, pivots=32, seed=3)
+        b = topology_fidelity_report(generated, measured, pivots=32, seed=3)
+        assert a.to_dict() == b.to_dict()
+
+    def test_self_distance_is_zero(self, measured):
+        report = topology_fidelity_report(measured, measured, seed=0)
+        assert report.jdd_distance == 0.0
+        assert report.clustering_spectrum_distance == 0.0
+        assert report.clustering_spectrum_disjoint == 0
+        assert report.betweenness_ks_statistic == 0.0
+        assert report.degree_ks_statistic == 0.0
+
+    def test_distances_are_bounded(self, generated, measured):
+        report = topology_fidelity_report(generated, measured, seed=0)
+        for name, value in report.distances().items():
+            assert 0.0 <= value <= 1.0, name
+        assert report.pivots == min(64, len(generated), len(measured))
+        assert report.n_generated == len(generated)
+        assert report.n_measured == len(measured)
+
+    def test_generated_beats_degenerate_star(self, generated, measured):
+        # A same-size graph with completely different structure must be
+        # farther from the measured snapshot than the generative model.
+        from repro.topology.graph import ASGraph
+        from repro.topology.types import NodeType
+
+        star = ASGraph(scenario="star")
+        star.add_node(0, NodeType.T, [0])
+        for leaf in range(1, len(measured)):
+            star.add_node(leaf, NodeType.C, [0])
+            star.add_transit_link(customer=leaf, provider=0)
+        close = topology_fidelity_report(generated, measured, seed=0)
+        far = topology_fidelity_report(star, measured, seed=0)
+        assert far.jdd_distance > close.jdd_distance
+        assert far.degree_ks_statistic > close.degree_ks_statistic
